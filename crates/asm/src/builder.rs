@@ -1,0 +1,171 @@
+//! A typed program-construction API, used by tests that want to build
+//! instruction sequences without going through text assembly.
+
+use std::collections::{BTreeMap, HashMap};
+
+use svf_isa::{encode, BrOp, CondOp, Inst, Program, Reg, DATA_BASE, TEXT_BASE};
+
+/// Incrementally builds a [`Program`] from typed instructions, with label
+/// resolution for branches.
+///
+/// # Example
+///
+/// ```
+/// use svf_asm::ProgramBuilder;
+/// use svf_isa::{CondOp, Inst, Operand, AluOp, Reg, SysFunc};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.function("main");
+/// b.push(Inst::Lda { high: false, ra: Reg::T0, rb: Reg::ZERO, disp: 3 });
+/// b.label("loop");
+/// b.push(Inst::Op { op: AluOp::Subq, ra: Reg::T0, rb: Operand::Lit(1), rc: Reg::T0 });
+/// b.cond_branch_to(CondOp::Bne, Reg::T0, "loop");
+/// b.push(Inst::Sys { func: SysFunc::Halt });
+/// let program = b.build().unwrap();
+/// assert_eq!(program.text.len(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Slot>,
+    labels: HashMap<String, usize>,
+    functions: BTreeMap<u64, String>,
+    data: Vec<u8>,
+    data_labels: HashMap<String, u64>,
+}
+
+#[derive(Debug)]
+enum Slot {
+    Fixed(Inst),
+    Branch { op: Option<CondOp>, br: BrOp, ra: Reg, target: String },
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Appends a fully-specified instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(Slot::Fixed(inst));
+        self
+    }
+
+    /// Defines a code label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        self.labels.insert(name.to_string(), self.insts.len());
+        self
+    }
+
+    /// Defines a function symbol (also a label) at the current position.
+    pub fn function(&mut self, name: &str) -> &mut Self {
+        self.functions.insert(TEXT_BASE + 4 * self.insts.len() as u64, name.to_string());
+        self.label(name)
+    }
+
+    /// Appends an unconditional branch to a label (resolved at build time).
+    pub fn branch_to(&mut self, op: BrOp, ra: Reg, target: &str) -> &mut Self {
+        self.insts.push(Slot::Branch { op: None, br: op, ra, target: target.to_string() });
+        self
+    }
+
+    /// Appends a conditional branch to a label.
+    pub fn cond_branch_to(&mut self, op: CondOp, ra: Reg, target: &str) -> &mut Self {
+        self.insts.push(Slot::Branch { op: Some(op), br: BrOp::Br, ra, target: target.to_string() });
+        self
+    }
+
+    /// Appends raw bytes to the data segment, returning their address.
+    pub fn data_bytes(&mut self, name: &str, bytes: &[u8]) -> u64 {
+        let addr = DATA_BASE + self.data.len() as u64;
+        self.data_labels.insert(name.to_string(), addr);
+        self.data.extend_from_slice(bytes);
+        addr
+    }
+
+    /// Address of a previously defined data label.
+    #[must_use]
+    pub fn data_label(&self, name: &str) -> Option<u64> {
+        self.data_labels.get(name).copied()
+    }
+
+    /// Resolves labels and produces the program. The entry point is the
+    /// `main` label if defined, else the first instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of any branch target that was never defined.
+    pub fn build(&self) -> Result<Program, String> {
+        let mut text = Vec::with_capacity(self.insts.len());
+        for (i, slot) in self.insts.iter().enumerate() {
+            let inst = match slot {
+                Slot::Fixed(inst) => *inst,
+                Slot::Branch { op, br, ra, target } => {
+                    let t = *self
+                        .labels
+                        .get(target)
+                        .ok_or_else(|| format!("undefined label `{target}`"))?;
+                    let disp = t as i32 - (i as i32 + 1);
+                    match op {
+                        Some(c) => Inst::CondBr { op: *c, ra: *ra, disp },
+                        None => Inst::Br { op: *br, ra: *ra, disp },
+                    }
+                }
+            };
+            text.push(encode(&inst));
+        }
+        let entry = self
+            .labels
+            .get("main")
+            .map_or(TEXT_BASE, |&i| TEXT_BASE + 4 * i as u64);
+        let heap_base = (DATA_BASE + self.data.len() as u64).div_ceil(4096) * 4096;
+        Ok(Program {
+            text,
+            data: self.data.clone(),
+            entry,
+            heap_base,
+            functions: self.functions.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svf_isa::{decode, SysFunc};
+
+    #[test]
+    fn builds_with_forward_branch() {
+        let mut b = ProgramBuilder::new();
+        b.function("main");
+        b.cond_branch_to(CondOp::Beq, Reg::V0, "end");
+        b.push(Inst::Sys { func: SysFunc::PutInt });
+        b.label("end");
+        b.push(Inst::Sys { func: SysFunc::Halt });
+        let p = b.build().unwrap();
+        match decode(p.text[0]).unwrap() {
+            Inst::CondBr { disp, .. } => assert_eq!(disp, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.function("main");
+        b.branch_to(BrOp::Br, Reg::ZERO, "nowhere");
+        assert!(b.build().unwrap_err().contains("nowhere"));
+    }
+
+    #[test]
+    fn data_labels_get_addresses() {
+        let mut b = ProgramBuilder::new();
+        let a = b.data_bytes("x", &[1, 2, 3, 4]);
+        let c = b.data_bytes("y", &[5]);
+        assert_eq!(a, DATA_BASE);
+        assert_eq!(c, DATA_BASE + 4);
+        assert_eq!(b.data_label("y"), Some(c));
+        assert_eq!(b.data_label("z"), None);
+    }
+}

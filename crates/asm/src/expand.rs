@@ -1,0 +1,178 @@
+//! Pseudo-instruction expansion: immediate and address materialization.
+
+use svf_isa::{AluOp, Inst, Operand, Reg};
+
+/// Decomposes `value` into sign-extended 16-bit chunks such that
+/// rebuilding with `((…(c_top << 16) + c_{k-1}) << 16) + …` reproduces it.
+/// Returned most-significant first; always 1–5 chunks.
+fn chunks(value: i64) -> Vec<i16> {
+    let mut lows: Vec<i16> = Vec::new(); // least-significant first
+    let mut v = value as i128; // avoid i64 overflow on carry propagation
+    loop {
+        let lo = (v as i16) as i128; // sign-extended low 16 bits
+        lows.push(lo as i16);
+        v = (v - lo) >> 16;
+        if v == 0 {
+            break;
+        }
+    }
+    lows.reverse();
+    lows
+}
+
+/// Expands `li rd, value` into a minimal `lda`/`ldah`/`sll` sequence.
+///
+/// * values fitting in signed 16 bits take one instruction;
+/// * values fitting in signed 32 bits take two (`ldah` + `lda`);
+/// * anything else takes a shift-and-accumulate chain.
+///
+/// # Example
+///
+/// ```
+/// use svf_asm::expand_li;
+/// use svf_isa::Reg;
+/// assert_eq!(expand_li(Reg::A0, 42).len(), 1);
+/// assert_eq!(expand_li(Reg::A0, 0x12345).len(), 2);
+/// assert!(expand_li(Reg::A0, 0x0123_4567_89AB_CDEF).len() <= 9);
+/// ```
+#[must_use]
+pub fn expand_li(rd: Reg, value: i64) -> Vec<Inst> {
+    let cs = chunks(value);
+    if cs.len() == 1 {
+        return vec![Inst::Lda { high: false, ra: rd, rb: Reg::ZERO, disp: cs[0] }];
+    }
+    if cs.len() == 2 {
+        // value == (c0 << 16) + c1 with both sign-extended: ldah + lda.
+        let mut out = vec![Inst::Lda { high: true, ra: rd, rb: Reg::ZERO, disp: cs[0] }];
+        if cs[1] != 0 {
+            out.push(Inst::Lda { high: false, ra: rd, rb: rd, disp: cs[1] });
+        }
+        return out;
+    }
+    // General chain: rd = c_top; then per chunk: rd <<= 16; rd += c.
+    let mut out = vec![Inst::Lda { high: false, ra: rd, rb: Reg::ZERO, disp: cs[0] }];
+    for &c in &cs[1..] {
+        out.push(Inst::Op { op: AluOp::Sll, ra: rd, rb: Operand::Lit(16), rc: rd });
+        if c != 0 {
+            out.push(Inst::Lda { high: false, ra: rd, rb: rd, disp: c });
+        }
+    }
+    out
+}
+
+/// Number of instructions [`expand_li`] will emit for `value` (used by the
+/// assembler's sizing pass).
+#[must_use]
+pub fn li_len(rd: Reg, value: i64) -> usize {
+    expand_li(rd, value).len()
+}
+
+/// Expands `la rd, addr` for a link-time address (always < 2^31 in our
+/// layout) into an `ldah`/`lda` pair.
+///
+/// # Panics
+///
+/// Panics if the address cannot be reached with a 2-instruction pair, which
+/// would indicate a corrupted layout.
+#[must_use]
+pub fn la_pair(rd: Reg, addr: u64) -> Vec<Inst> {
+    let insts = expand_li(rd, addr as i64);
+    assert!(insts.len() <= 2, "address {addr:#x} out of la range");
+    insts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Interprets an expansion sequence to recover the materialized value.
+    fn eval(insts: &[Inst]) -> i64 {
+        let mut regs = [0i64; 32];
+        for inst in insts {
+            match *inst {
+                Inst::Lda { high, ra, rb, disp } => {
+                    let base = regs[rb.number() as usize];
+                    let d = if high { i64::from(disp) << 16 } else { i64::from(disp) };
+                    regs[ra.number() as usize] = base.wrapping_add(d);
+                }
+                Inst::Op { op, ra, rb, rc } => {
+                    let a = regs[ra.number() as usize] as u64;
+                    let b = match rb {
+                        Operand::Reg(r) => regs[r.number() as usize] as u64,
+                        Operand::Lit(l) => u64::from(l),
+                    };
+                    regs[rc.number() as usize] = op.apply(a, b) as i64;
+                }
+                ref other => panic!("unexpected inst in expansion: {other:?}"),
+            }
+            regs[31] = 0;
+        }
+        regs[Reg::A0.number() as usize]
+    }
+
+    #[test]
+    fn small_values_single_instruction() {
+        for v in [0i64, 1, -1, 42, 32767, -32768] {
+            let e = expand_li(Reg::A0, v);
+            assert_eq!(e.len(), 1, "value {v}");
+            assert_eq!(eval(&e), v);
+        }
+    }
+
+    #[test]
+    fn mid_values_two_instructions() {
+        // Values near the positive 32-bit edge (e.g. 0x7FFF_FFFF) need more:
+        // `ldah` adds a *sign-extended* high half, exactly as on real Alpha.
+        for v in [32768i64, -32769, 1 << 20, 0x1000_0000, -(1 << 30), 0x4000_0000] {
+            let e = expand_li(Reg::A0, v);
+            assert!(e.len() <= 2, "value {v:#x} took {}", e.len());
+            assert_eq!(eval(&e), v, "value {v:#x}");
+        }
+    }
+
+    #[test]
+    fn carry_edge_cases() {
+        // Classic carry edges around the 16-bit boundary.
+        for v in [0x7FFF_8000i64, 0x7FFF_FFFFi64, -0x8000_0000i64, 0x8000_0000i64] {
+            assert_eq!(eval(&expand_li(Reg::A0, v)), v, "value {v:#x}");
+        }
+    }
+
+    #[test]
+    fn full_width_values() {
+        for v in [
+            i64::MAX,
+            i64::MIN,
+            0x0123_4567_89AB_CDEFi64,
+            6364136223846793005i64,
+            1442695040888963407i64,
+            -6148914691236517206i64, // 0xAAAA… pattern
+        ] {
+            let e = expand_li(Reg::A0, v);
+            assert!(e.len() <= 9, "value {v:#x} took {}", e.len());
+            assert_eq!(eval(&e), v, "value {v:#x}");
+        }
+    }
+
+    #[test]
+    fn la_covers_layout() {
+        use svf_isa::{DATA_BASE, STACK_BASE, TEXT_BASE};
+        for addr in [TEXT_BASE, DATA_BASE, DATA_BASE + 0x12_3456, STACK_BASE] {
+            let e = la_pair(Reg::T0, addr);
+            assert!(e.len() <= 2);
+            let mut insts = e.clone();
+            // Rename destination to A0 for eval's convenience.
+            for i in &mut insts {
+                if let Inst::Lda { ra, rb, .. } = i {
+                    if *ra == Reg::T0 {
+                        *ra = Reg::A0;
+                    }
+                    if *rb == Reg::T0 {
+                        *rb = Reg::A0;
+                    }
+                }
+            }
+            assert_eq!(eval(&insts) as u64, addr);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # svf-asm — assembler for the SVF reproduction ISA
+//!
+//! A two-pass text assembler producing [`svf_isa::Program`] images. It is the
+//! back end of the `svf-cc` MiniC compiler and is also convenient for writing
+//! hand-crafted test kernels.
+//!
+//! ## Syntax
+//!
+//! ```text
+//! ; comment (also # and //)
+//!         .text
+//! main:                         ; non-dot labels in .text are functions
+//!         lda   $sp, -16($sp)   ; grow the stack
+//!         stq   $ra, 0($sp)
+//!         li    $a0, 42         ; pseudo: load immediate (any 64-bit value)
+//!         la    $t0, counter    ; pseudo: load address of a data label
+//!         ldq   $t1, 0($t0)
+//!         addq  $t1, 1, $t1     ; 8-bit unsigned literals allowed in ALU ops
+//!         stq   $t1, 0($t0)
+//!         putint                ; print $a0
+//!         ldq   $ra, 0($sp)
+//!         lda   $sp, 16($sp)
+//!         ret
+//!         .data
+//! counter:
+//!         .quad 0
+//! ```
+//!
+//! ## Pseudo-instructions
+//!
+//! | pseudo | expansion |
+//! |---|---|
+//! | `li rd, imm64` | chain of `lda`/`sll` (1–9 instructions, chosen by value) |
+//! | `la rd, label` | `ldah` + `lda` pair |
+//! | `mov rs, rd` | `bis rs, rs, rd` |
+//! | `nop` | `bis $zero, $zero, $zero` |
+//! | `call label` | `bsr $ra, label` |
+//! | `jsr rb` | `jsr $ra, (rb)` |
+//! | `jmp rb` | `jmp $zero, (rb)` |
+//! | `ret` | `ret $zero, ($ra)` |
+//! | `br label` / `beq r, label` … | PC-relative displacement resolved by the assembler |
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), svf_asm::AsmError> {
+//! let program = svf_asm::assemble("
+//!     .text
+//! main:
+//!     li $a0, 7
+//!     putint
+//!     halt
+//! ")?;
+//! assert_eq!(program.functions.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod expand;
+mod parse;
+
+pub use builder::ProgramBuilder;
+pub use expand::{expand_li, la_pair, li_len};
+pub use parse::{assemble, AsmError};

@@ -1,0 +1,701 @@
+//! The two-pass text assembler.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use svf_isa::{
+    encode, AluOp, BrOp, CondOp, Inst, JmpKind, MemOp, Operand, Program, Reg, SysFunc, DATA_BASE,
+    TEXT_BASE,
+};
+
+use crate::expand::{expand_li, li_len};
+
+/// An assembly error with the 1-based source line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, msg: msg.into() })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Text,
+    Data,
+}
+
+/// A parsed source line, before label resolution.
+#[derive(Debug)]
+enum Item {
+    Label(String),
+    Inst { mnemonic: String, operands: Vec<String> },
+    Directive { name: String, args: Vec<String> },
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for marker in [";", "#", "//"] {
+        if let Some(idx) = line.find(marker) {
+            end = end.min(idx);
+        }
+    }
+    &line[..end]
+}
+
+/// Splits `"ldq $t0, 8($sp)"` into mnemonic + comma-separated operands.
+fn split_line(line: &str) -> Option<(String, Vec<String>)> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    let (head, rest) = match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], &line[i..]),
+        None => (line, ""),
+    };
+    let operands = rest
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>();
+    Some((head.to_lowercase(), operands))
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(ch) = s.strip_prefix('\'').and_then(|r| r.strip_suffix('\'')) {
+        let mut chars = ch.chars();
+        let c = match chars.next()? {
+            '\\' => match chars.next()? {
+                'n' => '\n',
+                't' => '\t',
+                '0' => '\0',
+                '\\' => '\\',
+                '\'' => '\'',
+                _ => return None,
+            },
+            c => c,
+        };
+        if chars.next().is_some() {
+            return None;
+        }
+        return Some(c as i64);
+    }
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()? as i64
+    } else {
+        body.parse::<u64>().ok()? as i64
+    };
+    Some(if neg { v.wrapping_neg() } else { v })
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
+    Reg::parse(s).ok_or_else(|| AsmError { line, msg: format!("bad register `{s}`") })
+}
+
+/// Parses `disp(reg)` or `(reg)` memory operands.
+fn parse_mem_operand(s: &str, line: usize) -> Result<(i16, Reg), AsmError> {
+    let open = s.find('(');
+    let close = s.rfind(')');
+    match (open, close) {
+        (Some(o), Some(c)) if c > o => {
+            let disp_str = s[..o].trim();
+            let disp = if disp_str.is_empty() {
+                0
+            } else {
+                let v = parse_int(disp_str)
+                    .ok_or_else(|| AsmError { line, msg: format!("bad displacement `{disp_str}`") })?;
+                i16::try_from(v).map_err(|_| AsmError {
+                    line,
+                    msg: format!("displacement {v} out of 16-bit range"),
+                })?
+            };
+            let reg = parse_reg(s[o + 1..c].trim(), line)?;
+            Ok((disp, reg))
+        }
+        _ => err(line, format!("bad memory operand `{s}`")),
+    }
+}
+
+const COND_OPS: [(&str, CondOp); 6] = [
+    ("beq", CondOp::Beq),
+    ("bne", CondOp::Bne),
+    ("blt", CondOp::Blt),
+    ("ble", CondOp::Ble),
+    ("bge", CondOp::Bge),
+    ("bgt", CondOp::Bgt),
+];
+
+const MEM_OPS: [(&str, MemOp); 6] = [
+    ("ldq", MemOp::Ldq),
+    ("ldl", MemOp::Ldl),
+    ("ldbu", MemOp::Ldbu),
+    ("stq", MemOp::Stq),
+    ("stl", MemOp::Stl),
+    ("stb", MemOp::Stb),
+];
+
+const ALU_OPS: [(&str, AluOp); 16] = [
+    ("addq", AluOp::Addq),
+    ("subq", AluOp::Subq),
+    ("mulq", AluOp::Mulq),
+    ("divq", AluOp::Divq),
+    ("remq", AluOp::Remq),
+    ("and", AluOp::And),
+    ("bis", AluOp::Bis),
+    ("xor", AluOp::Xor),
+    ("sll", AluOp::Sll),
+    ("srl", AluOp::Srl),
+    ("sra", AluOp::Sra),
+    ("cmpeq", AluOp::Cmpeq),
+    ("cmplt", AluOp::Cmplt),
+    ("cmple", AluOp::Cmple),
+    ("cmpult", AluOp::Cmpult),
+    ("cmpule", AluOp::Cmpule),
+];
+
+/// How many instruction words a source instruction will occupy (pass 1).
+fn inst_len(mnemonic: &str, operands: &[String], line: usize) -> Result<usize, AsmError> {
+    match mnemonic {
+        "li" => {
+            if operands.len() != 2 {
+                return err(line, "li needs 2 operands");
+            }
+            let rd = parse_reg(&operands[0], line)?;
+            let v = parse_int(&operands[1])
+                .ok_or_else(|| AsmError { line, msg: format!("bad immediate `{}`", operands[1]) })?;
+            Ok(li_len(rd, v))
+        }
+        "la" => Ok(2),
+        _ => Ok(1),
+    }
+}
+
+/// Encodes one source instruction into `out` (pass 2).
+#[allow(clippy::too_many_lines)]
+fn encode_inst(
+    mnemonic: &str,
+    operands: &[String],
+    pc_index: usize,
+    labels: &HashMap<String, u64>,
+    out: &mut Vec<Inst>,
+    line: usize,
+) -> Result<(), AsmError> {
+    let label_addr = |name: &str| -> Result<u64, AsmError> {
+        labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| AsmError { line, msg: format!("undefined label `{name}`") })
+    };
+    let branch_disp = |target: u64, at_index: usize| -> Result<i32, AsmError> {
+        let next = TEXT_BASE + 4 * (at_index as u64 + 1);
+        let delta = (target as i64 - next as i64) / 4;
+        i32::try_from(delta)
+            .ok()
+            .filter(|d| (-(1 << 20)..(1 << 20)).contains(d))
+            .ok_or_else(|| AsmError { line, msg: format!("branch target out of range ({delta})") })
+    };
+    let need = |n: usize| -> Result<(), AsmError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            err(line, format!("`{mnemonic}` needs {n} operand(s), got {}", operands.len()))
+        }
+    };
+
+    if let Some((_, op)) = MEM_OPS.iter().find(|(m, _)| *m == mnemonic) {
+        need(2)?;
+        let ra = parse_reg(&operands[0], line)?;
+        let (disp, rb) = parse_mem_operand(&operands[1], line)?;
+        out.push(Inst::Mem { op: *op, ra, rb, disp });
+        return Ok(());
+    }
+    if let Some((_, op)) = ALU_OPS.iter().find(|(m, _)| *m == mnemonic) {
+        need(3)?;
+        let ra = parse_reg(&operands[0], line)?;
+        let rb = if let Some(v) = parse_int(&operands[1]) {
+            let lit = u8::try_from(v).map_err(|_| AsmError {
+                line,
+                msg: format!("ALU literal {v} out of 0..=255 range"),
+            })?;
+            Operand::Lit(lit)
+        } else {
+            Operand::Reg(parse_reg(&operands[1], line)?)
+        };
+        let rc = parse_reg(&operands[2], line)?;
+        out.push(Inst::Op { op: *op, ra, rb, rc });
+        return Ok(());
+    }
+    if let Some((_, op)) = COND_OPS.iter().find(|(m, _)| *m == mnemonic) {
+        need(2)?;
+        let ra = parse_reg(&operands[0], line)?;
+        let disp = branch_disp(label_addr(&operands[1])?, pc_index)?;
+        out.push(Inst::CondBr { op: *op, ra, disp });
+        return Ok(());
+    }
+    match mnemonic {
+        "lda" | "ldah" => {
+            need(2)?;
+            let ra = parse_reg(&operands[0], line)?;
+            let (disp, rb) = parse_mem_operand(&operands[1], line)?;
+            out.push(Inst::Lda { high: mnemonic == "ldah", ra, rb, disp });
+        }
+        "li" => {
+            need(2)?;
+            let rd = parse_reg(&operands[0], line)?;
+            let v = parse_int(&operands[1])
+                .ok_or_else(|| AsmError { line, msg: format!("bad immediate `{}`", operands[1]) })?;
+            out.extend(expand_li(rd, v));
+        }
+        "la" => {
+            need(2)?;
+            let rd = parse_reg(&operands[0], line)?;
+            let addr = label_addr(&operands[1])?;
+            let pair = expand_li(rd, addr as i64);
+            if pair.len() > 2 {
+                return err(line, format!("address {addr:#x} out of la range"));
+            }
+            out.extend(pair.clone());
+            // Keep the 2-word size promised by pass 1.
+            for _ in pair.len()..2 {
+                out.push(Inst::Op {
+                    op: AluOp::Bis,
+                    ra: Reg::ZERO,
+                    rb: Operand::Reg(Reg::ZERO),
+                    rc: Reg::ZERO,
+                });
+            }
+        }
+        "mov" => {
+            need(2)?;
+            let rs = parse_reg(&operands[0], line)?;
+            let rd = parse_reg(&operands[1], line)?;
+            out.push(Inst::Op { op: AluOp::Bis, ra: rs, rb: Operand::Reg(rs), rc: rd });
+        }
+        "nop" => {
+            need(0)?;
+            out.push(Inst::Op {
+                op: AluOp::Bis,
+                ra: Reg::ZERO,
+                rb: Operand::Reg(Reg::ZERO),
+                rc: Reg::ZERO,
+            });
+        }
+        "br" => {
+            need(1)?;
+            let disp = branch_disp(label_addr(&operands[0])?, pc_index)?;
+            out.push(Inst::Br { op: BrOp::Br, ra: Reg::ZERO, disp });
+        }
+        "bsr" | "call" => {
+            need(1)?;
+            let disp = branch_disp(label_addr(&operands[0])?, pc_index)?;
+            out.push(Inst::Br { op: BrOp::Bsr, ra: Reg::RA, disp });
+        }
+        "jmp" => {
+            need(1)?;
+            let target = operands[0].trim_start_matches('(').trim_end_matches(')');
+            let rb = parse_reg(target, line)?;
+            out.push(Inst::Jmp { kind: JmpKind::Jmp, ra: Reg::ZERO, rb });
+        }
+        "jsr" => {
+            need(1)?;
+            let target = operands[0].trim_start_matches('(').trim_end_matches(')');
+            let rb = parse_reg(target, line)?;
+            out.push(Inst::Jmp { kind: JmpKind::Jsr, ra: Reg::RA, rb });
+        }
+        "ret" => {
+            need(0)?;
+            out.push(Inst::Jmp { kind: JmpKind::Ret, ra: Reg::ZERO, rb: Reg::RA });
+        }
+        "halt" => {
+            need(0)?;
+            out.push(Inst::Sys { func: SysFunc::Halt });
+        }
+        "putint" => {
+            need(0)?;
+            out.push(Inst::Sys { func: SysFunc::PutInt });
+        }
+        "putchar" => {
+            need(0)?;
+            out.push(Inst::Sys { func: SysFunc::PutChar });
+        }
+        _ => return err(line, format!("unknown mnemonic `{mnemonic}`")),
+    }
+    Ok(())
+}
+
+/// Assembles a source string into a [`Program`].
+///
+/// The entry point is `_start` if that label exists, otherwise `main`.
+/// Labels in `.text` not beginning with `.` are recorded as function symbols.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] carrying the offending line on any syntax error,
+/// undefined or duplicate label, or out-of-range field.
+#[allow(clippy::too_many_lines)]
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // ---- Tokenize into items. ----
+    let mut items: Vec<(usize, Segment, Item)> = Vec::new();
+    let mut segment = Segment::Text;
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut rest = strip_comment(raw).trim();
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty()
+                || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                break;
+            }
+            items.push((line_no, segment, Item::Label(label.to_string())));
+            rest = tail[1..].trim();
+        }
+        let Some((head, operands)) = split_line(rest) else { continue };
+        if let Some(name) = head.strip_prefix('.') {
+            match name {
+                "text" => segment = Segment::Text,
+                "data" => segment = Segment::Data,
+                _ => items.push((
+                    line_no,
+                    segment,
+                    Item::Directive { name: name.to_string(), args: operands },
+                )),
+            }
+        } else {
+            items.push((line_no, segment, Item::Inst { mnemonic: head, operands }));
+        }
+    }
+
+    // ---- Pass 1: lay out addresses. ----
+    let mut labels: HashMap<String, u64> = HashMap::new();
+    let mut functions = std::collections::BTreeMap::new();
+    let mut text_words = 0u64;
+    let mut data_bytes = 0u64;
+    for (line, seg, item) in &items {
+        match item {
+            Item::Label(name) => {
+                let addr = match seg {
+                    Segment::Text => TEXT_BASE + 4 * text_words,
+                    Segment::Data => DATA_BASE + data_bytes,
+                };
+                if labels.insert(name.clone(), addr).is_some() {
+                    return err(*line, format!("duplicate label `{name}`"));
+                }
+                if *seg == Segment::Text && !name.starts_with('.') {
+                    functions.insert(addr, name.clone());
+                }
+            }
+            Item::Inst { mnemonic, operands } => {
+                if *seg != Segment::Text {
+                    return err(*line, "instruction outside .text");
+                }
+                text_words += inst_len(mnemonic, operands, *line)? as u64;
+            }
+            Item::Directive { name, args } => match name.as_str() {
+                "quad" => data_bytes += 8 * args.len().max(1) as u64,
+                "byte" => data_bytes += args.len().max(1) as u64,
+                "space" => {
+                    let n = args
+                        .first()
+                        .and_then(|a| parse_int(a))
+                        .filter(|&n| n >= 0)
+                        .ok_or_else(|| AsmError { line: *line, msg: ".space needs a size".into() })?;
+                    data_bytes += n as u64;
+                }
+                "align" => {
+                    let n = args
+                        .first()
+                        .and_then(|a| parse_int(a))
+                        .filter(|&n| n > 0 && (n & (n - 1)) == 0)
+                        .ok_or_else(|| AsmError {
+                            line: *line,
+                            msg: ".align needs a power-of-two size".into(),
+                        })?;
+                    data_bytes = data_bytes.div_ceil(n as u64) * n as u64;
+                }
+                other => return err(*line, format!("unknown directive `.{other}`")),
+            },
+        }
+    }
+
+    // ---- Pass 2: encode. ----
+    let mut insts: Vec<Inst> = Vec::with_capacity(text_words as usize);
+    let mut data: Vec<u8> = Vec::with_capacity(data_bytes as usize);
+    for (line, _seg, item) in &items {
+        match item {
+            Item::Label(_) => {}
+            Item::Inst { mnemonic, operands } => {
+                encode_inst(mnemonic, operands, insts.len(), &labels, &mut insts, *line)?;
+            }
+            Item::Directive { name, args } => match name.as_str() {
+                "quad" => {
+                    for a in args {
+                        let v = parse_int(a).or_else(|| labels.get(a.as_str()).map(|&x| x as i64));
+                        let v = v.ok_or_else(|| AsmError {
+                            line: *line,
+                            msg: format!("bad .quad value `{a}`"),
+                        })?;
+                        data.extend_from_slice(&(v as u64).to_le_bytes());
+                    }
+                    if args.is_empty() {
+                        data.extend_from_slice(&0u64.to_le_bytes());
+                    }
+                }
+                "byte" => {
+                    for a in args {
+                        let v = parse_int(a).ok_or_else(|| AsmError {
+                            line: *line,
+                            msg: format!("bad .byte value `{a}`"),
+                        })?;
+                        data.push(v as u8);
+                    }
+                    if args.is_empty() {
+                        data.push(0);
+                    }
+                }
+                "space" => {
+                    let n = args.first().and_then(|a| parse_int(a)).unwrap_or(0);
+                    data.resize(data.len() + n as usize, 0);
+                }
+                "align" => {
+                    let n = args.first().and_then(|a| parse_int(a)).unwrap_or(1) as usize;
+                    let new_len = data.len().div_ceil(n) * n;
+                    data.resize(new_len, 0);
+                }
+                _ => unreachable!("validated in pass 1"),
+            },
+        }
+    }
+    debug_assert_eq!(insts.len() as u64, text_words, "pass 1/2 size mismatch");
+
+    let entry = labels
+        .get("_start")
+        .or_else(|| labels.get("main"))
+        .copied()
+        .ok_or_else(|| AsmError { line: 0, msg: "no `main` or `_start` label".into() })?;
+
+    let heap_base = (DATA_BASE + data.len() as u64).div_ceil(4096) * 4096;
+    Ok(Program {
+        text: insts.iter().map(encode).collect(),
+        data,
+        entry,
+        heap_base,
+        functions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_minimal_program() {
+        let p = assemble("main:\n halt\n").unwrap();
+        assert_eq!(p.text.len(), 1);
+        assert_eq!(p.entry, TEXT_BASE);
+        assert_eq!(p.functions.len(), 1);
+    }
+
+    #[test]
+    fn start_label_preferred_over_main() {
+        let p = assemble("main:\n halt\n_start:\n halt\n").unwrap();
+        assert_eq!(p.entry, TEXT_BASE + 4);
+    }
+
+    #[test]
+    fn memory_and_alu_forms() {
+        let p = assemble(
+            "main:
+                ldq $t0, 8($sp)
+                stq $t0, -8($fp)
+                addq $t0, 1, $t1
+                subq $t0, $t1, $t2
+                halt",
+        )
+        .unwrap();
+        assert_eq!(p.text.len(), 5);
+        assert_eq!(
+            svf_isa::decode(p.text[0]).unwrap(),
+            Inst::Mem { op: MemOp::Ldq, ra: Reg::T0, rb: Reg::SP, disp: 8 }
+        );
+        assert_eq!(
+            svf_isa::decode(p.text[2]).unwrap(),
+            Inst::Op { op: AluOp::Addq, ra: Reg::T0, rb: Operand::Lit(1), rc: Reg::T1 }
+        );
+    }
+
+    #[test]
+    fn branch_resolution_forwards_and_backwards() {
+        let p = assemble(
+            "main:
+            .loop:
+                addq $t0, 1, $t0
+                bne $t0, .loop
+                beq $t0, .done
+                nop
+            .done:
+                halt",
+        )
+        .unwrap();
+        match svf_isa::decode(p.text[1]).unwrap() {
+            Inst::CondBr { op: CondOp::Bne, disp, .. } => assert_eq!(disp, -2),
+            other => panic!("{other:?}"),
+        }
+        match svf_isa::decode(p.text[2]).unwrap() {
+            Inst::CondBr { op: CondOp::Beq, disp, .. } => assert_eq!(disp, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_and_labels_as_functions() {
+        let p = assemble(
+            "main:
+                call helper
+                halt
+            helper:
+            .L1:
+                ret",
+        )
+        .unwrap();
+        assert_eq!(p.functions.len(), 2, "dot labels are not functions");
+        match svf_isa::decode(p.text[0]).unwrap() {
+            Inst::Br { op: BrOp::Bsr, ra, disp } => {
+                assert_eq!(ra, Reg::RA);
+                assert_eq!(disp, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_directives_and_la() {
+        let p = assemble(
+            "main:
+                la $t0, table
+                ldq $t1, 8($t0)
+                halt
+            .data
+            pad: .byte 1, 2, 3
+                .align 8
+            table: .quad 10, 0x20, -1
+            buf: .space 16",
+        )
+        .unwrap();
+        assert_eq!(p.data.len(), 8 + 24 + 16);
+        assert_eq!(&p.data[8..16], &10u64.to_le_bytes());
+        assert_eq!(&p.data[16..24], &0x20u64.to_le_bytes());
+        assert_eq!(&p.data[24..32], &u64::MAX.to_le_bytes());
+        assert!(p.heap_base >= DATA_BASE + p.data.len() as u64);
+        assert_eq!(p.heap_base % 4096, 0);
+    }
+
+    #[test]
+    fn quad_of_label() {
+        let p = assemble(
+            "main: halt
+             .data
+             tbl: .quad main",
+        )
+        .unwrap();
+        assert_eq!(&p.data[0..8], &TEXT_BASE.to_le_bytes());
+    }
+
+    #[test]
+    fn li_sizes_match_between_passes() {
+        // A mix of li widths before a branch checks pass-1 sizing: the branch
+        // displacement is only correct if sizes agree.
+        let p = assemble(
+            "main:
+                li $t0, 5
+                li $t1, 0x12345
+                li $t2, 0x123456789
+                beq $zero, .done
+                nop
+            .done:
+                halt",
+        )
+        .unwrap();
+        let done_idx = p.text.len() - 1;
+        // Find the beq and check it targets the halt.
+        let beq_idx = p
+            .text
+            .iter()
+            .position(|&w| matches!(svf_isa::decode(w), Ok(Inst::CondBr { .. })))
+            .unwrap();
+        match svf_isa::decode(p.text[beq_idx]).unwrap() {
+            Inst::CondBr { disp, .. } => {
+                assert_eq!(beq_idx as i64 + 1 + i64::from(disp), done_idx as i64);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("main:\n bogus $t0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+
+        let e = assemble("main:\n beq $t0, nowhere\n").unwrap_err();
+        assert!(e.msg.contains("undefined label"));
+
+        let e = assemble("main:\n addq $t0, 300, $t0\n").unwrap_err();
+        assert!(e.msg.contains("out of 0..=255"));
+
+        let e = assemble("main:\nmain:\n halt\n").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+
+        let e = assemble(" halt\n").unwrap_err();
+        assert!(e.msg.contains("no `main`"));
+
+        let e = assemble(".data\n ldq $t0, 0($sp)\nmain: halt\n").unwrap_err();
+        assert!(e.msg.contains("outside .text"));
+    }
+
+    #[test]
+    fn label_then_inst_same_line() {
+        let p = assemble("main: halt").unwrap();
+        assert_eq!(p.text.len(), 1);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let p = assemble(
+            "; leading comment
+             main: halt ; trailing
+             # hash comment
+             // slash comment",
+        )
+        .unwrap();
+        assert_eq!(p.text.len(), 1);
+    }
+
+    #[test]
+    fn char_literals() {
+        let p = assemble("main:\n li $a0, 'A'\n putchar\n halt").unwrap();
+        match svf_isa::decode(p.text[0]).unwrap() {
+            Inst::Lda { disp, .. } => assert_eq!(disp, 65),
+            other => panic!("{other:?}"),
+        }
+    }
+}

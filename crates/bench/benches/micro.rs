@@ -1,0 +1,105 @@
+//! Microbenchmarks of the substrate: SVF structure operations, cache
+//! probes, functional emulation speed, pipeline simulation speed, and
+//! compiler latency.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use svf::{StackValueFile, SvfConfig};
+use svf_bench::{compile, simulate};
+use svf_cpu::CpuConfig;
+use svf_emu::Emulator;
+use svf_isa::STACK_BASE;
+use svf_mem::{Cache, CacheConfig, StackCache, StackCacheConfig};
+
+/// SVF steady-state call/return cycle: adjust + store + load per frame word.
+fn svf_ops(c: &mut Criterion) {
+    c.bench_function("svf/call-return-frame64B", |b| {
+        let mut svf = StackValueFile::new(SvfConfig::kb8(), STACK_BASE);
+        let mut sp = STACK_BASE;
+        b.iter(|| {
+            let new = sp - 64;
+            svf.on_sp_update(sp, new);
+            for i in 0..8 {
+                svf.store(new + 8 * i, 8);
+                black_box(svf.load(new + 8 * i, 8));
+            }
+            svf.on_sp_update(new, sp);
+            sp = black_box(sp);
+        });
+    });
+    c.bench_function("svf/window-slide-spill", |b| {
+        let mut svf = StackValueFile::new(SvfConfig::kb8(), STACK_BASE);
+        let sp = STACK_BASE;
+        // Pre-dirty the window, then slide past capacity repeatedly.
+        b.iter(|| {
+            let deep = sp - 16 * 1024;
+            svf.on_sp_update(sp, deep);
+            for i in 0..64 {
+                svf.store(deep + 8 * i, 8);
+            }
+            svf.on_sp_update(deep, sp);
+            black_box(svf.stats().traffic.qw_out)
+        });
+    });
+}
+
+/// Cache and stack-cache probe throughput.
+fn cache_ops(c: &mut Criterion) {
+    c.bench_function("cache/dl1-probe-hit", |b| {
+        let mut dl1 = Cache::new(CacheConfig::dl1_64k());
+        dl1.access(0x1000, false);
+        b.iter(|| black_box(dl1.access(0x1000, false).hit));
+    });
+    c.bench_function("cache/dl1-probe-miss-stream", |b| {
+        let mut dl1 = Cache::new(CacheConfig::dl1_64k());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(4096);
+            black_box(dl1.access(addr, true).hit)
+        });
+    });
+    c.bench_function("cache/stack-cache-probe", |b| {
+        let mut sc = StackCache::new(StackCacheConfig::kb8());
+        let mut addr = STACK_BASE;
+        b.iter(|| {
+            addr = addr.wrapping_sub(8) | 0x3000_0000;
+            black_box(sc.access(addr, true))
+        });
+    });
+}
+
+/// Functional emulation and full pipeline simulation speed on one kernel.
+fn simulation_speed(c: &mut Criterion) {
+    let w = svf_workloads::workload("gap").expect("exists");
+    let program = compile(w);
+    let mut g = c.benchmark_group("speed");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.nresamples(1000);
+    g.bench_function("emulator/gap", |b| {
+        b.iter(|| {
+            let mut emu = Emulator::new(&program);
+            emu.run(u64::MAX).expect("runs");
+            black_box(emu.steps())
+        });
+    });
+    g.bench_function("pipeline-16wide/gap", |b| {
+        b.iter(|| black_box(simulate(&CpuConfig::wide16(), &program).cycles));
+    });
+    g.finish();
+}
+
+/// Compiler + assembler latency on the biggest kernel source.
+fn compiler_latency(c: &mut Criterion) {
+    let src = svf_workloads::workload("gcc").expect("exists").source(svf_bench::BENCH_SCALE);
+    c.bench_function("compile/gcc-kernel", |b| {
+        b.iter(|| black_box(svf_cc::compile_to_program(&src).expect("compiles").text.len()));
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().without_plots().nresamples(1000).sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = svf_ops, cache_ops, simulation_speed, compiler_latency
+}
+criterion_main!(micro);

@@ -1,0 +1,87 @@
+//! Table 3 / Table 4 traffic experiments and the Figure 1–3
+//! characterization passes, as benchmarks. Each bench also prints the
+//! numbers it reproduces so `cargo bench` output doubles as a report.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use svf_bench::{bench_kernels, compile};
+use svf_experiments::characterize::characterize_program;
+use svf_experiments::traffic::traffic_run;
+
+/// Table 3: stack cache vs SVF traffic at 2/4/8 KB.
+fn table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    g.nresamples(1000);
+    for w in bench_kernels() {
+        let program = compile(w);
+        for kb in [2u64, 4, 8] {
+            let (row, _) = traffic_run(&program, kb << 10, None);
+            println!(
+                "[table3] {}@{}KB: stack$ in/out {}/{}  SVF in/out {}/{}",
+                w.name, kb, row.sc_in, row.sc_out, row.svf_in, row.svf_out
+            );
+            g.bench_function(format!("{}/{}KB", w.name, kb), |b| {
+                b.iter(|| traffic_run(&program, kb << 10, None).0);
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Table 4: context-switch flush traffic (shortened period so Test-scale
+/// kernels still switch several times).
+fn table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    g.nresamples(1000);
+    for w in bench_kernels() {
+        let program = compile(w);
+        let (_, sw) = traffic_run(&program, 8 << 10, Some(50_000));
+        println!(
+            "[table4] {}: {} switches, stack$ {:.0} B/switch, SVF {:.0} B/switch",
+            w.name, sw.switches, sw.sc_bytes_per_switch, sw.svf_bytes_per_switch
+        );
+        g.bench_function(w.name, |b| {
+            b.iter(|| traffic_run(&program, 8 << 10, Some(50_000)).1);
+        });
+    }
+    g.finish();
+}
+
+/// Figures 1–3: the functional characterization pass.
+fn characterization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1-3");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    g.nresamples(1000);
+    for w in bench_kernels() {
+        let program = compile(w);
+        let st = characterize_program(&program, u64::MAX);
+        println!(
+            "[fig1-3] {}: mem {:.1}%/inst, stack {:.1}%/ref, within-8KB {:.1}%, max depth {} B",
+            w.name,
+            100.0 * st.mem_frac(),
+            100.0 * st.stack_frac(),
+            100.0 * st.frac_within(8192),
+            st.max_depth_bytes
+        );
+        g.bench_function(w.name, |b| {
+            b.iter(|| characterize_program(&program, u64::MAX).mem_refs);
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().without_plots().nresamples(1000);
+    targets = table3, table4, characterization
+}
+criterion_main!(tables);

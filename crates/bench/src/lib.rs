@@ -1,0 +1,57 @@
+//! # svf-bench — Criterion benchmark harness
+//!
+//! Three bench suites regenerate the paper's evaluation as measured
+//! artifacts:
+//!
+//! * `benches/figures.rs` — one group per performance figure (5, 6, 7, 9):
+//!   each benchmark simulates a workload under one configuration and the
+//!   reported wall-times are proportional to simulated cycles, so the
+//!   Criterion report mirrors the paper's bar charts. The actual simulated
+//!   cycle counts are printed alongside.
+//! * `benches/tables.rs` — the traffic experiments (Tables 3 and 4) and the
+//!   characterization passes (Figures 1–3).
+//! * `benches/micro.rs` — microbenchmarks of the substrate itself: SVF
+//!   access/adjust throughput, cache probe throughput, emulator and
+//!   pipeline simulation speed, compile+assemble latency.
+//!
+//! Run with `cargo bench` (full) or e.g.
+//! `cargo bench --bench figures -- fig7` for one group.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use svf_cpu::{CpuConfig, SimStats, Simulator};
+use svf_isa::Program;
+use svf_workloads::{Scale, Workload};
+
+/// The scale used by benches: `Test` keeps a full `cargo bench` run in
+/// minutes while preserving every qualitative comparison.
+pub const BENCH_SCALE: Scale = Scale::Test;
+
+/// The subset of kernels used by the per-figure benches. Two kernels keep
+/// a full `cargo bench` run around fifteen minutes while spanning the two
+/// key behaviours (flat/shallow bzip2, call-heavy twolf); the experiment
+/// runners (`svf-experiments`) cover all twelve kernels.
+#[must_use]
+pub fn bench_kernels() -> Vec<&'static Workload> {
+    ["bzip2", "twolf"]
+        .iter()
+        .map(|n| svf_workloads::workload(n).expect("kernel exists"))
+        .collect()
+}
+
+/// Compiles a workload at the bench scale.
+///
+/// # Panics
+///
+/// Panics if the template fails to compile.
+#[must_use]
+pub fn compile(w: &Workload) -> Program {
+    w.compile(BENCH_SCALE).expect("workload compiles")
+}
+
+/// Runs a timing simulation to completion.
+#[must_use]
+pub fn simulate(cfg: &CpuConfig, program: &Program) -> SimStats {
+    Simulator::new(cfg.clone()).run(program, u64::MAX)
+}

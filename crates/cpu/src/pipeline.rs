@@ -1,0 +1,879 @@
+//! The out-of-order pipeline model.
+//!
+//! Functional-first, execution-driven: the emulator produces the committed
+//! instruction stream and this model replays it through fetch → decode/
+//! dispatch (with SVF morphing) → issue/execute → commit, charging cycles
+//! for structural hazards (widths, RUU/LSQ/IFQ occupancy, D-cache and
+//! SVF/stack-cache ports, FU counts), data dependencies (register, memory
+//! and SVF-slot producers), cache latencies and front-end stalls.
+
+use std::collections::{HashMap, VecDeque};
+
+use svf::StackValueFile;
+use svf_emu::{Emulator, Retired};
+use svf_isa::{AluOp, Inst, Program, Reg};
+use svf_mem::{Hierarchy, StackCache};
+
+use crate::config::{CpuConfig, StackEngine};
+use crate::predictor::Predictor;
+use crate::stats::SimStats;
+
+/// How an instruction executes (which resources and latency it needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecKind {
+    /// Single-cycle integer op, branch, or system op (ALU pool).
+    Alu,
+    /// Multiply (multiplier pool).
+    Mul,
+    /// Divide/remainder (multiplier pool, long latency).
+    Div,
+    /// Load through the data L1 (D-cache port).
+    LoadDl1,
+    /// Store through the data L1 (D-cache port).
+    StoreDl1,
+    /// Load serviced by the stack engine (SVF/stack-cache port).
+    LoadStack,
+    /// Store serviced by the stack engine (SVF/stack-cache port).
+    StoreStack,
+    /// Morphed SVF access in the ideal (infinite-port) engine: no port.
+    Free,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    ret: Retired,
+    kind: ExecKind,
+    /// Producer seqs this entry waits for (register + memory dependences).
+    deps: Vec<u64>,
+    /// Base latency once issued.
+    latency: u64,
+    /// If the youngest aliasing in-flight store should *forward* (register
+    /// or LSQ forwarding), its seq; issue waits for its data.
+    forward_from: Option<u64>,
+    issued: bool,
+    done_cycle: u64,
+    /// Occupies an LSQ slot.
+    in_lsq: bool,
+    /// Morphed SVF reference (fast path).
+    morphed: bool,
+}
+
+/// The cycle-level simulator. Construct with a [`CpuConfig`] and call
+/// [`Simulator::run`].
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: CpuConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given machine model.
+    #[must_use]
+    pub fn new(cfg: CpuConfig) -> Simulator {
+        Simulator { cfg }
+    }
+
+    /// Runs `program` for at most `max_insts` committed instructions and
+    /// returns the statistics. The functional emulator runs inside; the
+    /// returned `committed` count is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program faults functionally, or if the pipeline
+    /// deadlocks (which would be a simulator bug).
+    #[must_use]
+    pub fn run(&self, program: &Program, max_insts: u64) -> SimStats {
+        Pipeline::new(&self.cfg, program).run(max_insts)
+    }
+}
+
+struct Pipeline<'a> {
+    cfg: &'a CpuConfig,
+    emu: Emulator,
+    heap_base: u64,
+    hier: Hierarchy,
+    svf: Option<StackValueFile>,
+    no_squash: bool,
+    stack_cache: Option<StackCache>,
+    predictor: Predictor,
+    stats: SimStats,
+
+    now: u64,
+    next_seq: u64,
+    head_seq: u64,
+    ruu: VecDeque<Entry>,
+    lsq_count: usize,
+    ifq: VecDeque<(u64, Retired)>, // (seq, record)
+
+    /// Architectural register → seq of in-flight producer.
+    reg_producer: [u64; 32],
+    /// Youngest in-flight `$sp`-based store per quad-word address.
+    sp_store_qw: HashMap<u64, u64>,
+    /// Youngest in-flight non-`$sp` store per quad-word address.
+    other_store_qw: HashMap<u64, u64>,
+    /// store seq → morphed loads that issued early against it (§3.2).
+    squash_watch: HashMap<u64, Vec<u64>>,
+
+    /// Fetch may not run again before this cycle (mispredict/squash/I-miss).
+    fetch_resume_at: u64,
+    /// Fetch is waiting for this branch to resolve.
+    fetch_blocked_on: Option<u64>,
+    /// Decode is interlocked on this non-immediate `$sp` writer.
+    decode_block_on: Option<u64>,
+    /// Last I-cache line fetched.
+    last_fetch_line: u64,
+    /// Instruction stream exhausted (halt or budget).
+    stream_done: bool,
+    fetch_budget: u64,
+}
+
+const NO_PRODUCER: u64 = u64::MAX;
+
+impl<'a> Pipeline<'a> {
+    fn new(cfg: &'a CpuConfig, program: &Program) -> Pipeline<'a> {
+        let emu = Emulator::new(program);
+        let initial_sp = emu.reg(Reg::SP);
+        let (svf, no_squash) = match &cfg.stack_engine {
+            StackEngine::Svf { cfg: svf_cfg, no_squash } => {
+                (Some(StackValueFile::new(*svf_cfg, initial_sp)), *no_squash)
+            }
+            _ => (None, false),
+        };
+        let stack_cache = match &cfg.stack_engine {
+            StackEngine::StackCache(sc) => Some(StackCache::new(*sc)),
+            _ => None,
+        };
+        Pipeline {
+            cfg,
+            heap_base: emu.heap_base(),
+            emu,
+            hier: Hierarchy::new(cfg.hierarchy.clone()),
+            svf,
+            no_squash,
+            stack_cache,
+            predictor: Predictor::new(cfg.predictor),
+            stats: SimStats::default(),
+            now: 0,
+            next_seq: 0,
+            head_seq: 0,
+            ruu: VecDeque::with_capacity(cfg.ruu_size),
+            lsq_count: 0,
+            ifq: VecDeque::with_capacity(cfg.ifq_size),
+            reg_producer: [NO_PRODUCER; 32],
+            sp_store_qw: HashMap::new(),
+            other_store_qw: HashMap::new(),
+            squash_watch: HashMap::new(),
+            fetch_resume_at: 0,
+            fetch_blocked_on: None,
+            decode_block_on: None,
+            last_fetch_line: u64::MAX,
+            stream_done: false,
+            fetch_budget: 0,
+        }
+    }
+
+    fn run(mut self, max_insts: u64) -> SimStats {
+        self.fetch_budget = max_insts;
+        let mut last_commit_cycle = 0u64;
+        loop {
+            self.now += 1;
+            let committed_before = self.stats.committed;
+            self.commit();
+            self.issue();
+            self.dispatch();
+            self.fetch();
+            let occ = self.ruu.len() as u64;
+            self.stats.ruu_occupancy_sum += occ;
+            self.stats.ruu_occupancy_max = self.stats.ruu_occupancy_max.max(occ);
+            self.stats.lsq_occupancy_sum += self.lsq_count as u64;
+            if self.stats.committed != committed_before {
+                last_commit_cycle = self.now;
+            }
+            if self.stream_done && self.ruu.is_empty() && self.ifq.is_empty() {
+                break;
+            }
+            assert!(
+                self.now - last_commit_cycle < 200_000,
+                "pipeline deadlock at cycle {} (head: {:?})",
+                self.now,
+                self.ruu.front().map(|e| (e.ret.pc, e.kind, e.issued, e.done_cycle, &e.deps))
+            );
+        }
+        self.stats.cycles = self.now;
+        self.stats.dl1 = self.hier.dl1().stats();
+        self.stats.il1 = self.hier.il1().stats();
+        self.stats.l2 = self.hier.l2().stats();
+        self.stats.svf = self.svf.as_ref().map(|s| s.stats());
+        self.stats.stack_cache = self.stack_cache.as_ref().map(|s| s.stats());
+        self.stats
+    }
+
+    // ---- commit ----
+
+    fn commit(&mut self) {
+        let mut n = 0;
+        while n < self.cfg.width {
+            let Some(front) = self.ruu.front() else { break };
+            if !front.issued || front.done_cycle > self.now {
+                break;
+            }
+            let e = self.ruu.pop_front().expect("checked above");
+            if e.in_lsq {
+                self.lsq_count -= 1;
+                if let Some(m) = e.ret.mem {
+                    // Retire alias-map entries that still point at us.
+                    if m.is_store {
+                        let qw = m.addr / 8;
+                        let map = if m.base.is_sp() {
+                            &mut self.sp_store_qw
+                        } else {
+                            &mut self.other_store_qw
+                        };
+                        if map.get(&qw) == Some(&self.head_seq) {
+                            map.remove(&qw);
+                        }
+                    }
+                }
+            }
+            self.squash_watch.remove(&self.head_seq);
+            // Clear the register producer table where we were the producer.
+            if let Some(d) = e.ret.inst.dest() {
+                let slot = &mut self.reg_producer[d.number() as usize];
+                if *slot == self.head_seq {
+                    *slot = NO_PRODUCER;
+                }
+            }
+            self.stats.committed += 1;
+            if let Some(m) = e.ret.mem {
+                self.stats.mem_refs += 1;
+                if m.region(self.heap_base).is_stack() {
+                    self.stats.stack_refs += 1;
+                }
+            }
+            if e.ret.control.is_some() {
+                self.stats.branches += 1;
+            }
+            self.head_seq += 1;
+            n += 1;
+        }
+    }
+
+    // ---- issue / execute ----
+
+    fn entry_ready(&self, seq: u64) -> bool {
+        if seq < self.head_seq {
+            return true; // committed, thus complete
+        }
+        match self.ruu.get((seq - self.head_seq) as usize) {
+            Some(e) => e.issued && e.done_cycle <= self.now,
+            None => true, // not yet dispatched cannot happen for producers
+        }
+    }
+
+    fn issue(&mut self) {
+        let mut issue_slots = self.cfg.width;
+        let mut alu = self.cfg.int_alus;
+        let mut mult = self.cfg.int_mults;
+        let mut dl1_ports = self.cfg.dl1_ports;
+        let mut stack_ports = self.cfg.stack_ports;
+        let now = self.now;
+        let head = self.head_seq;
+
+        let mut squashes: Vec<u64> = Vec::new();
+        for idx in 0..self.ruu.len() {
+            if issue_slots == 0 {
+                break;
+            }
+            let seq = head + idx as u64;
+            // Check readiness with immutable borrows first.
+            {
+                let e = &self.ruu[idx];
+                if e.issued {
+                    continue;
+                }
+                let deps_ready = e.deps.iter().all(|&d| self.entry_ready(d))
+                    && e.forward_from.is_none_or(|d| self.entry_ready(d));
+                if !deps_ready {
+                    continue;
+                }
+                let have_resource = match e.kind {
+                    ExecKind::Alu => alu > 0,
+                    ExecKind::Mul | ExecKind::Div => mult > 0,
+                    ExecKind::LoadDl1 | ExecKind::StoreDl1 => dl1_ports > 0,
+                    ExecKind::LoadStack | ExecKind::StoreStack => stack_ports > 0,
+                    ExecKind::Free => true,
+                };
+                if !have_resource {
+                    continue;
+                }
+            }
+            // Consume resources and issue.
+            let kind = self.ruu[idx].kind;
+            match kind {
+                ExecKind::Alu => alu -= 1,
+                ExecKind::Mul | ExecKind::Div => mult -= 1,
+                ExecKind::LoadDl1 | ExecKind::StoreDl1 => dl1_ports -= 1,
+                ExecKind::LoadStack | ExecKind::StoreStack => stack_ports -= 1,
+                ExecKind::Free => {}
+            }
+            issue_slots -= 1;
+            let e = &mut self.ruu[idx];
+            e.issued = true;
+            e.done_cycle = now + e.latency;
+            let is_store = e.ret.mem.is_some_and(|m| m.is_store);
+            let morphed = e.morphed;
+            if is_store && !morphed {
+                // A non-sp store issuing late may reveal §3.2 collisions
+                // with morphed loads that already issued.
+                if let Some(victims) = self.squash_watch.remove(&seq) {
+                    for v in victims {
+                        if v >= head {
+                            let vidx = (v - head) as usize;
+                            if self.ruu.get(vidx).is_some_and(|l| l.issued) {
+                                squashes.push(v);
+                            }
+                        }
+                    }
+                }
+            }
+            // Resolve a fetch block waiting on this branch.
+            if self.fetch_blocked_on == Some(seq) {
+                self.fetch_blocked_on = None;
+                let resume = self.ruu[idx].done_cycle + self.cfg.redirect_penalty;
+                self.fetch_resume_at = self.fetch_resume_at.max(resume);
+            }
+        }
+        for _victim in squashes {
+            self.stats.svf_squashes += 1;
+            self.fetch_resume_at = self.fetch_resume_at.max(now + self.cfg.squash_penalty);
+        }
+    }
+
+    // ---- dispatch (decode + rename + stack-engine steering) ----
+
+    fn dispatch(&mut self) {
+        for _ in 0..self.cfg.width {
+            if self.ruu.len() >= self.cfg.ruu_size {
+                break;
+            }
+            // $sp interlock (§3.1): a non-immediate $sp writer blocks decode
+            // until it completes.
+            if let Some(block) = self.decode_block_on {
+                if self.entry_ready(block) {
+                    self.decode_block_on = None;
+                } else {
+                    self.stats.sp_interlock_stalls += 1;
+                    break;
+                }
+            }
+            let Some(&(seq, _)) = self.ifq.front() else { break };
+            let is_mem = self.ifq.front().expect("checked").1.mem.is_some();
+            if is_mem && self.lsq_count >= self.cfg.lsq_size {
+                break;
+            }
+            let (_, ret) = self.ifq.pop_front().expect("checked");
+            let entry = self.make_entry(seq, ret);
+            if entry.in_lsq {
+                self.lsq_count += 1;
+            }
+            // Rename: record ourselves as producer of our destination.
+            if let Some(d) = entry.ret.inst.dest() {
+                self.reg_producer[d.number() as usize] = seq;
+            }
+            if entry.ret.inst.writes_sp() && entry.ret.inst.sp_immediate_adjust().is_none() {
+                self.decode_block_on = Some(seq);
+            }
+            self.ruu.push_back(entry);
+        }
+    }
+
+    /// Builds the RUU entry: classifies the execution kind, steers memory
+    /// references to the right structure, computes latencies and collects
+    /// dependences.
+    #[allow(clippy::too_many_lines)]
+    fn make_entry(&mut self, seq: u64, ret: Retired) -> Entry {
+        // Speculative $sp tracking (§3.1): immediate adjustments update the
+        // stack engine in decode, in program order.
+        if let Some(sp) = ret.sp_update {
+            if let Some(svf) = self.svf.as_mut() {
+                svf.on_sp_update(sp.old_sp, sp.new_sp);
+            }
+        }
+
+        let mut morphed = false;
+        let mut forward_from = None;
+        let mut kind;
+        let mut latency;
+        let mut drop_sp_dep = false;
+
+        if let Some(m) = ret.mem {
+            let is_stack = m.region(self.heap_base).is_stack();
+            let qw = m.addr / 8;
+            enum Route {
+                Dl1,
+                Morph,
+                Reroute,
+                StackCache,
+                IdealMorph,
+            }
+            let route = match (&self.cfg.stack_engine, is_stack) {
+                (StackEngine::IdealSvf, true) => Route::IdealMorph,
+                (StackEngine::StackCache(_), true) => Route::StackCache,
+                (StackEngine::Svf { .. }, true) => {
+                    let svf = self.svf.as_ref().expect("svf engine");
+                    if !svf.in_range(m.addr) {
+                        self.stats.svf_out_of_window += 1;
+                        Route::Dl1
+                    } else if m.base.is_sp() {
+                        Route::Morph
+                    } else {
+                        Route::Reroute
+                    }
+                }
+                _ => Route::Dl1,
+            };
+
+            match route {
+                Route::Dl1 => {
+                    let lat = self.hier.data_access(m.addr, m.is_store);
+                    if m.is_store {
+                        kind = ExecKind::StoreDl1;
+                        latency = 1;
+                    } else {
+                        kind = ExecKind::LoadDl1;
+                        latency = lat;
+                        // LSQ forwarding from the youngest aliasing store.
+                        let dep = self.youngest_store(qw);
+                        if let Some(d) = dep {
+                            forward_from = Some(d);
+                            latency = self.cfg.store_forward_latency;
+                        }
+                    }
+                    if self.cfg.no_addr_calc_for_stack && m.base.is_sp() && is_stack {
+                        drop_sp_dep = true;
+                    }
+                }
+                Route::Morph => {
+                    morphed = true;
+                    drop_sp_dep = true; // early address resolution in decode
+                    let svf = self.svf.as_mut().expect("svf engine");
+                    if m.is_store {
+                        self.stats.svf_morphed_stores += 1;
+                        let acc = svf.store(m.addr, m.size).expect("in range");
+                        // Morphed stores are plain register writes in the
+                        // pipeline; the SVF array is updated at commit off
+                        // the critical path (§3.2: "the morphed references
+                        // are committed to the SVF"), so no read-port use.
+                        kind = ExecKind::Free;
+                        latency = 1 + if acc.filled { self.hier.data_access(m.addr, false) } else { 0 };
+                    } else {
+                        self.stats.svf_morphed_loads += 1;
+                        let acc = svf.load(m.addr, m.size).expect("in range");
+                        kind = ExecKind::LoadStack;
+                        latency = 1 + if acc.filled { self.hier.data_access(m.addr, false) } else { 0 };
+                        // Register-style forwarding from sp-based stores:
+                        // the value is read from the physical register file
+                        // through the RAT (§5.3.1), not through an SVF port.
+                        if let Some(d) = self.sp_store_qw.get(&qw).copied() {
+                            if d >= self.head_seq {
+                                forward_from = Some(d);
+                                kind = ExecKind::Free;
+                            }
+                        }
+                        // §3.2: an older non-sp store to the same address
+                        // that has not issued yet is a squash hazard.
+                        if let Some(d) = self.other_store_qw.get(&qw).copied() {
+                            if d >= self.head_seq {
+                                if self.no_squash {
+                                    forward_from = Some(forward_from.map_or(d, |f| f.max(d)));
+                                } else {
+                                    self.squash_watch.entry(d).or_default().push(seq);
+                                }
+                            }
+                        }
+                    }
+                }
+                Route::Reroute => {
+                    self.stats.svf_rerouted += 1;
+                    let svf = self.svf.as_mut().expect("svf engine");
+                    let penalty = 2; // address calc + late bounds check (§3)
+                    if m.is_store {
+                        let acc = svf.store(m.addr, m.size).expect("in range");
+                        kind = ExecKind::StoreStack;
+                        latency =
+                            1 + if acc.filled { self.hier.data_access(m.addr, false) } else { 0 };
+                    } else {
+                        let acc = svf.load(m.addr, m.size).expect("in range");
+                        kind = ExecKind::LoadStack;
+                        latency = penalty
+                            + if acc.filled { self.hier.data_access(m.addr, false) } else { 0 };
+                        if let Some(d) = self.youngest_store(qw) {
+                            forward_from = Some(d);
+                            latency = latency.max(self.cfg.store_forward_latency);
+                        }
+                    }
+                }
+                Route::StackCache => {
+                    self.stats.stack_cache_refs += 1;
+                    let sc = self.stack_cache.as_mut().expect("stack cache engine");
+                    let hit = sc.access(m.addr, m.is_store);
+                    let miss_extra =
+                        if hit { 0 } else { self.hier.l2_access(m.addr, m.is_store) };
+                    if m.is_store {
+                        kind = ExecKind::StoreStack;
+                        latency = 1 + miss_extra;
+                    } else {
+                        kind = ExecKind::LoadStack;
+                        latency = sc.hit_latency() + miss_extra;
+                        if let Some(d) = self.youngest_store(qw) {
+                            forward_from = Some(d);
+                            latency = latency.max(self.cfg.store_forward_latency);
+                        }
+                    }
+                }
+                Route::IdealMorph => {
+                    morphed = true;
+                    drop_sp_dep = m.base.is_sp();
+                    if m.is_store {
+                        self.stats.svf_morphed_stores += 1;
+                        kind = ExecKind::Free;
+                        latency = 1;
+                    } else {
+                        self.stats.svf_morphed_loads += 1;
+                        kind = ExecKind::Free;
+                        latency = 1;
+                        if let Some(d) = self.youngest_store(qw) {
+                            forward_from = Some(d);
+                        }
+                    }
+                }
+            }
+
+            // Record this store in the alias maps.
+            if m.is_store {
+                let map =
+                    if m.base.is_sp() { &mut self.sp_store_qw } else { &mut self.other_store_qw };
+                map.insert(qw, seq);
+            }
+        } else {
+            // Non-memory instruction.
+            kind = match ret.inst {
+                Inst::Op { op, .. } if op.is_mul_class() => {
+                    if op == AluOp::Mulq {
+                        ExecKind::Mul
+                    } else {
+                        ExecKind::Div
+                    }
+                }
+                _ => ExecKind::Alu,
+            };
+            latency = match kind {
+                ExecKind::Mul => self.cfg.mul_latency,
+                ExecKind::Div => self.cfg.div_latency,
+                _ => 1,
+            };
+        }
+
+        // Register dependences via the rename table.
+        let mut deps = Vec::with_capacity(2);
+        for src in ret.inst.srcs() {
+            if drop_sp_dep && src.is_sp() {
+                continue;
+            }
+            let p = self.reg_producer[src.number() as usize];
+            if p != NO_PRODUCER && p >= self.head_seq {
+                deps.push(p);
+            }
+        }
+
+        Entry {
+            ret,
+            kind,
+            deps,
+            latency,
+            forward_from,
+            issued: false,
+            done_cycle: u64::MAX,
+            in_lsq: ret.mem.is_some(),
+            morphed,
+        }
+    }
+
+    /// Youngest in-flight store (any base register) to the quad-word.
+    fn youngest_store(&self, qw: u64) -> Option<u64> {
+        let a = self.sp_store_qw.get(&qw).copied().filter(|&s| s >= self.head_seq);
+        let b = self.other_store_qw.get(&qw).copied().filter(|&s| s >= self.head_seq);
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x.max(y)),
+            (x, y) => x.or(y),
+        }
+    }
+
+    // ---- fetch ----
+
+    fn fetch(&mut self) {
+        if self.stream_done {
+            return;
+        }
+        if self.now < self.fetch_resume_at || self.fetch_blocked_on.is_some() {
+            self.stats.fetch_stall_cycles += 1;
+            return;
+        }
+        for _ in 0..self.cfg.width {
+            if self.ifq.len() >= self.cfg.ifq_size {
+                break;
+            }
+            if self.emu.is_halted() || self.stats_fetched() >= self.fetch_budget {
+                self.stream_done = true;
+                break;
+            }
+            let ret = match self.emu.step() {
+                Ok(r) => r,
+                Err(e) => panic!("functional fault during simulation: {e}"),
+            };
+            // I-cache: charge once per line.
+            let line = ret.pc / self.cfg.hierarchy.il1.line_bytes;
+            if line != self.last_fetch_line {
+                self.last_fetch_line = line;
+                let lat = self.hier.inst_fetch(ret.pc);
+                if lat > self.cfg.hierarchy.il1.hit_latency {
+                    self.fetch_resume_at = self.now + lat;
+                }
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let is_control = ret.control.is_some();
+            let taken = ret.control.is_some_and(|c| c.taken);
+            let correct = if is_control { self.predictor.predict_and_update(&ret) } else { true };
+            self.ifq.push_back((seq, ret));
+            if is_control && !correct {
+                self.stats.mispredicts += 1;
+                self.fetch_blocked_on = Some(seq);
+                break;
+            }
+            if taken || self.now < self.fetch_resume_at {
+                break; // fetch group ends at a taken branch or an I-miss
+            }
+        }
+    }
+
+    fn stats_fetched(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PredictorKind;
+
+    fn compile(src: &str) -> Program {
+        svf_cc::compile_to_program(src).expect("compiles")
+    }
+
+    /// Compiles without register promotion, for kernels that must keep
+    /// their scalars in the stack frame.
+    fn compile_naive(src: &str) -> Program {
+        svf_cc::compile_to_program_with(src, svf_cc::Options { regalloc: false, ..Default::default() })
+            .expect("compiles")
+    }
+
+    /// A loop-heavy kernel with plenty of stack traffic.
+    fn stack_kernel() -> Program {
+        compile_naive(
+            "
+            int work(int n) {
+                int a = n; int b = n * 2; int c = 0;
+                for (int i = 0; i < 50; i = i + 1) {
+                    c = c + a * b - i;
+                    a = a + 1;
+                    b = b - 1;
+                }
+                return c;
+            }
+            int main() {
+                int s = 0;
+                for (int i = 0; i < 40; i = i + 1) s = s + work(i);
+                print(s);
+                return 0;
+            }",
+        )
+    }
+
+    fn run_with(cfg: CpuConfig, p: &Program) -> SimStats {
+        Simulator::new(cfg).run(p, 10_000_000)
+    }
+
+    #[test]
+    fn baseline_completes_and_is_sane() {
+        let p = stack_kernel();
+        let s = run_with(CpuConfig::wide16(), &p);
+        assert!(s.committed > 10_000, "ran the whole program: {}", s.committed);
+        assert!(s.cycles > 0);
+        let ipc = s.ipc();
+        assert!(ipc > 0.3 && ipc <= 16.0, "IPC {ipc} out of plausible range");
+        assert!(s.mem_refs > 0);
+        assert!(s.stack_refs > 0);
+        assert!(s.stack_refs <= s.mem_refs);
+    }
+
+    #[test]
+    fn committed_matches_functional_execution() {
+        let p = stack_kernel();
+        let mut emu = Emulator::new(&p);
+        emu.run(u64::MAX).unwrap();
+        let s = run_with(CpuConfig::wide16(), &p);
+        assert_eq!(s.committed, emu.steps());
+    }
+
+    #[test]
+    fn svf_speeds_up_port_starved_machine() {
+        let p = stack_kernel();
+        let base = run_with(CpuConfig::wide16().with_ports(1, 0), &p);
+        let mut cfg = CpuConfig::wide16().with_ports(1, 1);
+        cfg.stack_engine = StackEngine::svf_8kb();
+        let svf = run_with(cfg, &p);
+        let speedup = svf.speedup_over(&base);
+        assert!(speedup > 1.05, "expected SVF speedup on (1+1) vs (1+0), got {speedup:.3}");
+        assert!(svf.svf_morphed_loads + svf.svf_morphed_stores > 0);
+    }
+
+    #[test]
+    fn ideal_svf_at_least_as_fast_as_real() {
+        let p = stack_kernel();
+        let mut real_cfg = CpuConfig::wide16().with_ports(2, 2);
+        real_cfg.stack_engine = StackEngine::svf_8kb();
+        let real = run_with(real_cfg, &p);
+        let mut ideal_cfg = CpuConfig::wide16().with_ports(2, 0);
+        ideal_cfg.stack_engine = StackEngine::IdealSvf;
+        let ideal = run_with(ideal_cfg, &p);
+        assert!(
+            ideal.cycles <= real.cycles + real.cycles / 20,
+            "ideal ({}) should not be materially slower than real ({})",
+            ideal.cycles,
+            real.cycles
+        );
+    }
+
+    #[test]
+    fn gshare_is_slower_than_perfect() {
+        let p = compile(
+            "
+            int seed = 12345;
+            int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 1; }
+            int main() {
+                int a = 0;
+                for (int i = 0; i < 3000; i = i + 1) {
+                    if (rnd()) a = a + 3;
+                    else a = a - 1;
+                }
+                print(a);
+                return 0;
+            }",
+        );
+        let perfect = run_with(CpuConfig::wide16(), &p);
+        let mut g = CpuConfig::wide16();
+        g.predictor = PredictorKind::Gshare { history_bits: 12 };
+        let gshare = run_with(g, &p);
+        assert_eq!(perfect.mispredicts, 0);
+        assert!(gshare.mispredicts > 100, "random branches mispredict: {}", gshare.mispredicts);
+        assert!(gshare.cycles > perfect.cycles);
+    }
+
+    #[test]
+    fn squashes_fire_on_pointer_store_then_sp_load() {
+        // Write through a pointer to a local, then read the local directly:
+        // the classic §3.2 collision. The stored value hangs off a multiply
+        // so the store issues late, after the morphed `$sp` load of the same
+        // address has already issued early — exactly the eon pattern.
+        let p = compile_naive(
+            "
+            int main() {
+                int x = 0;
+                int s = 0;
+                int* p = &x;
+                for (int i = 0; i < 500; i = i + 1) {
+                    *p = s * 7 + i;
+                    s = s + x;
+                }
+                print(s);
+                return 0;
+            }",
+        );
+        let mut cfg = CpuConfig::wide16().with_ports(2, 2);
+        cfg.stack_engine = StackEngine::svf_8kb();
+        let s = run_with(cfg.clone(), &p);
+        assert!(s.svf_squashes > 0, "expected squashes, got {}", s.svf_squashes);
+
+        let mut nsq = cfg;
+        nsq.stack_engine = StackEngine::Svf { cfg: svf::SvfConfig::kb8(), no_squash: true };
+        let s2 = run_with(nsq, &p);
+        assert_eq!(s2.svf_squashes, 0);
+        // In no_squash mode the collision becomes an ordinary forwarding
+        // dependence; on this adversarial kernel (every iteration collides)
+        // either policy can win, but they must be in the same ballpark.
+        assert!(
+            s2.cycles < 2 * s.cycles && s.cycles < 2 * s2.cycles,
+            "squash ({}) vs no_squash ({}) diverged",
+            s.cycles,
+            s2.cycles
+        );
+    }
+
+    #[test]
+    fn stack_cache_speeds_up_over_baseline_but_svf_wins() {
+        let p = stack_kernel();
+        let base = run_with(CpuConfig::wide16().with_ports(2, 0), &p);
+        let mut sc_cfg = CpuConfig::wide16().with_ports(2, 2);
+        sc_cfg.stack_engine = StackEngine::stack_cache_8kb();
+        let sc = run_with(sc_cfg, &p);
+        let mut svf_cfg = CpuConfig::wide16().with_ports(2, 2);
+        svf_cfg.stack_engine = StackEngine::svf_8kb();
+        let svf = run_with(svf_cfg, &p);
+        assert!(sc.cycles <= base.cycles, "stack cache >= baseline");
+        assert!(svf.cycles <= sc.cycles, "SVF >= stack cache");
+        assert!(sc.stack_cache_refs > 0);
+    }
+
+    #[test]
+    fn svf_removes_stack_refs_from_dl1() {
+        let p = stack_kernel();
+        let base = run_with(CpuConfig::wide16(), &p);
+        let mut cfg = CpuConfig::wide16().with_ports(2, 2);
+        cfg.stack_engine = StackEngine::svf_8kb();
+        let svf = run_with(cfg, &p);
+        assert!(
+            svf.dl1.accesses < base.dl1.accesses / 2,
+            "SVF should drain most DL1 accesses: {} vs {}",
+            svf.dl1.accesses,
+            base.dl1.accesses
+        );
+    }
+
+    #[test]
+    fn morph_fraction_is_high() {
+        let p = stack_kernel();
+        let mut cfg = CpuConfig::wide16().with_ports(2, 2);
+        cfg.stack_engine = StackEngine::svf_8kb();
+        let s = run_with(cfg, &p);
+        assert!(
+            s.morph_fraction() > 0.5,
+            "most stack refs morph in the front end: {}",
+            s.morph_fraction()
+        );
+    }
+
+    #[test]
+    fn wider_machines_are_not_slower() {
+        let p = stack_kernel();
+        let w4 = run_with(CpuConfig::wide4(), &p);
+        let w16 = run_with(CpuConfig::wide16(), &p);
+        assert!(w16.cycles <= w4.cycles);
+    }
+
+    #[test]
+    fn instruction_budget_is_respected() {
+        let p = stack_kernel();
+        let s = Simulator::new(CpuConfig::wide16()).run(&p, 1000);
+        assert!(s.committed <= 1000 + 64, "budget plus at most one IFQ of slack");
+    }
+}

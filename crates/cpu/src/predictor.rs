@@ -1,0 +1,213 @@
+//! Branch predictors.
+
+use std::collections::HashMap;
+
+use svf_emu::Retired;
+use svf_isa::Inst;
+
+use crate::config::PredictorKind;
+
+/// A branch predictor consulted at fetch. Because the simulator is
+/// functional-first, the predictor is asked to *predict and immediately
+/// learn* each committed branch; the return value says whether fetch can
+/// continue down the (correct) path or must stall until the branch resolves.
+#[derive(Debug)]
+pub enum Predictor {
+    /// Never mispredicts.
+    Perfect,
+    /// Gshare direction predictor + BTB + return-address stack.
+    Gshare(Gshare),
+}
+
+impl Predictor {
+    /// Builds a predictor from the configuration.
+    #[must_use]
+    pub fn new(kind: PredictorKind) -> Predictor {
+        match kind {
+            PredictorKind::Perfect => Predictor::Perfect,
+            PredictorKind::Gshare { history_bits } => Predictor::Gshare(Gshare::new(history_bits)),
+        }
+    }
+
+    /// Predicts the committed control-flow instruction `r`, updates
+    /// predictor state with the actual outcome, and returns `true` when the
+    /// prediction was correct.
+    pub fn predict_and_update(&mut self, r: &Retired) -> bool {
+        match self {
+            Predictor::Perfect => true,
+            Predictor::Gshare(g) => g.predict_and_update(r),
+        }
+    }
+}
+
+/// Gshare with 2-bit saturating counters, a direct-mapped BTB for indirect
+/// jumps, and a return-address stack for `ret`.
+#[derive(Debug)]
+pub struct Gshare {
+    table: Vec<u8>,
+    mask: u64,
+    history: u64,
+    btb: HashMap<u64, u64>,
+    ras: Vec<u64>,
+    ras_cap: usize,
+}
+
+impl Gshare {
+    /// Builds a gshare predictor with a `2^history_bits`-entry pattern
+    /// history table.
+    #[must_use]
+    pub fn new(history_bits: u32) -> Gshare {
+        let n = 1usize << history_bits;
+        Gshare {
+            table: vec![2; n], // weakly taken
+            mask: (n as u64) - 1,
+            history: 0,
+            btb: HashMap::new(),
+            ras: Vec::new(),
+            ras_cap: 32,
+        }
+    }
+
+    fn predict_and_update(&mut self, r: &Retired) -> bool {
+        let Some(ctl) = r.control else { return true };
+        match r.inst {
+            Inst::CondBr { .. } => {
+                let idx = (((r.pc >> 2) ^ self.history) & self.mask) as usize;
+                let predicted_taken = self.table[idx] >= 2;
+                let taken = ctl.taken;
+                // 2-bit saturating update.
+                if taken {
+                    self.table[idx] = (self.table[idx] + 1).min(3);
+                } else {
+                    self.table[idx] = self.table[idx].saturating_sub(1);
+                }
+                self.history = ((self.history << 1) | u64::from(taken)) & self.mask;
+                predicted_taken == taken
+            }
+            Inst::Br { .. } => {
+                // Direct unconditional: target known at decode.
+                if r.inst.is_call() {
+                    self.push_ras(r.pc + 4);
+                }
+                true
+            }
+            Inst::Jmp { .. } if r.inst.is_ret() => {
+                let predicted = self.ras.pop();
+                predicted == Some(ctl.target)
+            }
+            Inst::Jmp { .. } => {
+                let predicted = self.btb.get(&r.pc).copied();
+                self.btb.insert(r.pc, ctl.target);
+                if r.inst.is_call() {
+                    self.push_ras(r.pc + 4);
+                }
+                predicted == Some(ctl.target)
+            }
+            _ => true,
+        }
+    }
+
+    fn push_ras(&mut self, ret_addr: u64) {
+        if self.ras.len() == self.ras_cap {
+            self.ras.remove(0);
+        }
+        self.ras.push(ret_addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svf_emu::ControlFlow;
+    use svf_isa::{BrOp, CondOp, JmpKind, Reg};
+
+    fn cond_branch(pc: u64, taken: bool) -> Retired {
+        Retired {
+            pc,
+            inst: Inst::CondBr { op: CondOp::Bne, ra: Reg::T0, disp: 4 },
+            next_pc: if taken { pc + 20 } else { pc + 4 },
+            mem: None,
+            control: Some(ControlFlow { taken, target: if taken { pc + 20 } else { pc + 4 } }),
+            sp_update: None,
+            sp_before: 0,
+        }
+    }
+
+    #[test]
+    fn perfect_never_mispredicts() {
+        let mut p = Predictor::new(PredictorKind::Perfect);
+        for i in 0..100 {
+            assert!(p.predict_and_update(&cond_branch(0x1000, i % 3 == 0)));
+        }
+    }
+
+    #[test]
+    fn gshare_learns_a_bias() {
+        let mut p = Predictor::new(PredictorKind::Gshare { history_bits: 12 });
+        let mut wrong = 0;
+        for _ in 0..100 {
+            if !p.predict_and_update(&cond_branch(0x1000, true)) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong <= 1, "always-taken branch should be learned, got {wrong} wrong");
+    }
+
+    #[test]
+    fn gshare_struggles_with_random_pattern() {
+        let mut p = Predictor::new(PredictorKind::Gshare { history_bits: 4 });
+        // A pseudo-random pattern long enough to defeat a 4-bit history.
+        let mut x = 0x12345u64;
+        let mut wrong = 0;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if !p.predict_and_update(&cond_branch(0x1000, (x >> 40) & 1 == 1)) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong > 200, "random branches must mispredict often, got {wrong}");
+    }
+
+    #[test]
+    fn ras_predicts_matched_calls() {
+        let mut g = Gshare::new(8);
+        let call = Retired {
+            pc: 0x1000,
+            inst: Inst::Br { op: BrOp::Bsr, ra: Reg::RA, disp: 100 },
+            next_pc: 0x1194,
+            mem: None,
+            control: Some(ControlFlow { taken: true, target: 0x1194 }),
+            sp_update: None,
+            sp_before: 0,
+        };
+        assert!(g.predict_and_update(&call));
+        let ret = Retired {
+            pc: 0x1200,
+            inst: Inst::Jmp { kind: JmpKind::Ret, ra: Reg::ZERO, rb: Reg::RA },
+            next_pc: 0x1004,
+            mem: None,
+            control: Some(ControlFlow { taken: true, target: 0x1004 }),
+            sp_update: None,
+            sp_before: 0,
+        };
+        assert!(g.predict_and_update(&ret), "RAS should predict the return");
+        // A second return with an empty RAS mispredicts.
+        assert!(!g.predict_and_update(&ret));
+    }
+
+    #[test]
+    fn btb_learns_indirect_targets() {
+        let mut g = Gshare::new(8);
+        let jmp = Retired {
+            pc: 0x2000,
+            inst: Inst::Jmp { kind: JmpKind::Jmp, ra: Reg::ZERO, rb: Reg::T0 },
+            next_pc: 0x3000,
+            mem: None,
+            control: Some(ControlFlow { taken: true, target: 0x3000 }),
+            sp_update: None,
+            sp_before: 0,
+        };
+        assert!(!g.predict_and_update(&jmp), "cold BTB misses");
+        assert!(g.predict_and_update(&jmp), "warm BTB hits");
+    }
+}

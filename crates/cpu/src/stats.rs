@@ -1,0 +1,151 @@
+//! Simulation statistics.
+
+use svf::SvfStats;
+use svf_mem::TrafficStats;
+
+/// Everything a simulation run reports. Produced by
+/// [`Simulator::run`](crate::Simulator::run).
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Committed memory references.
+    pub mem_refs: u64,
+    /// Committed memory references to the stack region.
+    pub stack_refs: u64,
+    /// Committed control-flow instructions.
+    pub branches: u64,
+    /// Mispredicted control-flow instructions.
+    pub mispredicts: u64,
+    /// `$sp`-relative references morphed into register-move loads.
+    pub svf_morphed_loads: u64,
+    /// `$sp`-relative references morphed into register-move stores.
+    pub svf_morphed_stores: u64,
+    /// Non-`$sp` stack references re-routed into the SVF after their
+    /// bounds check (paper Figure 8's slow path).
+    pub svf_rerouted: u64,
+    /// Stack references that fell outside the SVF window and went to the
+    /// data cache instead.
+    pub svf_out_of_window: u64,
+    /// gpr-store→sp-load collision squashes (§3.2).
+    pub svf_squashes: u64,
+    /// References serviced by the decoupled stack cache.
+    pub stack_cache_refs: u64,
+    /// Cycles fetch spent stalled (mispredicts, I-cache misses, squashes).
+    pub fetch_stall_cycles: u64,
+    /// Cycles decode spent stalled on the `$sp` interlock (§3.1).
+    pub sp_interlock_stalls: u64,
+    /// Sum over cycles of RUU occupancy (divide by `cycles` for the mean).
+    pub ruu_occupancy_sum: u64,
+    /// Peak RUU occupancy observed.
+    pub ruu_occupancy_max: u64,
+    /// Sum over cycles of LSQ occupancy.
+    pub lsq_occupancy_sum: u64,
+    /// Data-L1 statistics.
+    pub dl1: TrafficStats,
+    /// Instruction-L1 statistics.
+    pub il1: TrafficStats,
+    /// Unified-L2 statistics.
+    pub l2: TrafficStats,
+    /// SVF statistics, when an SVF engine was configured.
+    pub svf: Option<SvfStats>,
+    /// Stack-cache statistics, when a stack-cache engine was configured.
+    pub stack_cache: Option<TrafficStats>,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of this run relative to a baseline run of the same program
+    /// (ratio of baseline cycles to ours).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two runs committed different instruction counts, which
+    /// would make the comparison meaningless.
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
+        assert_eq!(
+            self.committed, baseline.committed,
+            "speedup comparison requires identical committed instruction counts"
+        );
+        baseline.cycles as f64 / self.cycles as f64
+    }
+
+    /// Mean RUU occupancy over the run.
+    #[must_use]
+    pub fn avg_ruu_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ruu_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean LSQ occupancy over the run.
+    #[must_use]
+    pub fn avg_lsq_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.lsq_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of stack references the SVF front end morphed (Figure 8's
+    /// fast path), in [0, 1].
+    #[must_use]
+    pub fn morph_fraction(&self) -> f64 {
+        let morphed = self.svf_morphed_loads + self.svf_morphed_stores;
+        let total = morphed + self.svf_rerouted + self.svf_out_of_window;
+        if total == 0 {
+            0.0
+        } else {
+            morphed as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_speedup() {
+        let a = SimStats { cycles: 1000, committed: 2000, ..SimStats::default() };
+        let b = SimStats { cycles: 500, committed: 2000, ..SimStats::default() };
+        assert!((a.ipc() - 2.0).abs() < 1e-12);
+        assert!((b.speedup_over(&a) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical committed")]
+    fn speedup_requires_same_work() {
+        let a = SimStats { cycles: 10, committed: 10, ..SimStats::default() };
+        let b = SimStats { cycles: 10, committed: 20, ..SimStats::default() };
+        let _ = b.speedup_over(&a);
+    }
+
+    #[test]
+    fn morph_fraction() {
+        let s = SimStats {
+            svf_morphed_loads: 60,
+            svf_morphed_stores: 26,
+            svf_rerouted: 10,
+            svf_out_of_window: 4,
+            ..SimStats::default()
+        };
+        assert!((s.morph_fraction() - 0.86).abs() < 1e-12);
+        assert_eq!(SimStats::default().morph_fraction(), 0.0);
+    }
+}

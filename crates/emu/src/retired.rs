@@ -1,0 +1,132 @@
+//! The committed-instruction record — the contract between the functional
+//! emulator and every downstream consumer (timing model, classifiers,
+//! traffic simulators).
+
+use svf_isa::{Inst, MemRegion, Reg};
+
+/// How a memory reference addressed the stack — the paper's Figure 1
+/// categories. References outside the stack region are [`AccessMethod::Gpr`]
+/// by construction but are normally bucketed by region instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMethod {
+    /// `$sp`-relative addressing (`disp($sp)`) — morphable by the SVF front
+    /// end.
+    Sp,
+    /// `$fp`-relative addressing.
+    Fp,
+    /// Through any other general-purpose register.
+    Gpr,
+}
+
+impl AccessMethod {
+    /// Classifies by base register.
+    #[must_use]
+    pub fn from_base(base: Reg) -> AccessMethod {
+        if base.is_sp() {
+            AccessMethod::Sp
+        } else if base.is_fp() {
+            AccessMethod::Fp
+        } else {
+            AccessMethod::Gpr
+        }
+    }
+}
+
+/// A committed memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Effective byte address.
+    pub addr: u64,
+    /// Access size in bytes (1, 4 or 8).
+    pub size: u8,
+    /// Store (true) or load (false).
+    pub is_store: bool,
+    /// The base register used for addressing.
+    pub base: Reg,
+}
+
+impl MemAccess {
+    /// The addressing method (Figure 1 categories).
+    #[must_use]
+    pub fn method(&self) -> AccessMethod {
+        AccessMethod::from_base(self.base)
+    }
+
+    /// The memory region, given the program's heap base.
+    #[must_use]
+    pub fn region(&self, heap_base: u64) -> MemRegion {
+        MemRegion::classify(self.addr, heap_base)
+    }
+}
+
+/// Control-flow outcome of a committed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlFlow {
+    /// Whether the branch redirected the PC.
+    pub taken: bool,
+    /// The target if taken (equals fall-through for not-taken).
+    pub target: u64,
+}
+
+/// A committed stack-pointer update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpUpdate {
+    /// `$sp` before the instruction.
+    pub old_sp: u64,
+    /// `$sp` after the instruction.
+    pub new_sp: u64,
+    /// Whether the update was an immediate adjustment (`lda $sp, imm($sp)`),
+    /// the only form the SVF decode stage tracks speculatively.
+    pub immediate: bool,
+}
+
+/// One committed dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Retired {
+    /// Address of the instruction.
+    pub pc: u64,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Address of the next committed instruction.
+    pub next_pc: u64,
+    /// Memory access performed, if any.
+    pub mem: Option<MemAccess>,
+    /// Control-flow outcome, if the instruction is a branch/jump.
+    pub control: Option<ControlFlow>,
+    /// Stack-pointer change, if the instruction wrote `$sp`.
+    pub sp_update: Option<SpUpdate>,
+    /// Value of `$sp` *before* this instruction executed (used by the SVF
+    /// pipeline model for early address resolution).
+    pub sp_before: u64,
+}
+
+impl Retired {
+    /// Whether this retired instruction referenced the stack region.
+    #[must_use]
+    pub fn is_stack_ref(&self, heap_base: u64) -> bool {
+        self.mem.is_some_and(|m| m.region(heap_base).is_stack())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svf_isa::STACK_BASE;
+
+    #[test]
+    fn method_classification() {
+        assert_eq!(AccessMethod::from_base(Reg::SP), AccessMethod::Sp);
+        assert_eq!(AccessMethod::from_base(Reg::FP), AccessMethod::Fp);
+        assert_eq!(AccessMethod::from_base(Reg::T3), AccessMethod::Gpr);
+        assert_eq!(AccessMethod::from_base(Reg::ZERO), AccessMethod::Gpr);
+    }
+
+    #[test]
+    fn region_via_access() {
+        let heap_base = svf_isa::DATA_BASE + 0x1000;
+        let acc = MemAccess { addr: STACK_BASE - 16, size: 8, is_store: false, base: Reg::SP };
+        assert!(acc.region(heap_base).is_stack());
+        let heap = MemAccess { addr: heap_base + 64, size: 8, is_store: true, base: Reg::T0 };
+        assert_eq!(heap.region(heap_base), MemRegion::Heap);
+    }
+}

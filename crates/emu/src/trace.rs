@@ -1,0 +1,333 @@
+//! Compact binary traces of committed instructions.
+//!
+//! A [`TraceWriter`] serializes [`Retired`] records into a small
+//! variable-length format (~4–12 bytes per instruction for typical code),
+//! and a [`TraceReader`] replays them. Traces let expensive functional runs
+//! be captured once and re-analyzed (characterization, traffic simulation)
+//! without re-executing, and serve as an interchange format with other
+//! tools.
+//!
+//! Format: a fixed 16-byte header (`magic`, version, entry PC, heap base)
+//! followed by one variable-length record per instruction:
+//!
+//! ```text
+//! flags: u8      bit0 mem, bit1 control, bit2 sp_update, bit3 taken,
+//!                bit4 store, bit5 sp-immediate
+//! pc:    varint  delta-encoded against prev_pc + 4 (zigzag)
+//! word:  u32     raw instruction encoding
+//! [addr: varint  delta vs sp_before (zigzag), size: u8]        if mem
+//! [target: varint delta vs pc + 4 (zigzag)]                    if control
+//! [new_sp: varint delta vs old_sp (zigzag)]                    if sp_update
+//! sp_before: varint delta vs prev record's sp_before (zigzag)
+//! ```
+
+use std::io::{self, Read, Write};
+
+use svf_isa::{decode, encode, Reg};
+
+use crate::retired::{ControlFlow, MemAccess, Retired, SpUpdate};
+
+const MAGIC: u32 = 0x53_56_46_54; // "SVFT"
+const VERSION: u16 = 1;
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)?;
+        v |= u64::from(b[0] & 0x7F) << shift;
+        if b[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflow"));
+        }
+    }
+}
+
+/// Streams [`Retired`] records into a compact binary trace.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    prev_pc: u64,
+    prev_sp: u64,
+    records: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the header and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying sink.
+    pub fn new(mut out: W, entry: u64, heap_base: u64) -> io::Result<TraceWriter<W>> {
+        out.write_all(&MAGIC.to_le_bytes())?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&[0u8; 2])?; // reserved
+        write_varint(&mut out, entry)?;
+        write_varint(&mut out, heap_base)?;
+        Ok(TraceWriter { out, prev_pc: entry.wrapping_sub(4), prev_sp: 0, records: 0 })
+    }
+
+    /// Appends one committed instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying sink.
+    pub fn push(&mut self, r: &Retired) -> io::Result<()> {
+        let mut flags = 0u8;
+        if r.mem.is_some() {
+            flags |= 1;
+        }
+        if r.control.is_some() {
+            flags |= 2;
+        }
+        if r.sp_update.is_some() {
+            flags |= 4;
+        }
+        if r.control.is_some_and(|c| c.taken) {
+            flags |= 8;
+        }
+        if r.mem.is_some_and(|m| m.is_store) {
+            flags |= 16;
+        }
+        if r.sp_update.is_some_and(|u| u.immediate) {
+            flags |= 32;
+        }
+        self.out.write_all(&[flags])?;
+        write_varint(&mut self.out, zigzag(r.pc as i64 - (self.prev_pc.wrapping_add(4)) as i64))?;
+        self.out.write_all(&encode(&r.inst).to_le_bytes())?;
+        if let Some(m) = r.mem {
+            write_varint(&mut self.out, zigzag(m.addr as i64 - r.sp_before as i64))?;
+            self.out.write_all(&[m.size, m.base.number()])?;
+        }
+        if let Some(c) = r.control {
+            write_varint(&mut self.out, zigzag(c.target as i64 - (r.pc + 4) as i64))?;
+        }
+        if let Some(u) = r.sp_update {
+            write_varint(&mut self.out, zigzag(u.new_sp as i64 - u.old_sp as i64))?;
+        }
+        write_varint(&mut self.out, zigzag(r.sp_before as i64 - self.prev_sp as i64))?;
+        self.prev_pc = r.pc;
+        self.prev_sp = r.sp_before;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the final flush failure.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Replays a binary trace as [`Retired`] records.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    input: R,
+    prev_pc: u64,
+    prev_sp: u64,
+    /// Entry PC from the header.
+    pub entry: u64,
+    /// Heap base from the header (for region classification).
+    pub heap_base: u64,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Validates the header and returns the reader.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad magic/version or I/O errors.
+    pub fn new(mut input: R) -> io::Result<TraceReader<R>> {
+        let mut word = [0u8; 4];
+        input.read_exact(&mut word)?;
+        if u32::from_le_bytes(word) != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an SVFT trace"));
+        }
+        let mut ver = [0u8; 2];
+        input.read_exact(&mut ver)?;
+        if u16::from_le_bytes(ver) != VERSION {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported trace version"));
+        }
+        let mut reserved = [0u8; 2];
+        input.read_exact(&mut reserved)?;
+        let entry = read_varint(&mut input)?;
+        let heap_base = read_varint(&mut input)?;
+        Ok(TraceReader { input, prev_pc: entry.wrapping_sub(4), prev_sp: 0, entry, heap_base })
+    }
+
+    /// Reads the next record; `Ok(None)` at a clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or corrupt input.
+    pub fn next_record(&mut self) -> io::Result<Option<Retired>> {
+        let mut flags = [0u8; 1];
+        match self.input.read_exact(&mut flags) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        let flags = flags[0];
+        let pc = (self.prev_pc.wrapping_add(4) as i64 + unzigzag(read_varint(&mut self.input)?))
+            as u64;
+        let mut word = [0u8; 4];
+        self.input.read_exact(&mut word)?;
+        let inst = decode(u32::from_le_bytes(word))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut mem = None;
+        let mut sp_rel_addr = 0i64;
+        if flags & 1 != 0 {
+            sp_rel_addr = unzigzag(read_varint(&mut self.input)?);
+            let mut sb = [0u8; 2];
+            self.input.read_exact(&mut sb)?;
+            mem = Some((sp_rel_addr, sb[0], Reg::from_number(sb[1] & 31), flags & 16 != 0));
+        }
+        let mut control = None;
+        if flags & 2 != 0 {
+            let target = (pc + 4) as i64 + unzigzag(read_varint(&mut self.input)?);
+            control = Some(ControlFlow { taken: flags & 8 != 0, target: target as u64 });
+        }
+        let mut sp_delta = None;
+        if flags & 4 != 0 {
+            sp_delta = Some(unzigzag(read_varint(&mut self.input)?));
+        }
+        let sp_before =
+            (self.prev_sp as i64 + unzigzag(read_varint(&mut self.input)?)) as u64;
+        let mem = mem.map(|(rel, size, base, is_store)| MemAccess {
+            addr: (sp_before as i64 + rel) as u64,
+            size,
+            is_store,
+            base,
+        });
+        let sp_update = sp_delta.map(|d| SpUpdate {
+            old_sp: sp_before,
+            new_sp: (sp_before as i64 + d) as u64,
+            immediate: flags & 32 != 0,
+        });
+        let next_pc = control.map_or(pc + 4, |c| if c.taken { c.target } else { pc + 4 });
+        self.prev_pc = pc;
+        self.prev_sp = sp_before;
+        Ok(Some(Retired { pc, inst, next_pc, mem, control, sp_update, sp_before }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Emulator;
+    use svf_asm::assemble;
+
+    fn capture(src: &str) -> (Vec<Retired>, Vec<u8>, u64, u64) {
+        let p = assemble(src).expect("assembles");
+        let mut emu = Emulator::new(&p);
+        let mut w = TraceWriter::new(Vec::new(), p.entry, p.heap_base).expect("header");
+        let mut records = Vec::new();
+        while !emu.is_halted() {
+            let r = emu.step().expect("runs");
+            w.push(&r).expect("writes");
+            records.push(r);
+        }
+        let n = w.records();
+        let bytes = w.finish().expect("finish");
+        (records, bytes, n, p.heap_base)
+    }
+
+    const KERNEL: &str = "
+main:
+    lda $sp, -32($sp)
+    li $t0, 10
+.loop:
+    stq $t0, 8($sp)
+    ldq $t1, 8($sp)
+    addq $t2, $t1, $t2
+    subq $t0, 1, $t0
+    bne $t0, .loop
+    mov $t2, $a0
+    putint
+    lda $sp, 32($sp)
+    halt";
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let (records, bytes, n, heap_base) = capture(KERNEL);
+        assert_eq!(n as usize, records.len());
+        let mut r = TraceReader::new(bytes.as_slice()).expect("header");
+        assert_eq!(r.heap_base, heap_base);
+        for (i, want) in records.iter().enumerate() {
+            let got = r.next_record().expect("reads").unwrap_or_else(|| panic!("short at {i}"));
+            assert_eq!(&got, want, "record {i} diverged");
+        }
+        assert!(r.next_record().expect("eof check").is_none());
+    }
+
+    #[test]
+    fn traces_are_compact() {
+        let (records, bytes, _, _) = capture(KERNEL);
+        let per_record = bytes.len() as f64 / records.len() as f64;
+        assert!(
+            per_record < 12.0,
+            "expected <12 bytes/record, got {per_record:.1} ({} bytes, {} records)",
+            bytes.len(),
+            records.len()
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = TraceReader::new(&b"NOPE0000"[..]).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_errors_midrecord() {
+        let (_, bytes, _, _) = capture(KERNEL);
+        // Cut inside a record (past the header, not on a boundary).
+        let cut = &bytes[..bytes.len() - 3];
+        let mut r = TraceReader::new(cut).expect("header ok");
+        let mut result = Ok(Some(()));
+        loop {
+            match r.next_record() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(_) => {
+                    result = Err(());
+                    break;
+                }
+            }
+        }
+        assert!(result.is_err(), "a mid-record cut must be detected");
+    }
+}

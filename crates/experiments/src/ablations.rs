@@ -1,0 +1,163 @@
+//! Ablation studies beyond the paper's figures.
+//!
+//! The paper fixes several design parameters (8 KB capacity, the §3.2
+//! squash recovery, compiler quality). These runners vary them:
+//!
+//! * [`size_sweep`] — SVF capacity 1/2/4/8/16 KB vs performance: where the
+//!   window starts missing the working set (the paper only sweeps sizes
+//!   for *traffic*, Table 3).
+//! * [`squash_sensitivity`] — how the squash recovery penalty changes the
+//!   eon-style outlier (the paper's §3.2 recovery cost is unspecified).
+//! * [`code_quality`] — the same kernels compiled with and without
+//!   register promotion: how much of the SVF's benefit survives a better
+//!   compiler (the classic critique of stack-oriented hardware).
+
+use crate::geomean;
+use crate::runner::run;
+use crate::table::ExpTable;
+use svf::SvfConfig;
+use svf_cpu::{CpuConfig, StackEngine};
+use svf_workloads::{all, Scale};
+
+fn svf_cfg(capacity: u64) -> CpuConfig {
+    let mut c = CpuConfig::wide16().with_ports(2, 2);
+    c.stack_engine = StackEngine::Svf { cfg: SvfConfig::with_size(capacity), no_squash: false };
+    c
+}
+
+/// SVF capacity sweep: speedup over the `(2+0)` baseline per size.
+#[must_use]
+pub fn size_sweep(scale: Scale) -> ExpTable {
+    let sizes = [1u64 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10];
+    let headers = ["bench", "1KB", "2KB", "4KB", "8KB", "16KB"];
+    let mut t = ExpTable::new("Ablation: SVF capacity vs speedup (16-wide, 2+2)", &headers);
+    let mut per_col: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    for w in all() {
+        let program = w.compile(scale).expect("workload compiles");
+        let base = run(&CpuConfig::wide16().with_ports(2, 0), &program);
+        let mut cells = vec![w.name.to_string()];
+        for (col, &size) in sizes.iter().enumerate() {
+            let s = run(&svf_cfg(size), &program).speedup_over(&base);
+            per_col[col].push(s);
+            cells.push(format!("{s:.3}x"));
+        }
+        t.row(cells);
+    }
+    let mut avg = vec!["average".to_string()];
+    for col in &per_col {
+        avg.push(format!("{:.3}x", geomean(col)));
+    }
+    t.row(avg);
+    t.note("the deep-stack kernels (gcc, parser, crafty) need capacity; flat kernels saturate early");
+    t
+}
+
+/// Squash-penalty sensitivity on the squash-prone kernels.
+#[must_use]
+pub fn squash_sensitivity(scale: Scale) -> ExpTable {
+    let penalties = [5u64, 10, 15, 25, 40];
+    let mut t = ExpTable::new(
+        "Ablation: §3.2 squash recovery penalty (SVF 2+2, speedup over 2+0)",
+        &["bench", "5 cyc", "10 cyc", "15 cyc", "25 cyc", "40 cyc", "no_squash"],
+    );
+    for w in all() {
+        if !["eon", "twolf", "vortex", "gcc"].contains(&w.name) {
+            continue;
+        }
+        let program = w.compile(scale).expect("workload compiles");
+        let base = run(&CpuConfig::wide16().with_ports(2, 0), &program);
+        let mut cells = vec![w.name.to_string()];
+        for &p in &penalties {
+            let mut cfg = svf_cfg(8 << 10);
+            cfg.squash_penalty = p;
+            cells.push(format!("{:.3}x", run(&cfg, &program).speedup_over(&base)));
+        }
+        let mut nosq = CpuConfig::wide16().with_ports(2, 2);
+        nosq.stack_engine = StackEngine::Svf { cfg: SvfConfig::kb8(), no_squash: true };
+        cells.push(format!("{:.3}x", run(&nosq, &program).speedup_over(&base)));
+        t.row(cells);
+    }
+    t.note("eon degrades with the penalty; kernels without gpr-store/sp-load collisions are flat");
+    t
+}
+
+/// Code-quality ablation: SVF benefit with the optimizing vs the naive
+/// (spill-everything) code generator.
+#[must_use]
+pub fn code_quality(scale: Scale) -> ExpTable {
+    let mut t = ExpTable::new(
+        "Ablation: compiler quality vs SVF benefit (16-wide)",
+        &["bench", "regalloc speedup", "naive speedup", "regalloc stack/inst", "naive stack/inst"],
+    );
+    let mut opt_s = Vec::new();
+    let mut naive_s = Vec::new();
+    for w in all() {
+        let src = w.source(scale);
+        let optimized = svf_cc::compile_to_program(&src).expect("compiles");
+        let naive =
+            svf_cc::compile_to_program_with(&src, svf_cc::Options { regalloc: false, ..Default::default() })
+                .expect("compiles");
+        let mut cells = vec![w.name.to_string()];
+        let mut densities = Vec::new();
+        let mut speeds = Vec::new();
+        for program in [&optimized, &naive] {
+            let base = run(&CpuConfig::wide16().with_ports(2, 0), program);
+            let svf = run(&svf_cfg(8 << 10), program);
+            speeds.push(svf.speedup_over(&base));
+            densities.push(svf.stack_refs as f64 / svf.committed.max(1) as f64);
+        }
+        opt_s.push(speeds[0]);
+        naive_s.push(speeds[1]);
+        cells.push(format!("{:.3}x", speeds[0]));
+        cells.push(format!("{:.3}x", speeds[1]));
+        cells.push(format!("{:.3}", densities[0]));
+        cells.push(format!("{:.3}", densities[1]));
+        t.row(cells);
+    }
+    t.row(vec![
+        "average".to_string(),
+        format!("{:.3}x", geomean(&opt_s)),
+        format!("{:.3}x", geomean(&naive_s)),
+        String::new(),
+        String::new(),
+    ]);
+    t.note("naive code carries far more stack references; the SVF's benefit is largest there");
+    t.note("with register promotion a substantial benefit remains — the paper's claim is robust");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg_attr(debug_assertions, ignore = "timing-heavy; run with --release")]
+    #[test]
+    fn size_sweep_monotone_for_deep_kernels() {
+        let t = size_sweep(Scale::Test);
+        // gcc's stack exceeds small windows. Window misses are mostly off
+        // the critical path (spills are background traffic), so capacity
+        // shifts performance only slightly — but it must never *cost*
+        // beyond noise, and the flat kernels must be entirely insensitive.
+        let s1 = t.cell_f64("gcc", "1KB").expect("gcc");
+        let s8 = t.cell_f64("gcc", "8KB").expect("gcc");
+        assert!(s8 >= s1 - 0.02, "bigger window must not hurt the deep kernel: {s1} -> {s8}");
+        for bench in ["gzip", "eon", "vpr"] {
+            let a = t.cell_f64(bench, "1KB").expect("row");
+            let b = t.cell_f64(bench, "8KB").expect("row");
+            assert!(
+                (a - b).abs() < 0.02,
+                "{bench} fits any window; size must not matter: {a} vs {b}"
+            );
+        }
+    }
+
+    #[cfg_attr(debug_assertions, ignore = "timing-heavy; run with --release")]
+    #[test]
+    fn code_quality_keeps_benefit() {
+        let t = code_quality(Scale::Test);
+        let opt = t.cell_f64("average", "regalloc speedup").expect("avg");
+        let naive = t.cell_f64("average", "naive speedup").expect("avg");
+        assert!(opt > 1.0, "benefit survives a better compiler: {opt}");
+        assert!(naive > 1.0, "{naive}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 5: speedup potential of morphing all stack accesses to register
+//! moves (infinite SVF, unlimited ports).
+//!
+//! The paper reports average speedups of 11% / 19% / 31% for 4- / 8- /
+//! 16-wide machines with perfect branch prediction, and 25% for 16-wide
+//! with gshare (each relative to its own-width, own-predictor baseline).
+
+use crate::geomean;
+use crate::runner::{compile, run};
+use crate::table::ExpTable;
+use svf_cpu::{CpuConfig, PredictorKind, StackEngine};
+use svf_workloads::{all, Scale};
+
+fn ideal(mut cfg: CpuConfig) -> CpuConfig {
+    cfg.stack_engine = StackEngine::IdealSvf;
+    cfg
+}
+
+fn gshare(mut cfg: CpuConfig) -> CpuConfig {
+    cfg.predictor = PredictorKind::Gshare { history_bits: 12 };
+    cfg
+}
+
+/// Runs the Figure 5 limit study over all workloads.
+#[must_use]
+pub fn run_fig(scale: Scale) -> ExpTable {
+    let mut t = ExpTable::new(
+        "Figure 5: Ideal-SVF speedup (infinite size & ports, all stack refs morphed)",
+        &["bench", "4-wide", "8-wide", "16-wide", "16-wide gshare"],
+    );
+    let pairs: Vec<(CpuConfig, CpuConfig)> = vec![
+        (CpuConfig::wide4(), ideal(CpuConfig::wide4())),
+        (CpuConfig::wide8(), ideal(CpuConfig::wide8())),
+        (CpuConfig::wide16(), ideal(CpuConfig::wide16())),
+        (gshare(CpuConfig::wide16()), ideal(gshare(CpuConfig::wide16()))),
+    ];
+    let mut per_col: Vec<Vec<f64>> = vec![Vec::new(); pairs.len()];
+    for w in all() {
+        let program = compile(w, scale);
+        let mut cells = vec![w.name.to_string()];
+        for (col, (base_cfg, ideal_cfg)) in pairs.iter().enumerate() {
+            let base = run(base_cfg, &program);
+            let fast = run(ideal_cfg, &program);
+            let sp = fast.speedup_over(&base);
+            per_col[col].push(sp);
+            cells.push(format!("{sp:.3}x"));
+        }
+        t.row(cells);
+    }
+    let mut avg = vec!["average".to_string()];
+    for col in &per_col {
+        avg.push(format!("{:.3}x", geomean(col)));
+    }
+    t.row(avg);
+    t.note("paper averages: 1.11x (4-wide), 1.19x (8-wide), 1.31x (16-wide), 1.25x (gshare)");
+    t.note("each column is relative to the baseline of the same width and predictor");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg_attr(debug_assertions, ignore = "timing-heavy; run with --release")]
+    #[test]
+    fn speedup_grows_with_width() {
+        let t = run_fig(Scale::Test);
+        let s4 = t.cell_f64("average", "4-wide").expect("avg");
+        let s8 = t.cell_f64("average", "8-wide").expect("avg");
+        let s16 = t.cell_f64("average", "16-wide").expect("avg");
+        assert!(s4 >= 1.0, "ideal SVF never slows down: {s4}");
+        assert!(s16 > s4, "wider machines gain more: {s4} -> {s16}");
+        assert!(s8 <= s16 * 1.05, "8-wide between 4- and 16-wide (roughly): {s8} vs {s16}");
+    }
+}

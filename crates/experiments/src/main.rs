@@ -1,0 +1,111 @@
+//! Command-line experiment runner.
+//!
+//! ```text
+//! svf-experiments <experiment> [--scale test|small|full] [--csv DIR]
+//! experiments: fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig9 table1 table2
+//!              table3 table4 ablation-* partial-word all
+//! --csv DIR additionally writes each result table as DIR/<id>[.n].csv
+//! ```
+
+use std::time::Instant;
+
+use svf_experiments::{
+    ablations, partial_word, fig1, fig2, fig3, fig5, fig6, fig7, fig8, fig9, tables, traffic, Scale,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: svf-experiments <fig1|fig2|fig3|fig5|fig6|fig7|fig8|fig9|table1|table2|table3|table4|ablation-size|ablation-squash|ablation-codegen|ablations|partial-word|all> [--scale test|small|full]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Option<String> = None;
+    let mut scale = Scale::Small;
+    let mut csv_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match it.next().map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("small") => Scale::Small,
+                    Some("full") => Scale::Full,
+                    _ => usage(),
+                };
+            }
+            "--csv" => {
+                csv_dir = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
+            name if which.is_none() => which = Some(name.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(which) = which else { usage() };
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("svf-experiments: cannot create {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let start = Instant::now();
+    run_one(&which, scale, csv_dir.as_deref());
+    eprintln!("[{} completed in {:.1}s]", which, start.elapsed().as_secs_f64());
+}
+
+/// Prints a table and optionally mirrors it to `DIR/<id>.csv`.
+fn emit(table: &svf_experiments::ExpTable, id: &str, csv_dir: Option<&str>) {
+    println!("{table}");
+    if let Some(dir) = csv_dir {
+        let path = format!("{dir}/{id}.csv");
+        if let Err(e) = std::fs::write(&path, table.to_csv()) {
+            eprintln!("svf-experiments: cannot write {path}: {e}");
+        }
+    }
+}
+
+fn run_one(which: &str, scale: Scale, csv: Option<&str>) {
+    match which {
+        "fig1" => emit(&fig1::run(scale), "fig1", csv),
+        "fig2" => emit(&fig2::run(scale), "fig2", csv),
+        "fig3" => emit(&fig3::run(scale), "fig3", csv),
+        "fig5" => emit(&fig5::run_fig(scale), "fig5", csv),
+        "fig6" => emit(&fig6::run_fig(scale), "fig6", csv),
+        "fig7" => emit(&fig7::run_fig(scale), "fig7", csv),
+        "fig8" => emit(&fig8::run_fig(scale), "fig8", csv),
+        "fig9" => emit(&fig9::run_fig(scale), "fig9", csv),
+        "table1" => emit(&tables::table1(), "table1", csv),
+        "table2" => emit(&tables::table2(), "table2", csv),
+        "table3" => {
+            for (i, t) in traffic::table3(scale).iter().enumerate() {
+                emit(t, &format!("table3.{}kb", 2u32 << i), csv);
+            }
+        }
+        "table4" => emit(&traffic::table4(scale), "table4", csv),
+        "partial-word" => emit(&partial_word::run_experiment(scale), "partial-word", csv),
+        "ablation-size" => emit(&ablations::size_sweep(scale), "ablation-size", csv),
+        "ablation-squash" => {
+            emit(&ablations::squash_sensitivity(scale), "ablation-squash", csv);
+        }
+        "ablation-codegen" => emit(&ablations::code_quality(scale), "ablation-codegen", csv),
+        "ablations" => {
+            emit(&ablations::size_sweep(scale), "ablation-size", csv);
+            emit(&ablations::squash_sensitivity(scale), "ablation-squash", csv);
+            emit(&ablations::code_quality(scale), "ablation-codegen", csv);
+        }
+        "all" => {
+            for exp in [
+                "table1", "table2", "fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8",
+                "fig9", "table3", "table4",
+            ] {
+                let t = Instant::now();
+                run_one(exp, scale, csv);
+                eprintln!("[{} done in {:.1}s]", exp, t.elapsed().as_secs_f64());
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,51 @@
+//! Shared timing-run helpers for the performance figures.
+
+use svf_cpu::{CpuConfig, SimStats, Simulator};
+use svf_isa::Program;
+use svf_workloads::{all, Scale, Workload};
+
+/// Compiles a workload once (programs are reused across configurations so
+/// every configuration sees the identical instruction stream).
+///
+/// # Panics
+///
+/// Panics if the template fails to compile (covered by workload tests).
+#[must_use]
+pub fn compile(w: &Workload, scale: Scale) -> Program {
+    w.compile(scale).expect("workload compiles")
+}
+
+/// Runs one configuration on a pre-compiled program.
+#[must_use]
+pub fn run(cfg: &CpuConfig, program: &Program) -> SimStats {
+    Simulator::new(cfg.clone()).run(program, u64::MAX)
+}
+
+/// Runs a set of labelled configurations over every workload, returning
+/// `(bench, Vec<SimStats in config order>)` rows. The baseline for speedup
+/// computations is by convention the first configuration.
+#[must_use]
+pub fn run_matrix(configs: &[(&str, CpuConfig)], scale: Scale) -> Vec<(String, Vec<SimStats>)> {
+    let mut out = Vec::new();
+    for w in all() {
+        let program = compile(w, scale);
+        let stats: Vec<SimStats> = configs.iter().map(|(_, c)| run(c, &program)).collect();
+        out.push((w.name.to_string(), stats));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svf_workloads::workload;
+
+    #[test]
+    fn identical_config_identical_cycles() {
+        let p = compile(workload("gap").expect("exists"), Scale::Test);
+        let a = run(&CpuConfig::wide8(), &p);
+        let b = run(&CpuConfig::wide8(), &p);
+        assert_eq!(a.cycles, b.cycles, "simulation must be deterministic");
+        assert_eq!(a.committed, b.committed);
+    }
+}

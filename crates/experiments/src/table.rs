@@ -1,0 +1,159 @@
+//! Text-table rendering for experiment results.
+
+use std::fmt;
+
+/// A titled, column-aligned result table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpTable {
+    /// Table title (e.g. `"Figure 5: ..."`).
+    pub title: String,
+    /// Column headers; the first column is the row label.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl ExpTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> ExpTable {
+        ExpTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in `{}`", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Cell accessor by (row label, column header), for tests.
+    #[must_use]
+    pub fn cell(&self, row_label: &str, header: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        let row = self.rows.iter().find(|r| r[0] == row_label)?;
+        row.get(col).map(String::as_str)
+    }
+
+    /// Parses a cell as `f64`, stripping `%` and `x` suffixes.
+    #[must_use]
+    pub fn cell_f64(&self, row_label: &str, header: &str) -> Option<f64> {
+        let raw = self.cell(row_label, header)?;
+        raw.trim_end_matches(['%', 'x']).trim().parse().ok()
+    }
+
+    /// Renders the table as RFC-4180-ish CSV (quoting cells that contain
+    /// commas or quotes), for external plotting tools.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for ExpTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    write!(f, "{:<w$}", cell, w = widths[i])?;
+                } else {
+                    write!(f, "  {:>w$}", cell, w = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        render(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = ExpTable::new("Demo", &["bench", "speedup"]);
+        t.row(vec!["bzip2".into(), "1.25x".into()]);
+        t.row(vec!["gcc".into(), "1.05x".into()]);
+        t.note("just a demo");
+        let s = t.to_string();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("bzip2"));
+        assert!(s.contains("note: just a demo"));
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let mut t = ExpTable::new("Demo", &["bench", "speedup"]);
+        t.row(vec!["bzip2".into(), "1.25x".into()]);
+        assert_eq!(t.cell("bzip2", "speedup"), Some("1.25x"));
+        assert_eq!(t.cell_f64("bzip2", "speedup"), Some(1.25));
+        assert_eq!(t.cell("gcc", "speedup"), None);
+    }
+
+    #[test]
+    fn csv_rendering_quotes_when_needed() {
+        let mut t = ExpTable::new("Demo", &["bench", "note"]);
+        t.row(vec!["a".into(), "plain".into()]);
+        t.row(vec!["b".into(), "has, comma".into()]);
+        t.row(vec!["c".into(), "has \"quote\"".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "bench,note");
+        assert_eq!(lines[1], "a,plain");
+        assert_eq!(lines[2], "b,\"has, comma\"");
+        assert_eq!(lines[3], "c,\"has \"\"quote\"\"\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = ExpTable::new("Demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Table 1 (benchmark suite) and Table 2 (machine models) — the static
+//! configuration tables of the paper, rendered from the code that actually
+//! drives the experiments so they cannot drift.
+
+use crate::table::ExpTable;
+use svf_cpu::CpuConfig;
+use svf_workloads::all;
+
+/// Table 1: the benchmark kernels and what they stand in for.
+#[must_use]
+pub fn table1() -> ExpTable {
+    let mut t = ExpTable::new(
+        "Table 1: benchmark kernels (SPECint2000 stand-ins)",
+        &["kernel", "models", "workload"],
+    );
+    for w in all() {
+        t.row(vec![w.name.to_string(), w.spec.to_string(), w.description.to_string()]);
+    }
+    t.note("inputs are generated in-language by a fixed LCG (deterministic runs)");
+    t
+}
+
+/// Table 2: the machine models, read back from the live presets.
+#[must_use]
+pub fn table2() -> ExpTable {
+    let mut t = ExpTable::new(
+        "Table 2: processor models",
+        &["component", "4-wide", "8-wide", "16-wide"],
+    );
+    type RowFn = fn(&CpuConfig) -> String;
+    let cfgs = [CpuConfig::wide4(), CpuConfig::wide8(), CpuConfig::wide16()];
+    let rows: Vec<(&str, RowFn)> = vec![
+        ("decode/issue/commit width", |c| c.width.to_string()),
+        ("IFQ size", |c| c.ifq_size.to_string()),
+        ("RUU size", |c| c.ruu_size.to_string()),
+        ("LSQ size", |c| c.lsq_size.to_string()),
+        ("IL1 cache", |c| {
+            format!("{}-way {}KB", c.hierarchy.il1.assoc, c.hierarchy.il1.size_bytes >> 10)
+        }),
+        ("DL1 cache", |c| {
+            format!("{}-way {}KB", c.hierarchy.dl1.assoc, c.hierarchy.dl1.size_bytes >> 10)
+        }),
+        ("IL1 hit", |c| format!("{} clk", c.hierarchy.il1.hit_latency)),
+        ("DL1 hit", |c| format!("{} clks", c.hierarchy.dl1.hit_latency)),
+        ("unified L2", |c| {
+            format!("{}-way {}KB", c.hierarchy.l2.assoc, c.hierarchy.l2.size_bytes >> 10)
+        }),
+        ("L2 hit", |c| format!("{} clks", c.hierarchy.l2.hit_latency)),
+        ("mem latency", |c| format!("{} clks", c.hierarchy.mem_latency)),
+        ("store forwarding", |c| format!("{} clks", c.store_forward_latency)),
+        ("int ALUs", |c| c.int_alus.to_string()),
+        ("int mult/div", |c| c.int_mults.to_string()),
+    ];
+    for (label, get) in rows {
+        t.row(
+            std::iter::once(label.to_string()).chain(cfgs.iter().map(get)).collect(),
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_twelve() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 12);
+        assert_eq!(t.cell("gcc", "models"), Some("176.gcc"));
+    }
+
+    #[test]
+    fn table2_matches_paper_values() {
+        let t = table2();
+        assert_eq!(t.cell("RUU size", "16-wide"), Some("256"));
+        assert_eq!(t.cell("LSQ size", "8-wide"), Some("64"));
+        assert_eq!(t.cell("DL1 cache", "4-wide"), Some("4-way 64KB"));
+        assert_eq!(t.cell("DL1 hit", "16-wide"), Some("3 clks"));
+        assert_eq!(t.cell("L2 hit", "16-wide"), Some("16 clks"));
+        assert_eq!(t.cell("mem latency", "4-wide"), Some("60 clks"));
+        assert_eq!(t.cell("int ALUs", "8-wide"), Some("16"));
+        assert_eq!(t.cell("int mult/div", "16-wide"), Some("4"));
+    }
+}

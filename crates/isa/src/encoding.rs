@@ -1,0 +1,280 @@
+//! Binary instruction encoding and decoding.
+//!
+//! All instructions are 32 bits. Formats (bit ranges inclusive):
+//!
+//! ```text
+//! sys:     [31:26]=0x00  [15:0]=func
+//! memory:  [31:26]=op    [25:21]=ra [20:16]=rb [15:0]=disp16
+//! branch:  [31:26]=op    [25:21]=ra [20:0]=disp21 (in instructions)
+//! operate: [31:26]=0x10  [25:21]=ra [20:13]=lit [12]=litflag
+//!                        [20:16]=rb (when litflag=0) [11:5]=func [4:0]=rc
+//! jump:    [31:26]=0x1A  [25:21]=ra [20:16]=rb [15:14]=kind
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::{AluOp, BrOp, CondOp, Inst, JmpKind, MemOp, Operand, SysFunc};
+use crate::reg::Reg;
+
+const OP_SYS: u32 = 0x00;
+const OP_LDA: u32 = 0x08;
+const OP_LDAH: u32 = 0x09;
+const OP_LDBU: u32 = 0x0A;
+const OP_STB: u32 = 0x0E;
+const OP_OPER: u32 = 0x10;
+const OP_JMP: u32 = 0x1A;
+const OP_LDL: u32 = 0x28;
+const OP_LDQ: u32 = 0x29;
+const OP_STL: u32 = 0x2C;
+const OP_STQ: u32 = 0x2D;
+const OP_BR: u32 = 0x30;
+const OP_BSR: u32 = 0x34;
+const OP_BEQ: u32 = 0x39;
+const OP_BLT: u32 = 0x3A;
+const OP_BLE: u32 = 0x3B;
+const OP_BNE: u32 = 0x3D;
+const OP_BGE: u32 = 0x3E;
+const OP_BGT: u32 = 0x3F;
+
+/// Error returned by [`decode`] for malformed instruction words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The 6-bit major opcode is not assigned.
+    UnknownOpcode(u8),
+    /// The operate-format function code is not assigned.
+    UnknownAluFunc(u8),
+    /// The jump-format kind field is not assigned.
+    UnknownJumpKind(u8),
+    /// The system-call function code is not assigned.
+    UnknownSysFunc(u16),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::UnknownAluFunc(fc) => write!(f, "unknown ALU function {fc:#04x}"),
+            DecodeError::UnknownJumpKind(k) => write!(f, "unknown jump kind {k}"),
+            DecodeError::UnknownSysFunc(c) => write!(f, "unknown sys function {c}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+fn reg_at(word: u32, lsb: u32) -> Reg {
+    Reg::from_number(((word >> lsb) & 0x1F) as u8)
+}
+
+fn sign_extend_21(v: u32) -> i32 {
+    ((v << 11) as i32) >> 11
+}
+
+/// Encodes a decoded instruction into its 32-bit binary form.
+///
+/// # Panics
+///
+/// Panics if a branch displacement does not fit in 21 signed bits. The
+/// assembler checks this before calling.
+#[must_use]
+pub fn encode(inst: &Inst) -> u32 {
+    fn mem_like(op: u32, ra: Reg, rb: Reg, disp: i16) -> u32 {
+        (op << 26)
+            | (u32::from(ra.number()) << 21)
+            | (u32::from(rb.number()) << 16)
+            | u32::from(disp as u16)
+    }
+    fn branch_like(op: u32, ra: Reg, disp: i32) -> u32 {
+        assert!(
+            (-(1 << 20)..(1 << 20)).contains(&disp),
+            "branch displacement {disp} out of 21-bit range"
+        );
+        (op << 26) | (u32::from(ra.number()) << 21) | ((disp as u32) & 0x1F_FFFF)
+    }
+    match *inst {
+        Inst::Sys { func } => (OP_SYS << 26) | u32::from(func.code()),
+        Inst::Mem { op, ra, rb, disp } => {
+            let opc = match op {
+                MemOp::Ldq => OP_LDQ,
+                MemOp::Ldl => OP_LDL,
+                MemOp::Ldbu => OP_LDBU,
+                MemOp::Stq => OP_STQ,
+                MemOp::Stl => OP_STL,
+                MemOp::Stb => OP_STB,
+            };
+            mem_like(opc, ra, rb, disp)
+        }
+        Inst::Lda { high, ra, rb, disp } => {
+            mem_like(if high { OP_LDAH } else { OP_LDA }, ra, rb, disp)
+        }
+        Inst::Br { op, ra, disp } => {
+            branch_like(if op == BrOp::Br { OP_BR } else { OP_BSR }, ra, disp)
+        }
+        Inst::CondBr { op, ra, disp } => {
+            let opc = match op {
+                CondOp::Beq => OP_BEQ,
+                CondOp::Bne => OP_BNE,
+                CondOp::Blt => OP_BLT,
+                CondOp::Ble => OP_BLE,
+                CondOp::Bge => OP_BGE,
+                CondOp::Bgt => OP_BGT,
+            };
+            branch_like(opc, ra, disp)
+        }
+        Inst::Op { op, ra, rb, rc } => {
+            let mut w = (OP_OPER << 26)
+                | (u32::from(ra.number()) << 21)
+                | (u32::from(op.func()) << 5)
+                | u32::from(rc.number());
+            match rb {
+                Operand::Reg(r) => w |= u32::from(r.number()) << 16,
+                Operand::Lit(l) => w |= (u32::from(l) << 13) | (1 << 12),
+            }
+            w
+        }
+        Inst::Jmp { kind, ra, rb } => {
+            let k = match kind {
+                JmpKind::Jmp => 0,
+                JmpKind::Jsr => 1,
+                JmpKind::Ret => 2,
+            };
+            (OP_JMP << 26)
+                | (u32::from(ra.number()) << 21)
+                | (u32::from(rb.number()) << 16)
+                | (k << 14)
+        }
+    }
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the opcode or a function field is unassigned.
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let opcode = word >> 26;
+    let ra = reg_at(word, 21);
+    let rb = reg_at(word, 16);
+    let disp16 = word as u16 as i16;
+    let mem = |op: MemOp| Inst::Mem { op, ra, rb, disp: disp16 };
+    let cond = |op: CondOp| Inst::CondBr { op, ra, disp: sign_extend_21(word & 0x1F_FFFF) };
+    Ok(match opcode {
+        OP_SYS => Inst::Sys {
+            func: SysFunc::from_code(word as u16)
+                .ok_or(DecodeError::UnknownSysFunc(word as u16))?,
+        },
+        OP_LDA => Inst::Lda { high: false, ra, rb, disp: disp16 },
+        OP_LDAH => Inst::Lda { high: true, ra, rb, disp: disp16 },
+        OP_LDBU => mem(MemOp::Ldbu),
+        OP_STB => mem(MemOp::Stb),
+        OP_LDL => mem(MemOp::Ldl),
+        OP_LDQ => mem(MemOp::Ldq),
+        OP_STL => mem(MemOp::Stl),
+        OP_STQ => mem(MemOp::Stq),
+        OP_BR => Inst::Br { op: BrOp::Br, ra, disp: sign_extend_21(word & 0x1F_FFFF) },
+        OP_BSR => Inst::Br { op: BrOp::Bsr, ra, disp: sign_extend_21(word & 0x1F_FFFF) },
+        OP_BEQ => cond(CondOp::Beq),
+        OP_BNE => cond(CondOp::Bne),
+        OP_BLT => cond(CondOp::Blt),
+        OP_BLE => cond(CondOp::Ble),
+        OP_BGE => cond(CondOp::Bge),
+        OP_BGT => cond(CondOp::Bgt),
+        OP_OPER => {
+            let func = ((word >> 5) & 0x7F) as u8;
+            let op = AluOp::from_func(func).ok_or(DecodeError::UnknownAluFunc(func))?;
+            let rb = if word & (1 << 12) != 0 {
+                Operand::Lit(((word >> 13) & 0xFF) as u8)
+            } else {
+                Operand::Reg(rb)
+            };
+            let rc = reg_at(word, 0);
+            Inst::Op { op, ra, rb, rc }
+        }
+        OP_JMP => {
+            let kind = match (word >> 14) & 0x3 {
+                0 => JmpKind::Jmp,
+                1 => JmpKind::Jsr,
+                2 => JmpKind::Ret,
+                k => return Err(DecodeError::UnknownJumpKind(k as u8)),
+            };
+            Inst::Jmp { kind, ra, rb }
+        }
+        op => return Err(DecodeError::UnknownOpcode(op as u8)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Inst) {
+        let w = encode(&i);
+        assert_eq!(decode(w).expect("decodes"), i, "word {w:#010x}");
+    }
+
+    #[test]
+    fn roundtrip_representatives() {
+        roundtrip(Inst::Sys { func: SysFunc::Halt });
+        roundtrip(Inst::Sys { func: SysFunc::PutInt });
+        roundtrip(Inst::Mem { op: MemOp::Ldq, ra: Reg::T0, rb: Reg::SP, disp: -32768 });
+        roundtrip(Inst::Mem { op: MemOp::Stb, ra: Reg::A0, rb: Reg::T3, disp: 32767 });
+        roundtrip(Inst::Lda { high: false, ra: Reg::SP, rb: Reg::SP, disp: -64 });
+        roundtrip(Inst::Lda { high: true, ra: Reg::GP, rb: Reg::ZERO, disp: 0x1000 });
+        roundtrip(Inst::Br { op: BrOp::Bsr, ra: Reg::RA, disp: -(1 << 20) });
+        roundtrip(Inst::Br { op: BrOp::Br, ra: Reg::ZERO, disp: (1 << 20) - 1 });
+        roundtrip(Inst::CondBr { op: CondOp::Bne, ra: Reg::V0, disp: -1 });
+        roundtrip(Inst::Op { op: AluOp::Addq, ra: Reg::A0, rb: Operand::Lit(255), rc: Reg::V0 });
+        roundtrip(Inst::Op { op: AluOp::Sra, ra: Reg::T7, rb: Operand::Reg(Reg::T8), rc: Reg::T9 });
+        roundtrip(Inst::Jmp { kind: JmpKind::Ret, ra: Reg::ZERO, rb: Reg::RA });
+        roundtrip(Inst::Jmp { kind: JmpKind::Jsr, ra: Reg::RA, rb: Reg::PV });
+    }
+
+    #[test]
+    fn roundtrip_all_alu_ops() {
+        for &op in AluOp::all() {
+            roundtrip(Inst::Op { op, ra: Reg::A1, rb: Operand::Reg(Reg::A2), rc: Reg::T0 });
+            roundtrip(Inst::Op { op, ra: Reg::A1, rb: Operand::Lit(7), rc: Reg::T0 });
+            assert_eq!(AluOp::from_func(op.func()), Some(op));
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert_eq!(decode(0x3F00_0000 & (0x07 << 26)), Err(DecodeError::UnknownOpcode(0x07)));
+        assert!(matches!(decode(0xFFFF_FFFF), Ok(_) | Err(_))); // 0x3F is BGT: must decode
+        assert_eq!(decode(0x04 << 26), Err(DecodeError::UnknownOpcode(0x04)));
+    }
+
+    #[test]
+    fn unknown_alu_func_rejected() {
+        let w = (OP_OPER << 26) | (0x7F << 5);
+        assert_eq!(decode(w), Err(DecodeError::UnknownAluFunc(0x7F)));
+    }
+
+    #[test]
+    fn unknown_sys_func_rejected() {
+        assert_eq!(decode(0x0000_FFFF), Err(DecodeError::UnknownSysFunc(0xFFFF)));
+    }
+
+    #[test]
+    fn unknown_jump_kind_rejected() {
+        let w = (OP_JMP << 26) | (3 << 14);
+        assert_eq!(decode(w), Err(DecodeError::UnknownJumpKind(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 21-bit range")]
+    fn branch_overflow_panics() {
+        let _ = encode(&Inst::Br { op: BrOp::Br, ra: Reg::ZERO, disp: 1 << 20 });
+    }
+
+    #[test]
+    fn branch_displacement_sign_extension() {
+        let w = encode(&Inst::CondBr { op: CondOp::Beq, ra: Reg::V0, disp: -1024 });
+        match decode(w).unwrap() {
+            Inst::CondBr { disp, .. } => assert_eq!(disp, -1024),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Linked program images.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::encoding::decode;
+use crate::layout::{DATA_BASE, TEXT_BASE};
+
+/// A symbol-table entry: a label and the address it resolved to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// The label name.
+    pub name: String,
+    /// The resolved address.
+    pub addr: u64,
+}
+
+/// A linked binary image: code, initialized data, and layout metadata.
+///
+/// Produced by the `svf-asm` assembler (usually from `svf-cc` output) and
+/// consumed by the `svf-emu` functional emulator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Encoded instruction words, laid out from [`TEXT_BASE`].
+    pub text: Vec<u32>,
+    /// Initialized data bytes, laid out from [`DATA_BASE`].
+    pub data: Vec<u8>,
+    /// Entry-point address.
+    pub entry: u64,
+    /// First address past the initialized/zeroed data: the heap starts here.
+    pub heap_base: u64,
+    /// Function symbols (sorted by address) for profiling and disassembly.
+    pub functions: BTreeMap<u64, String>,
+}
+
+impl Program {
+    /// Creates an empty program with entry at [`TEXT_BASE`].
+    #[must_use]
+    pub fn new() -> Program {
+        Program { entry: TEXT_BASE, heap_base: DATA_BASE, ..Program::default() }
+    }
+
+    /// Base address of the text segment.
+    #[must_use]
+    pub fn text_base(&self) -> u64 {
+        TEXT_BASE
+    }
+
+    /// Base address of the data segment.
+    #[must_use]
+    pub fn data_base(&self) -> u64 {
+        DATA_BASE
+    }
+
+    /// Address one past the last instruction.
+    #[must_use]
+    pub fn text_end(&self) -> u64 {
+        TEXT_BASE + 4 * self.text.len() as u64
+    }
+
+    /// Fetches the instruction word at `pc`, if it lies in the text segment.
+    #[must_use]
+    pub fn fetch(&self, pc: u64) -> Option<u32> {
+        if pc < TEXT_BASE || !pc.is_multiple_of(4) {
+            return None;
+        }
+        self.text.get(((pc - TEXT_BASE) / 4) as usize).copied()
+    }
+
+    /// The name of the function containing `pc`, if known.
+    #[must_use]
+    pub fn function_at(&self, pc: u64) -> Option<&str> {
+        self.functions.range(..=pc).next_back().map(|(_, name)| name.as_str())
+    }
+
+    /// Disassembles the whole text segment, one instruction per line, for
+    /// debugging and golden tests.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (i, &word) in self.text.iter().enumerate() {
+            let addr = TEXT_BASE + 4 * i as u64;
+            if let Some(name) = self.functions.get(&addr) {
+                out.push_str(&format!("{name}:\n"));
+            }
+            match decode(word) {
+                Ok(inst) => out.push_str(&format!("  {addr:#010x}: {inst}\n")),
+                Err(e) => out.push_str(&format!("  {addr:#010x}: .word {word:#010x} ; {e}\n")),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Program {{ {} instructions, {} data bytes, {} functions }}",
+            self.text.len(),
+            self.data.len(),
+            self.functions.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::encode;
+    use crate::inst::{Inst, SysFunc};
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let mut p = Program::new();
+        p.text.push(encode(&Inst::Sys { func: SysFunc::Halt }));
+        assert!(p.fetch(TEXT_BASE).is_some());
+        assert!(p.fetch(TEXT_BASE + 4).is_none());
+        assert!(p.fetch(TEXT_BASE + 1).is_none(), "misaligned");
+        assert!(p.fetch(0).is_none());
+        assert_eq!(p.text_end(), TEXT_BASE + 4);
+    }
+
+    #[test]
+    fn function_lookup() {
+        let mut p = Program::new();
+        p.functions.insert(TEXT_BASE, "main".to_string());
+        p.functions.insert(TEXT_BASE + 40, "helper".to_string());
+        assert_eq!(p.function_at(TEXT_BASE), Some("main"));
+        assert_eq!(p.function_at(TEXT_BASE + 36), Some("main"));
+        assert_eq!(p.function_at(TEXT_BASE + 40), Some("helper"));
+        assert_eq!(p.function_at(TEXT_BASE + 400), Some("helper"));
+        assert_eq!(p.function_at(0), None);
+    }
+
+    #[test]
+    fn disassembly_contains_labels() {
+        let mut p = Program::new();
+        p.functions.insert(TEXT_BASE, "main".to_string());
+        p.text.push(encode(&Inst::Sys { func: SysFunc::Halt }));
+        let dis = p.disassemble();
+        assert!(dis.contains("main:"));
+        assert!(dis.contains("halt"));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!Program::new().to_string().is_empty());
+    }
+}

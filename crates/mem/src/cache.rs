@@ -1,0 +1,290 @@
+//! Set-associative write-back cache model.
+
+use crate::stats::TrafficStats;
+
+/// Geometry and latency of one cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Capacity in bytes (power of two).
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Line size in bytes (power of two, ≥ 8).
+    pub line_bytes: u64,
+    /// Hit latency in CPU cycles.
+    pub hit_latency: u64,
+    /// Display name for reports.
+    pub name: &'static str,
+}
+
+impl CacheConfig {
+    /// Paper Table 2: 8-way 256 KB instruction L1, 1-cycle hit.
+    #[must_use]
+    pub fn il1_256k() -> CacheConfig {
+        CacheConfig { size_bytes: 256 << 10, assoc: 8, line_bytes: 64, hit_latency: 1, name: "IL1" }
+    }
+
+    /// Paper Table 2: 4-way 64 KB data L1, 3-cycle hit.
+    #[must_use]
+    pub fn dl1_64k() -> CacheConfig {
+        CacheConfig { size_bytes: 64 << 10, assoc: 4, line_bytes: 32, hit_latency: 3, name: "DL1" }
+    }
+
+    /// The doubled data L1 of the paper's Figure 6 first configuration
+    /// (128 KB at unchanged latency).
+    #[must_use]
+    pub fn dl1_128k() -> CacheConfig {
+        CacheConfig { size_bytes: 128 << 10, assoc: 4, line_bytes: 32, hit_latency: 3, name: "DL1x2" }
+    }
+
+    /// Paper Table 2: 4-way 512 KB unified L2, 16-cycle hit.
+    #[must_use]
+    pub fn l2_512k() -> CacheConfig {
+        CacheConfig { size_bytes: 512 << 10, assoc: 4, line_bytes: 64, hit_latency: 16, name: "L2" }
+    }
+
+    fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * u64::from(self.assoc))
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64, // last-use stamp
+}
+
+/// Result of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Whether a dirty line was evicted to service a miss.
+    pub writeback: bool,
+}
+
+/// A set-associative, write-back, write-allocate cache with true-LRU
+/// replacement. Tags only (no data — the functional emulator owns values).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stamp: u64,
+    stats: TrafficStats,
+}
+
+impl Cache {
+    /// Builds a cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not a power-of-two layout with at least one
+    /// set.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let sets = cfg.num_sets();
+        assert!(sets > 0 && sets.is_power_of_two(), "bad cache geometry for {}", cfg.name);
+        assert!(cfg.line_bytes >= 8 && cfg.line_bytes.is_power_of_two());
+        Cache {
+            sets: vec![vec![Line::default(); cfg.assoc as usize]; sets as usize],
+            cfg,
+            stamp: 0,
+            stats: TrafficStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> TrafficStats {
+        self.stats
+    }
+
+    /// Hit latency in cycles.
+    #[must_use]
+    pub fn hit_latency(&self) -> u64 {
+        self.cfg.hit_latency
+    }
+
+    /// Quad-words per line (fill/writeback granularity).
+    #[must_use]
+    pub fn line_qw(&self) -> u64 {
+        self.cfg.line_bytes / 8
+    }
+
+    fn index_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.cfg.line_bytes;
+        let sets = self.sets.len() as u64;
+        ((line % sets) as usize, line / sets)
+    }
+
+    /// Probes the cache, allocating on miss (write-allocate for stores).
+    ///
+    /// On a miss the LRU way is evicted; if dirty, the writeback is counted
+    /// (`qw_out += line_qw`), and the fill is counted (`qw_in += line_qw`).
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
+        self.stamp += 1;
+        self.stats.accesses += 1;
+        let (set_idx, tag) = self.index_tag(addr);
+        let line_qw = self.line_qw();
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.stamp;
+            line.dirty |= is_write;
+            self.stats.hits += 1;
+            return AccessOutcome { hit: true, writeback: false };
+        }
+        self.stats.misses += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("associativity >= 1");
+        let writeback = victim.valid && victim.dirty;
+        if writeback {
+            self.stats.writebacks += 1;
+            self.stats.qw_out += line_qw;
+        }
+        *victim = Line { tag, valid: true, dirty: is_write, lru: self.stamp };
+        self.stats.qw_in += line_qw;
+        AccessOutcome { hit: false, writeback }
+    }
+
+    /// Probes without allocating or updating state (for bounds checks and
+    /// diagnostics).
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.index_tag(addr);
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Writes back and invalidates everything (context switch), returning
+    /// the number of *bytes* written back — the paper's Table 4 metric.
+    /// A conventional cache must write whole dirty lines.
+    pub fn flush(&mut self) -> u64 {
+        let mut bytes = 0;
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                if line.valid && line.dirty {
+                    bytes += self.cfg.line_bytes;
+                    self.stats.writebacks += 1;
+                    self.stats.qw_out += self.cfg.line_bytes / 8;
+                }
+                *line = Line::default();
+            }
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 32B lines = 128 bytes.
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            assoc: 2,
+            line_bytes: 32,
+            hit_latency: 3,
+            name: "tiny",
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x0, false).hit);
+        assert!(c.access(0x8, false).hit, "same 32B line");
+        assert!(c.access(0x1F, true).hit);
+        assert!(!c.access(0x20, false).hit, "next line");
+        let s = c.stats();
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.qw_in, 8, "two fills x 4 qw");
+    }
+
+    #[test]
+    fn lru_eviction_and_dirty_writeback() {
+        let mut c = tiny();
+        // Set 0 holds lines with (line_index % 2 == 0): addresses 0x00, 0x40, 0x80…
+        c.access(0x00, true); // dirty
+        c.access(0x40, false);
+        c.access(0x00, false); // touch: 0x40 becomes LRU
+        let out = c.access(0x80, false); // evicts 0x40 (clean)
+        assert!(!out.hit);
+        assert!(!out.writeback);
+        let out = c.access(0x40, false); // evicts 0x00 (dirty)
+        assert!(out.writeback);
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.stats().qw_out, 4);
+    }
+
+    #[test]
+    fn write_allocate_marks_dirty() {
+        let mut c = tiny();
+        c.access(0x0, true);
+        c.access(0x40, false);
+        c.access(0x80, false); // evict 0x0 (LRU, dirty)
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn contains_is_side_effect_free() {
+        let mut c = tiny();
+        assert!(!c.contains(0x0));
+        c.access(0x0, false);
+        assert!(c.contains(0x0));
+        assert!(c.contains(0x1F));
+        assert!(!c.contains(0x20));
+        assert_eq!(c.stats().accesses, 1);
+    }
+
+    #[test]
+    fn flush_counts_dirty_lines_only() {
+        let mut c = tiny();
+        c.access(0x00, true);
+        c.access(0x20, false);
+        c.access(0x40, true);
+        let bytes = c.flush();
+        assert_eq!(bytes, 64, "two dirty 32B lines");
+        assert!(!c.contains(0x00));
+        assert_eq!(c.flush(), 0, "second flush finds nothing");
+    }
+
+    #[test]
+    fn table2_presets_are_consistent() {
+        for cfg in [
+            CacheConfig::il1_256k(),
+            CacheConfig::dl1_64k(),
+            CacheConfig::dl1_128k(),
+            CacheConfig::l2_512k(),
+        ] {
+            let c = Cache::new(cfg.clone());
+            assert_eq!(c.config().size_bytes, cfg.size_bytes);
+        }
+        assert_eq!(CacheConfig::dl1_64k().hit_latency, 3);
+        assert_eq!(CacheConfig::l2_512k().hit_latency, 16);
+    }
+
+    #[test]
+    fn distinct_tags_same_set() {
+        let mut c = tiny();
+        // 2 sets: lines 0 and 2 both map to set 0 with different tags.
+        c.access(0x00, false);
+        c.access(0x80, false);
+        assert!(c.contains(0x00) && c.contains(0x80));
+        // Third distinct tag evicts LRU.
+        c.access(0x100, false);
+        assert!(!c.contains(0x00));
+        assert!(c.contains(0x80) && c.contains(0x100));
+    }
+}

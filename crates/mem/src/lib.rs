@@ -1,0 +1,37 @@
+//! # svf-mem — the timing memory hierarchy
+//!
+//! Cache models for the SVF reproduction's cycle simulator:
+//!
+//! * [`Cache`] — a set-associative, write-back/write-allocate cache with LRU
+//!   replacement and quad-word traffic accounting;
+//! * [`Hierarchy`] — the paper's Table 2 memory system (split L1s, unified
+//!   L2, flat main-memory latency);
+//! * [`StackCache`] — the *decoupled stack cache* comparator
+//!   (Cho/Yew/Lee, ISCA 1999) the paper evaluates against the SVF: a small
+//!   direct-mapped cache dedicated to stack references, backed by the L2.
+//!
+//! These are *timing and traffic* models: they track tags, state bits and
+//! statistics but not data values (the functional emulator owns the values).
+//!
+//! # Example
+//!
+//! ```
+//! use svf_mem::{Cache, CacheConfig};
+//!
+//! let mut l1 = Cache::new(CacheConfig::dl1_64k());
+//! assert!(!l1.access(0x1000, false).hit, "cold miss");
+//! assert!(l1.access(0x1008, false).hit, "same line");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod hierarchy;
+mod stack_cache;
+mod stats;
+
+pub use cache::{AccessOutcome, Cache, CacheConfig};
+pub use hierarchy::{Hierarchy, HierarchyConfig};
+pub use stack_cache::{StackCache, StackCacheConfig};
+pub use stats::TrafficStats;

@@ -1,0 +1,47 @@
+//! Shared traffic/hit statistics.
+
+/// Access and traffic counters for one cache structure.
+///
+/// Traffic is counted in **quad-words** (8-byte units), the unit of the
+/// paper's Table 3: `qw_in` is data read *into* the structure from the next
+/// level (fills), `qw_out` is data written *out* (dirty writebacks/flushes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Total accesses presented to the structure.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines/words written back.
+    pub writebacks: u64,
+    /// Quad-words read in from the next level.
+    pub qw_in: u64,
+    /// Quad-words written out to the next level.
+    pub qw_out: u64,
+}
+
+impl TrafficStats {
+    /// Hit rate in [0, 1]; 1.0 when there were no accesses.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_edges() {
+        let empty = TrafficStats::default();
+        assert!((empty.hit_rate() - 1.0).abs() < f64::EPSILON);
+        let s = TrafficStats { accesses: 4, hits: 3, misses: 1, ..TrafficStats::default() };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,295 @@
+//! The MiniC abstract syntax tree.
+
+/// The scalar element type at the end of a pointer chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarTy {
+    /// 64-bit signed integer.
+    Int,
+    /// 8-bit unsigned byte (`char` — zero-extending loads, truncating
+    /// stores, the partial-word references the paper's future-work section
+    /// points at).
+    Char,
+}
+
+impl ScalarTy {
+    /// Size in bytes of one element of this scalar type in memory.
+    #[must_use]
+    pub fn size(self) -> u64 {
+        match self {
+            ScalarTy::Int => 8,
+            ScalarTy::Char => 1,
+        }
+    }
+}
+
+/// A MiniC type: a scalar or a pointer chain ending in one. Arrays are
+/// properties of declarations, not first-class types; an array name decays
+/// to a depth-1 pointer in expressions.
+///
+/// `char` *variables* are stored in full 8-byte slots and computed at
+/// 64-bit width (C's integer promotion); only accesses through `char`
+/// pointers and arrays are byte-sized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    Int,
+    /// Byte-valued scalar (promoted to 64-bit in expressions).
+    Char,
+    /// Pointer with the given depth ending in `elem` (`Ptr { elem: Int,
+    /// depth: 1 }` is `int*`).
+    Ptr {
+        /// The ultimate pointee scalar.
+        elem: ScalarTy,
+        /// Levels of indirection (≥ 1).
+        depth: u8,
+    },
+}
+
+impl Ty {
+    /// Convenience constructor for `int*`-style pointers.
+    #[must_use]
+    pub fn ptr_to(elem: ScalarTy, depth: u8) -> Ty {
+        Ty::Ptr { elem, depth }
+    }
+
+    /// The type obtained by dereferencing, if this is a pointer.
+    #[must_use]
+    pub fn deref(self) -> Option<Ty> {
+        match self {
+            Ty::Int | Ty::Char => None,
+            Ty::Ptr { elem: ScalarTy::Int, depth: 1 } => Some(Ty::Int),
+            Ty::Ptr { elem: ScalarTy::Char, depth: 1 } => Some(Ty::Char),
+            Ty::Ptr { elem, depth } => Some(Ty::Ptr { elem, depth: depth - 1 }),
+        }
+    }
+
+    /// The type of `&expr` for an expression of this type.
+    #[must_use]
+    pub fn addr_of(self) -> Ty {
+        match self {
+            Ty::Int => Ty::Ptr { elem: ScalarTy::Int, depth: 1 },
+            Ty::Char => Ty::Ptr { elem: ScalarTy::Char, depth: 1 },
+            Ty::Ptr { elem, depth } => Ty::Ptr { elem, depth: depth + 1 },
+        }
+    }
+
+    /// Whether this is any pointer type.
+    #[must_use]
+    pub fn is_ptr(self) -> bool {
+        matches!(self, Ty::Ptr { .. })
+    }
+
+    /// For a pointer: the size in bytes of the pointee (pointers to
+    /// pointers point at 8-byte cells regardless of the element type).
+    #[must_use]
+    pub fn pointee_size(self) -> Option<u64> {
+        match self {
+            Ty::Int | Ty::Char => None,
+            Ty::Ptr { elem, depth: 1 } => Some(elem.size()),
+            Ty::Ptr { .. } => Some(8),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    BitAnd,
+    BitOr,
+    BitXor,
+    LogAnd,
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!x` is 1 when `x == 0`).
+    Not,
+    /// Bitwise complement.
+    BitNot,
+    /// Pointer dereference.
+    Deref,
+    /// Address-of.
+    AddrOf,
+}
+
+/// An expression. Carries the source line for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Variable reference.
+    Var(String, usize),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>, usize),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>, usize),
+    /// Assignment (`lhs = rhs`); evaluates to the stored value.
+    Assign(Box<Expr>, Box<Expr>, usize),
+    /// Function call.
+    Call(String, Vec<Expr>, usize),
+    /// Array/pointer indexing (`base[index]`, scaled by 8 bytes).
+    Index(Box<Expr>, Box<Expr>, usize),
+}
+
+impl Expr {
+    /// The source line the expression starts on.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::Num(_) => 0,
+            Expr::Var(_, l)
+            | Expr::Unary(_, _, l)
+            | Expr::Binary(_, _, _, l)
+            | Expr::Assign(_, _, l)
+            | Expr::Call(_, _, l)
+            | Expr::Index(_, _, l) => *l,
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration: `int*… name[len]? = init?;`
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type (element type for arrays).
+        ty: Ty,
+        /// Array length if this is an array declaration.
+        array: Option<u32>,
+        /// Optional initializer (scalars only).
+        init: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// Expression statement (usually an assignment or call).
+    Expr(Expr),
+    /// `if (cond) then else?`
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while (cond) body`
+    While(Expr, Box<Stmt>),
+    /// `for (init?; cond?; step?) body`
+    For(Option<Box<Stmt>>, Option<Expr>, Option<Box<Stmt>>, Box<Stmt>),
+    /// `return expr?;`
+    Return(Option<Expr>, usize),
+    /// `break;`
+    Break(usize),
+    /// `continue;`
+    Continue(usize),
+    /// `{ … }`
+    Block(Vec<Stmt>),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Ty,
+    /// Parameters (name, type).
+    pub params: Vec<(String, Ty)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition.
+    pub line: usize,
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Variable name.
+    pub name: String,
+    /// Declared type (element type for arrays).
+    pub ty: Ty,
+    /// Array length if this is a global array.
+    pub array: Option<u32>,
+    /// Constant initializer (scalars only).
+    pub init: Option<i64>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A function definition.
+    Function(Function),
+    /// A global variable.
+    Global(Global),
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// Iterates over the functions.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Function(f) => Some(f),
+            Item::Global(_) => None,
+        })
+    }
+
+    /// Iterates over the globals.
+    pub fn globals(&self) -> impl Iterator<Item = &Global> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Global(g) => Some(g),
+            Item::Function(_) => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ty_algebra() {
+        let ip = Ty::ptr_to(ScalarTy::Int, 1);
+        let ipp = Ty::ptr_to(ScalarTy::Int, 2);
+        assert_eq!(Ty::Int.addr_of(), ip);
+        assert_eq!(ip.addr_of(), ipp);
+        assert_eq!(ipp.deref(), Some(ip));
+        assert_eq!(ip.deref(), Some(Ty::Int));
+        assert_eq!(Ty::Int.deref(), None);
+        assert!(Ty::ptr_to(ScalarTy::Int, 3).is_ptr());
+        assert!(!Ty::Int.is_ptr());
+    }
+
+    #[test]
+    fn char_ty_algebra() {
+        let cp = Ty::ptr_to(ScalarTy::Char, 1);
+        assert_eq!(Ty::Char.addr_of(), cp);
+        assert_eq!(cp.deref(), Some(Ty::Char));
+        assert_eq!(cp.pointee_size(), Some(1));
+        assert_eq!(Ty::ptr_to(ScalarTy::Char, 2).pointee_size(), Some(8));
+        assert_eq!(Ty::ptr_to(ScalarTy::Int, 1).pointee_size(), Some(8));
+        assert_eq!(Ty::Char.pointee_size(), None);
+        assert_eq!(ScalarTy::Char.size(), 1);
+        assert_eq!(ScalarTy::Int.size(), 8);
+    }
+}

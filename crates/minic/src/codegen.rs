@@ -1,0 +1,1455 @@
+//! Assembly code generation.
+//!
+//! The generator is a classic one-pass, frame-based scheme chosen to
+//! reproduce the stack-reference mix of an unsophisticated optimizing
+//! compiler (the behaviour the SVF paper measures):
+//!
+//! * every scalar local, every spilled parameter and the saved `$ra`/`$fp`
+//!   live at fixed `disp($sp)` slots — the morphable reference class;
+//! * functions declaring local arrays set up `$fp` and address their scalars
+//!   through it (`$fp`-method references);
+//! * array elements and anything reached through pointers use computed
+//!   addresses (`$gpr`-method references).
+//!
+//! Expression evaluation uses a virtual value stack mapped onto registers
+//! `$t0`–`$t7`, with home slots in the frame that are written back around
+//! calls (the classic caller-save discipline).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::ast::{BinOp, Expr, Function, Global, Program, ScalarTy, Stmt, Ty, UnOp};
+use crate::error::CcError;
+use crate::fold::fold_program;
+use crate::parser::parse;
+use crate::peephole::peephole_pass;
+use crate::regalloc::{plan, RegPlan};
+use crate::Options;
+
+/// Maximum expression-stack depth (bounded by the eight temp registers).
+const MAX_DEPTH: usize = 8;
+/// Largest frame `lda $sp, ±imm($sp)` can allocate.
+const MAX_FRAME: i64 = 32_000;
+
+const TEMP_REGS: [&str; MAX_DEPTH] = ["$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7"];
+const ARG_REGS: [&str; 6] = ["$a0", "$a1", "$a2", "$a3", "$a4", "$a5"];
+
+#[derive(Debug, Clone, Copy)]
+struct FnSig {
+    arity: usize,
+    ret: Ty,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GlobalInfo {
+    ty: Ty,
+    array: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FrameSlot {
+    off: i64,
+    ty: Ty,
+    array: Option<u32>,
+    /// When promoted, the callee-saved register holding the variable.
+    reg: Option<&'static str>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TempEntry {
+    in_reg: bool,
+    ty: Ty,
+}
+
+struct FnCtx {
+    name: String,
+    scopes: Vec<HashMap<String, FrameSlot>>,
+    fp_used: bool,
+    reg_plan: RegPlan,
+    temp_base: i64,
+    local_cursor: i64,
+    vstack: Vec<TempEntry>,
+    break_labels: Vec<String>,
+    continue_labels: Vec<String>,
+}
+
+impl FnCtx {
+    fn lookup(&self, name: &str) -> Option<FrameSlot> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    /// Base register for scalar locals/params: `$fp` in array functions.
+    fn scalar_base(&self) -> &'static str {
+        if self.fp_used {
+            "$fp"
+        } else {
+            "$sp"
+        }
+    }
+}
+
+/// The code generator. See [`compile_to_asm`].
+struct Codegen<'a> {
+    ast: &'a Program,
+    opts: Options,
+    out: String,
+    label_n: usize,
+    globals: HashMap<String, GlobalInfo>,
+    fns: HashMap<String, FnSig>,
+}
+
+/// Compiles MiniC source to textual assembly for `svf-asm`.
+///
+/// # Errors
+///
+/// Returns a [`CcError`] for any lexical, syntactic or semantic problem
+/// (undefined names, arity mismatches, non-lvalue assignments, frames or
+/// expressions exceeding generator limits).
+pub fn compile_to_asm(source: &str) -> Result<String, CcError> {
+    compile_to_asm_with(source, Options::default())
+}
+
+/// [`compile_to_asm`] with explicit [`Options`] (e.g. to disable register
+/// promotion for the code-quality ablation).
+///
+/// # Errors
+///
+/// Same as [`compile_to_asm`].
+pub fn compile_to_asm_with(source: &str, opts: Options) -> Result<String, CcError> {
+    let mut ast = parse(source)?;
+    if opts.fold {
+        fold_program(&mut ast);
+    }
+    let mut cg = Codegen {
+        ast: &ast,
+        opts,
+        out: String::new(),
+        label_n: 0,
+        globals: HashMap::new(),
+        fns: HashMap::new(),
+    };
+    cg.run()?;
+    if opts.peephole {
+        Ok(peephole_pass(&cg.out))
+    } else {
+        Ok(cg.out)
+    }
+}
+
+impl<'a> Codegen<'a> {
+    fn run(&mut self) -> Result<(), CcError> {
+        // Collect signatures first so forward calls work.
+        self.fns.insert("alloc".into(), FnSig { arity: 1, ret: Ty::ptr_to(ScalarTy::Int, 1) });
+        self.fns.insert("print".into(), FnSig { arity: 1, ret: Ty::Int });
+        self.fns.insert("printc".into(), FnSig { arity: 1, ret: Ty::Int });
+        for f in self.ast.functions() {
+            if self.fns.insert(f.name.clone(), FnSig { arity: f.params.len(), ret: f.ret }).is_some()
+            {
+                return Err(CcError::new(f.line, format!("redefinition of `{}`", f.name)));
+            }
+            if f.params.len() > ARG_REGS.len() {
+                return Err(CcError::new(
+                    f.line,
+                    format!("`{}` has more than {} parameters", f.name, ARG_REGS.len()),
+                ));
+            }
+        }
+        for g in self.ast.globals() {
+            if self.globals.insert(g.name.clone(), GlobalInfo { ty: g.ty, array: g.array.is_some() }).is_some()
+            {
+                return Err(CcError::new(g.line, format!("redefinition of `{}`", g.name)));
+            }
+        }
+        if !self.fns.contains_key("main") || self.ast.functions().all(|f| f.name != "main") {
+            return Err(CcError::new(0, "no `main` function"));
+        }
+
+        self.emit("    .text");
+        self.emit("_start:");
+        self.emit("    call main");
+        self.emit("    halt");
+        self.emit_alloc_runtime();
+        let functions: Vec<&Function> = self.ast.functions().collect();
+        for f in functions {
+            self.function(f)?;
+        }
+        self.emit("    .data");
+        let globals: Vec<Global> = self.ast.globals().cloned().collect();
+        for g in &globals {
+            self.emit(&format!("G.{}:", g.name));
+            match g.array {
+                Some(n) => {
+                    let elem = if g.ty == Ty::Char { 1 } else { 8 };
+                    self.emit(&format!("    .space {}", elem * u64::from(n)));
+                    if elem == 1 {
+                        self.emit("    .align 8");
+                    }
+                }
+                None => self.emit(&format!("    .quad {}", g.init.unwrap_or(0))),
+            }
+        }
+        self.emit("__heap_ptr: .quad 0");
+        self.emit("    .align 4096");
+        self.emit("__heap_start:");
+        Ok(())
+    }
+
+    fn emit(&mut self, line: &str) {
+        self.out.push_str(line);
+        self.out.push('\n');
+    }
+
+    fn emitf(&mut self, args: std::fmt::Arguments<'_>) {
+        let _ = self.out.write_fmt(args);
+        self.out.push('\n');
+    }
+
+    fn fresh_label(&mut self) -> String {
+        self.label_n += 1;
+        format!(".L{}", self.label_n)
+    }
+
+    /// The bump allocator. `$a0` = byte count (rounded up to 8); returns the
+    /// old break in `$v0`. Uses only `$t8`/`$t9` so it never disturbs the
+    /// expression registers of the caller.
+    fn emit_alloc_runtime(&mut self) {
+        self.emit("alloc:");
+        self.emit("    addq $a0, 7, $a0");
+        self.emit("    srl $a0, 3, $a0");
+        self.emit("    sll $a0, 3, $a0");
+        self.emit("    la $t8, __heap_ptr");
+        self.emit("    ldq $v0, 0($t8)");
+        self.emit("    bne $v0, .Lalloc_have");
+        self.emit("    la $v0, __heap_start");
+        self.emit(".Lalloc_have:");
+        self.emit("    addq $v0, $a0, $t9");
+        self.emit("    stq $t9, 0($t8)");
+        self.emit("    ret");
+    }
+
+    // ---- frame layout ----
+
+    /// Sums the local-slot bytes of a statement subtree and reports whether
+    /// any array is declared (which forces `$fp` use).
+    fn measure(stmts: &[Stmt]) -> (i64, bool) {
+        let mut bytes = 0i64;
+        let mut has_array = false;
+        fn rec(s: &Stmt, bytes: &mut i64, has_array: &mut bool) {
+            match s {
+                Stmt::Decl { ty, array, .. } => {
+                    match array {
+                        Some(n) => {
+                            let elem: i64 = if *ty == Ty::Char { 1 } else { 8 };
+                            // Arrays stay 8-byte aligned in the frame.
+                            *bytes += (elem * i64::from(*n) + 7) / 8 * 8;
+                            *has_array = true;
+                        }
+                        None => *bytes += 8,
+                    }
+                }
+                Stmt::If(_, a, b) => {
+                    rec(a, bytes, has_array);
+                    if let Some(b) = b {
+                        rec(b, bytes, has_array);
+                    }
+                }
+                Stmt::While(_, b) => rec(b, bytes, has_array),
+                Stmt::For(i, _, st, b) => {
+                    if let Some(i) = i {
+                        rec(i, bytes, has_array);
+                    }
+                    if let Some(st) = st {
+                        rec(st, bytes, has_array);
+                    }
+                    rec(b, bytes, has_array);
+                }
+                Stmt::Block(v) => v.iter().for_each(|s| rec(s, bytes, has_array)),
+                _ => {}
+            }
+        }
+        stmts.iter().for_each(|s| rec(s, &mut bytes, &mut has_array));
+        (bytes, has_array)
+    }
+
+    fn function(&mut self, f: &Function) -> Result<(), CcError> {
+        let (local_bytes, has_array) = Self::measure(&f.body);
+        let reg_plan = if self.opts.regalloc { plan(f) } else { RegPlan::default() };
+        let saved_sregs = reg_plan.used_regs();
+        // Layout: [0]=ra, [8]=fp save, [16..80]=temp slots, callee-saved
+        // register save area, params, locals.
+        let temp_base = 16;
+        let sregs_base = temp_base + 8 * MAX_DEPTH as i64;
+        let params_base = sregs_base + 8 * saved_sregs.len() as i64;
+        let locals_base = params_base + 8 * f.params.len() as i64;
+        let frame_size = (locals_base + local_bytes + 15) / 16 * 16;
+        if frame_size > MAX_FRAME {
+            return Err(CcError::new(
+                f.line,
+                format!("frame of `{}` exceeds {MAX_FRAME} bytes", f.name),
+            ));
+        }
+        let mut ctx = FnCtx {
+            name: f.name.clone(),
+            scopes: vec![HashMap::new()],
+            fp_used: has_array,
+            reg_plan,
+            temp_base,
+            local_cursor: locals_base,
+            vstack: Vec::new(),
+            break_labels: Vec::new(),
+            continue_labels: Vec::new(),
+        };
+        for (i, (pname, pty)) in f.params.iter().enumerate() {
+            let off = params_base + 8 * i as i64;
+            let reg = ctx.reg_plan.assigned.get(pname).copied();
+            ctx.scopes[0].insert(pname.clone(), FrameSlot { off, ty: *pty, array: None, reg });
+        }
+
+        self.emitf(format_args!("{}:", f.name));
+        self.emitf(format_args!("    lda $sp, -{frame_size}($sp)"));
+        self.emit("    stq $ra, 0($sp)");
+        if ctx.fp_used {
+            self.emit("    stq $fp, 8($sp)");
+            self.emit("    mov $sp, $fp");
+        }
+        for (i, sreg) in saved_sregs.iter().enumerate() {
+            let off = sregs_base + 8 * i as i64;
+            self.emitf(format_args!("    stq {sreg}, {off}($sp)"));
+        }
+        for ((i, (pname, _)), areg) in f.params.iter().enumerate().zip(ARG_REGS) {
+            match ctx.reg_plan.assigned.get(pname) {
+                Some(sreg) => self.emitf(format_args!("    mov {areg}, {sreg}")),
+                None => {
+                    let off = params_base + 8 * i as i64;
+                    self.emitf(format_args!("    stq {areg}, {off}($sp)"));
+                }
+            }
+        }
+
+        for s in &f.body {
+            self.stmt(&mut ctx, s)?;
+        }
+
+        self.emitf(format_args!(".Lret.{}:", f.name));
+        for (i, sreg) in saved_sregs.iter().enumerate() {
+            let off = sregs_base + 8 * i as i64;
+            self.emitf(format_args!("    ldq {sreg}, {off}($sp)"));
+        }
+        if ctx.fp_used {
+            self.emit("    ldq $fp, 8($sp)");
+        }
+        self.emit("    ldq $ra, 0($sp)");
+        self.emitf(format_args!("    lda $sp, {frame_size}($sp)"));
+        self.emit("    ret");
+        debug_assert!(ctx.vstack.is_empty(), "value stack not empty at end of {}", f.name);
+        Ok(())
+    }
+
+    // ---- value stack ----
+
+    fn push(&mut self, ctx: &mut FnCtx, ty: Ty, line: usize) -> Result<usize, CcError> {
+        if ctx.vstack.len() >= MAX_DEPTH {
+            return Err(CcError::new(line, "expression too deep (max 8 live temporaries)"));
+        }
+        ctx.vstack.push(TempEntry { in_reg: true, ty });
+        Ok(ctx.vstack.len() - 1)
+    }
+
+    fn reg_of(idx: usize) -> &'static str {
+        TEMP_REGS[idx]
+    }
+
+    /// Load mnemonic for a value of scalar width `size` (1 or 8 bytes).
+    fn load_mnemonic(size: u64) -> &'static str {
+        if size == 1 {
+            "ldbu"
+        } else {
+            "ldq"
+        }
+    }
+
+    /// Store mnemonic for a value of scalar width `size`.
+    fn store_mnemonic(size: u64) -> &'static str {
+        if size == 1 {
+            "stb"
+        } else {
+            "stq"
+        }
+    }
+
+    fn slot_of(ctx: &FnCtx, idx: usize) -> i64 {
+        ctx.temp_base + 8 * idx as i64
+    }
+
+    /// Makes sure the value at vstack index `idx` is in its register.
+    fn ensure_reg(&mut self, ctx: &mut FnCtx, idx: usize) -> &'static str {
+        if !ctx.vstack[idx].in_reg {
+            let off = Self::slot_of(ctx, idx);
+            self.emitf(format_args!("    ldq {}, {off}($sp)", Self::reg_of(idx)));
+            ctx.vstack[idx].in_reg = true;
+        }
+        Self::reg_of(idx)
+    }
+
+    /// Writes every live register temp to its home slot (before calls and
+    /// control-flow merges).
+    fn spill_all(&mut self, ctx: &mut FnCtx) {
+        for idx in 0..ctx.vstack.len() {
+            if ctx.vstack[idx].in_reg {
+                let off = Self::slot_of(ctx, idx);
+                self.emitf(format_args!("    stq {}, {off}($sp)", Self::reg_of(idx)));
+                ctx.vstack[idx].in_reg = false;
+            }
+        }
+    }
+
+    fn pop(&mut self, ctx: &mut FnCtx) -> TempEntry {
+        ctx.vstack.pop().expect("value stack underflow")
+    }
+
+    // ---- expressions ----
+
+    /// Evaluates `e`, pushing its value; returns its type.
+    #[allow(clippy::too_many_lines)]
+    fn eval(&mut self, ctx: &mut FnCtx, e: &Expr) -> Result<Ty, CcError> {
+        match e {
+            Expr::Num(v) => {
+                let idx = self.push(ctx, Ty::Int, 0)?;
+                self.emitf(format_args!("    li {}, {v}", Self::reg_of(idx)));
+                Ok(Ty::Int)
+            }
+            Expr::Var(name, line) => {
+                if let Some(slot) = ctx.lookup(name) {
+                    if slot.array.is_some() {
+                        let decayed = slot.ty.addr_of();
+                        let idx = self.push(ctx, decayed, *line)?;
+                        self.emitf(format_args!(
+                            "    lda {}, {}({})",
+                            Self::reg_of(idx),
+                            slot.off,
+                            "$fp"
+                        ));
+                        return Ok(decayed);
+                    }
+                    let idx = self.push(ctx, slot.ty, *line)?;
+                    if let Some(sreg) = slot.reg {
+                        self.emitf(format_args!("    mov {sreg}, {}", Self::reg_of(idx)));
+                    } else {
+                        self.emitf(format_args!(
+                            "    ldq {}, {}({})",
+                            Self::reg_of(idx),
+                            slot.off,
+                            ctx.scalar_base()
+                        ));
+                    }
+                    return Ok(slot.ty);
+                }
+                if let Some(g) = self.globals.get(name).copied() {
+                    if g.array {
+                        let decayed = g.ty.addr_of();
+                        let idx = self.push(ctx, decayed, *line)?;
+                        self.emitf(format_args!("    la {}, G.{name}", Self::reg_of(idx)));
+                        return Ok(decayed);
+                    }
+                    let idx = self.push(ctx, g.ty, *line)?;
+                    let r = Self::reg_of(idx);
+                    self.emitf(format_args!("    la {r}, G.{name}"));
+                    self.emitf(format_args!("    ldq {r}, 0({r})"));
+                    return Ok(g.ty);
+                }
+                Err(CcError::new(*line, format!("undefined variable `{name}`")))
+            }
+            Expr::Unary(op, inner, line) => self.eval_unary(ctx, *op, inner, *line),
+            Expr::Binary(op, lhs, rhs, line) => self.eval_binary(ctx, *op, lhs, rhs, *line),
+            Expr::Assign(lhs, rhs, line) => self.eval_assign(ctx, lhs, rhs, *line),
+            Expr::Call(name, args, line) => self.eval_call(ctx, name, args, *line),
+            Expr::Index(base, idx_e, line) => {
+                let pointee = self.eval_addr_index(ctx, base, idx_e, *line)?;
+                let size = if pointee == Ty::Char { 1 } else { 8 };
+                let top = ctx.vstack.len() - 1;
+                let r = self.ensure_reg(ctx, top);
+                self.emitf(format_args!("    {} {r}, 0({r})", Self::load_mnemonic(size)));
+                ctx.vstack[top].ty = pointee;
+                Ok(pointee)
+            }
+        }
+    }
+
+    fn eval_unary(
+        &mut self,
+        ctx: &mut FnCtx,
+        op: UnOp,
+        inner: &Expr,
+        line: usize,
+    ) -> Result<Ty, CcError> {
+        match op {
+            UnOp::AddrOf => self.eval_addr(ctx, inner, line),
+            UnOp::Deref => {
+                let ty = self.eval(ctx, inner)?;
+                let pointee = ty
+                    .deref()
+                    .ok_or_else(|| CcError::new(line, "cannot dereference a non-pointer"))?;
+                let size = ty.pointee_size().expect("deref implies pointer");
+                let top = ctx.vstack.len() - 1;
+                let r = self.ensure_reg(ctx, top);
+                self.emitf(format_args!("    {} {r}, 0({r})", Self::load_mnemonic(size)));
+                ctx.vstack[top].ty = pointee;
+                Ok(pointee)
+            }
+            UnOp::Neg | UnOp::Not | UnOp::BitNot => {
+                self.eval(ctx, inner)?;
+                let top = ctx.vstack.len() - 1;
+                let r = self.ensure_reg(ctx, top);
+                match op {
+                    UnOp::Neg => self.emitf(format_args!("    subq $zero, {r}, {r}")),
+                    UnOp::Not => self.emitf(format_args!("    cmpeq {r}, 0, {r}")),
+                    UnOp::BitNot => {
+                        self.emit("    lda $at, -1($zero)");
+                        self.emitf(format_args!("    xor {r}, $at, {r}"));
+                    }
+                    _ => unreachable!(),
+                }
+                ctx.vstack[top].ty = Ty::Int;
+                Ok(Ty::Int)
+            }
+        }
+    }
+
+    /// Pushes the *address* of an lvalue; returns the type of `&lvalue`.
+    fn eval_addr(&mut self, ctx: &mut FnCtx, e: &Expr, line: usize) -> Result<Ty, CcError> {
+        match e {
+            Expr::Var(name, vline) => {
+                if let Some(slot) = ctx.lookup(name) {
+                    if slot.array.is_some() {
+                        // `&arr` is the same address as `arr` (decayed).
+                        let decayed = slot.ty.addr_of();
+                        let idx = self.push(ctx, decayed, *vline)?;
+                        self.emitf(format_args!(
+                            "    lda {}, {}($fp)",
+                            Self::reg_of(idx),
+                            slot.off
+                        ));
+                        return Ok(decayed);
+                    }
+                    if slot.reg.is_some() {
+                        return Err(CcError::new(
+                            *vline,
+                            format!("internal: address of register-promoted `{name}`"),
+                        ));
+                    }
+                    let ty = slot.ty.addr_of();
+                    let idx = self.push(ctx, ty, *vline)?;
+                    self.emitf(format_args!(
+                        "    lda {}, {}({})",
+                        Self::reg_of(idx),
+                        slot.off,
+                        ctx.scalar_base()
+                    ));
+                    return Ok(ty);
+                }
+                if let Some(g) = self.globals.get(name).copied() {
+                    let ty = g.ty.addr_of();
+                    let idx = self.push(ctx, ty, *vline)?;
+                    self.emitf(format_args!("    la {}, G.{name}", Self::reg_of(idx)));
+                    return Ok(ty);
+                }
+                Err(CcError::new(*vline, format!("undefined variable `{name}`")))
+            }
+            Expr::Index(base, idx_e, iline) => {
+                let pointee = self.eval_addr_index(ctx, base, idx_e, *iline)?;
+                Ok(pointee.addr_of())
+            }
+            Expr::Unary(UnOp::Deref, inner, _) => {
+                // `&*p` is just `p`.
+                let ty = self.eval(ctx, inner)?;
+                ty.deref()
+                    .ok_or_else(|| CcError::new(line, "cannot dereference a non-pointer"))?;
+                Ok(ty)
+            }
+            _ => Err(CcError::new(line, "expression is not an lvalue")),
+        }
+    }
+
+    /// Pushes the address of `base[idx]`; returns the *element* type.
+    fn eval_addr_index(
+        &mut self,
+        ctx: &mut FnCtx,
+        base: &Expr,
+        idx_e: &Expr,
+        line: usize,
+    ) -> Result<Ty, CcError> {
+        let bty = self.eval(ctx, base)?;
+        let pointee = bty
+            .deref()
+            .ok_or_else(|| CcError::new(line, "indexed expression is not a pointer or array"))?;
+        self.eval(ctx, idx_e)?;
+        let size = bty.pointee_size().expect("checked by deref above");
+        let top = ctx.vstack.len() - 1;
+        let ri = self.ensure_reg(ctx, top);
+        let rb = self.ensure_reg(ctx, top - 1);
+        if size == 8 {
+            self.emitf(format_args!("    sll {ri}, 3, {ri}"));
+        }
+        self.emitf(format_args!("    addq {rb}, {ri}, {rb}"));
+        self.pop(ctx);
+        ctx.vstack[top - 1].ty = bty;
+        Ok(pointee)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn eval_binary(
+        &mut self,
+        ctx: &mut FnCtx,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        line: usize,
+    ) -> Result<Ty, CcError> {
+        if matches!(op, BinOp::LogAnd | BinOp::LogOr) {
+            return self.eval_logical(ctx, op, lhs, rhs, line);
+        }
+        let lt = self.eval(ctx, lhs)?;
+        let rt = self.eval(ctx, rhs)?;
+        let top = ctx.vstack.len() - 1;
+        let rr = self.ensure_reg(ctx, top);
+        let rl = self.ensure_reg(ctx, top - 1);
+
+        // Pointer arithmetic scaling by the pointee element size (8 for
+        // `int` and pointer cells, 1 for `char`).
+        let mut result_ty = Ty::Int;
+        match op {
+            BinOp::Add => match (lt.is_ptr(), rt.is_ptr()) {
+                (true, false) => {
+                    if lt.pointee_size() == Some(8) {
+                        self.emitf(format_args!("    sll {rr}, 3, {rr}"));
+                    }
+                    result_ty = lt;
+                }
+                (false, true) => {
+                    if rt.pointee_size() == Some(8) {
+                        self.emitf(format_args!("    sll {rl}, 3, {rl}"));
+                    }
+                    result_ty = rt;
+                }
+                (true, true) => return Err(CcError::new(line, "cannot add two pointers")),
+                (false, false) => {}
+            },
+            BinOp::Sub => match (lt.is_ptr(), rt.is_ptr()) {
+                (true, false) => {
+                    if lt.pointee_size() == Some(8) {
+                        self.emitf(format_args!("    sll {rr}, 3, {rr}"));
+                    }
+                    result_ty = lt;
+                }
+                (true, true) => result_ty = Ty::Int, // element difference below
+                (false, true) => {
+                    return Err(CcError::new(line, "cannot subtract pointer from integer"))
+                }
+                (false, false) => {}
+            },
+            _ => {}
+        }
+
+        let emit_simple = |cg: &mut Self, mnem: &str| {
+            cg.emitf(format_args!("    {mnem} {rl}, {rr}, {rl}"));
+        };
+        match op {
+            BinOp::Add => emit_simple(self, "addq"),
+            BinOp::Sub => {
+                emit_simple(self, "subq");
+                if lt.is_ptr() && rt.is_ptr() && lt.pointee_size() == Some(8) {
+                    self.emitf(format_args!("    sra {rl}, 3, {rl}"));
+                }
+            }
+            BinOp::Mul => emit_simple(self, "mulq"),
+            BinOp::Div => emit_simple(self, "divq"),
+            BinOp::Rem => emit_simple(self, "remq"),
+            BinOp::BitAnd => emit_simple(self, "and"),
+            BinOp::BitOr => emit_simple(self, "bis"),
+            BinOp::BitXor => emit_simple(self, "xor"),
+            BinOp::Shl => emit_simple(self, "sll"),
+            BinOp::Shr => emit_simple(self, "sra"), // ints are signed
+            BinOp::Lt => emit_simple(self, "cmplt"),
+            BinOp::Le => emit_simple(self, "cmple"),
+            BinOp::Gt => self.emitf(format_args!("    cmplt {rr}, {rl}, {rl}")),
+            BinOp::Ge => self.emitf(format_args!("    cmple {rr}, {rl}, {rl}")),
+            BinOp::Eq => emit_simple(self, "cmpeq"),
+            BinOp::Ne => {
+                emit_simple(self, "cmpeq");
+                self.emitf(format_args!("    xor {rl}, 1, {rl}"));
+            }
+            BinOp::LogAnd | BinOp::LogOr => unreachable!(),
+        }
+        self.pop(ctx);
+        let top = ctx.vstack.len() - 1;
+        ctx.vstack[top].ty = result_ty;
+        Ok(result_ty)
+    }
+
+    /// Short-circuit `&&`/`||`. The result is kept in its home *slot* on
+    /// both paths so the compile-time register state is consistent at the
+    /// merge point.
+    fn eval_logical(
+        &mut self,
+        ctx: &mut FnCtx,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        line: usize,
+    ) -> Result<Ty, CcError> {
+        self.eval(ctx, lhs)?;
+        let top = ctx.vstack.len() - 1;
+        let rl = self.ensure_reg(ctx, top);
+        let end = self.fresh_label();
+        // Normalize lhs to 0/1 in place.
+        self.emitf(format_args!("    cmpult $zero, {rl}, {rl}"));
+        let slot = Self::slot_of(ctx, top);
+        self.emitf(format_args!("    stq {rl}, {slot}($sp)"));
+        ctx.vstack[top].in_reg = false;
+        match op {
+            BinOp::LogAnd => self.emitf(format_args!("    beq {rl}, {end}")),
+            BinOp::LogOr => self.emitf(format_args!("    bne {rl}, {end}")),
+            _ => unreachable!(),
+        }
+        // Evaluate rhs into a fresh temp, normalize, store to the same slot.
+        self.eval(ctx, rhs)?;
+        let rtop = ctx.vstack.len() - 1;
+        let rr = self.ensure_reg(ctx, rtop);
+        self.emitf(format_args!("    cmpult $zero, {rr}, {rr}"));
+        self.emitf(format_args!("    stq {rr}, {slot}($sp)"));
+        self.pop(ctx);
+        self.emitf(format_args!("{end}:"));
+        let _ = line;
+        ctx.vstack[top].ty = Ty::Int;
+        ctx.vstack[top].in_reg = false;
+        Ok(Ty::Int)
+    }
+
+    fn eval_assign(
+        &mut self,
+        ctx: &mut FnCtx,
+        lhs: &Expr,
+        rhs: &Expr,
+        line: usize,
+    ) -> Result<Ty, CcError> {
+        // Fast path: scalar variable targets get direct stores.
+        if let Expr::Var(name, vline) = lhs {
+            if let Some(slot) = ctx.lookup(name) {
+                if slot.array.is_some() {
+                    return Err(CcError::new(*vline, "cannot assign to an array"));
+                }
+                let ty = self.eval(ctx, rhs)?;
+                let top = ctx.vstack.len() - 1;
+                let r = self.ensure_reg(ctx, top);
+                if let Some(sreg) = slot.reg {
+                    self.emitf(format_args!("    mov {r}, {sreg}"));
+                } else {
+                    self.emitf(format_args!(
+                        "    stq {r}, {}({})",
+                        slot.off,
+                        ctx.scalar_base()
+                    ));
+                }
+                ctx.vstack[top].ty = slot.ty;
+                return Ok(ty);
+            }
+            if let Some(g) = self.globals.get(name).copied() {
+                if g.array {
+                    return Err(CcError::new(*vline, "cannot assign to an array"));
+                }
+                let ty = self.eval(ctx, rhs)?;
+                let top = ctx.vstack.len() - 1;
+                let r = self.ensure_reg(ctx, top);
+                self.emitf(format_args!("    la $at, G.{name}"));
+                self.emitf(format_args!("    stq {r}, 0($at)"));
+                return Ok(ty);
+            }
+            return Err(CcError::new(*vline, format!("undefined variable `{name}`")));
+        }
+        // General path: compute the address, then the value, then store.
+        let addr_ty = self.eval_addr(ctx, lhs, line)?;
+        let size = addr_ty.pointee_size().unwrap_or(8);
+        let ty = self.eval(ctx, rhs)?;
+        let vtop = ctx.vstack.len() - 1;
+        let rv = self.ensure_reg(ctx, vtop);
+        let ra = self.ensure_reg(ctx, vtop - 1);
+        self.emitf(format_args!("    {} {rv}, 0({ra})", Self::store_mnemonic(size)));
+        // Keep the value as the expression result: move it down a slot.
+        let value = self.pop(ctx);
+        let addr_idx = ctx.vstack.len() - 1;
+        self.emitf(format_args!("    mov {rv}, {}", Self::reg_of(addr_idx)));
+        ctx.vstack[addr_idx] = TempEntry { in_reg: true, ty: value.ty };
+        Ok(ty)
+    }
+
+    fn eval_call(
+        &mut self,
+        ctx: &mut FnCtx,
+        name: &str,
+        args: &[Expr],
+        line: usize,
+    ) -> Result<Ty, CcError> {
+        let sig = *self
+            .fns
+            .get(name)
+            .ok_or_else(|| CcError::new(line, format!("undefined function `{name}`")))?;
+        if args.len() != sig.arity {
+            return Err(CcError::new(
+                line,
+                format!("`{name}` expects {} argument(s), got {}", sig.arity, args.len()),
+            ));
+        }
+        let base = ctx.vstack.len();
+        for a in args {
+            self.eval(ctx, a)?;
+        }
+        // Everything live must survive the call in memory.
+        self.spill_all(ctx);
+        for (i, areg) in ARG_REGS.iter().enumerate().take(args.len()) {
+            let off = Self::slot_of(ctx, base + i);
+            self.emitf(format_args!("    ldq {areg}, {off}($sp)"));
+        }
+        for _ in 0..args.len() {
+            self.pop(ctx);
+        }
+        match name {
+            "print" => {
+                self.emit("    putint");
+                let idx = self.push(ctx, Ty::Int, line)?;
+                self.emitf(format_args!("    mov $a0, {}", Self::reg_of(idx)));
+            }
+            "printc" => {
+                self.emit("    putchar");
+                let idx = self.push(ctx, Ty::Int, line)?;
+                self.emitf(format_args!("    mov $a0, {}", Self::reg_of(idx)));
+            }
+            _ => {
+                self.emitf(format_args!("    call {name}"));
+                let idx = self.push(ctx, sig.ret, line)?;
+                self.emitf(format_args!("    mov $v0, {}", Self::reg_of(idx)));
+            }
+        }
+        Ok(sig.ret)
+    }
+
+    // ---- statements ----
+
+    fn stmt(&mut self, ctx: &mut FnCtx, s: &Stmt) -> Result<(), CcError> {
+        match s {
+            Stmt::Decl { name, ty, array, init, line } => {
+                let reg = if array.is_none() {
+                    ctx.reg_plan.assigned.get(name).copied()
+                } else {
+                    None
+                };
+                let off = ctx.local_cursor;
+                if reg.is_none() {
+                    let bytes = match array {
+                        Some(n) => {
+                            let elem: i64 = if *ty == Ty::Char { 1 } else { 8 };
+                            (elem * i64::from(*n) + 7) / 8 * 8
+                        }
+                        None => 8,
+                    };
+                    ctx.local_cursor += bytes;
+                }
+                let slot = FrameSlot { off, ty: *ty, array: *array, reg };
+                ctx.scopes
+                    .last_mut()
+                    .expect("scope stack never empty")
+                    .insert(name.clone(), slot);
+                if let Some(e) = init {
+                    self.eval(ctx, e)?;
+                    let top = ctx.vstack.len() - 1;
+                    let r = self.ensure_reg(ctx, top);
+                    match reg {
+                        Some(sreg) => self.emitf(format_args!("    mov {r}, {sreg}")),
+                        None => self.emitf(format_args!(
+                            "    stq {r}, {off}({})",
+                            ctx.scalar_base()
+                        )),
+                    }
+                    self.pop(ctx);
+                }
+                let _ = line;
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.eval(ctx, e)?;
+                self.pop(ctx);
+                Ok(())
+            }
+            Stmt::If(cond, then, els) => {
+                self.eval(ctx, cond)?;
+                let top = ctx.vstack.len() - 1;
+                let r = self.ensure_reg(ctx, top);
+                self.pop(ctx);
+                let else_l = self.fresh_label();
+                self.emitf(format_args!("    beq {r}, {else_l}"));
+                self.scoped_stmt(ctx, then)?;
+                if let Some(els) = els {
+                    let end_l = self.fresh_label();
+                    self.emitf(format_args!("    br {end_l}"));
+                    self.emitf(format_args!("{else_l}:"));
+                    self.scoped_stmt(ctx, els)?;
+                    self.emitf(format_args!("{end_l}:"));
+                } else {
+                    self.emitf(format_args!("{else_l}:"));
+                }
+                Ok(())
+            }
+            Stmt::While(cond, body) => {
+                let top_l = self.fresh_label();
+                let end_l = self.fresh_label();
+                self.emitf(format_args!("{top_l}:"));
+                self.eval(ctx, cond)?;
+                let top = ctx.vstack.len() - 1;
+                let r = self.ensure_reg(ctx, top);
+                self.pop(ctx);
+                self.emitf(format_args!("    beq {r}, {end_l}"));
+                ctx.break_labels.push(end_l.clone());
+                ctx.continue_labels.push(top_l.clone());
+                self.scoped_stmt(ctx, body)?;
+                ctx.break_labels.pop();
+                ctx.continue_labels.pop();
+                self.emitf(format_args!("    br {top_l}"));
+                self.emitf(format_args!("{end_l}:"));
+                Ok(())
+            }
+            Stmt::For(init, cond, step, body) => {
+                ctx.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(ctx, i)?;
+                }
+                let top_l = self.fresh_label();
+                let cont_l = self.fresh_label();
+                let end_l = self.fresh_label();
+                self.emitf(format_args!("{top_l}:"));
+                if let Some(c) = cond {
+                    self.eval(ctx, c)?;
+                    let top = ctx.vstack.len() - 1;
+                    let r = self.ensure_reg(ctx, top);
+                    self.pop(ctx);
+                    self.emitf(format_args!("    beq {r}, {end_l}"));
+                }
+                ctx.break_labels.push(end_l.clone());
+                ctx.continue_labels.push(cont_l.clone());
+                self.scoped_stmt(ctx, body)?;
+                ctx.break_labels.pop();
+                ctx.continue_labels.pop();
+                self.emitf(format_args!("{cont_l}:"));
+                if let Some(st) = step {
+                    self.stmt(ctx, st)?;
+                }
+                self.emitf(format_args!("    br {top_l}"));
+                self.emitf(format_args!("{end_l}:"));
+                ctx.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return(value, _line) => {
+                if let Some(e) = value {
+                    self.eval(ctx, e)?;
+                    let top = ctx.vstack.len() - 1;
+                    let r = self.ensure_reg(ctx, top);
+                    self.emitf(format_args!("    mov {r}, $v0"));
+                    self.pop(ctx);
+                }
+                self.emitf(format_args!("    br .Lret.{}", ctx.name));
+                Ok(())
+            }
+            Stmt::Break(line) => {
+                let l = ctx
+                    .break_labels
+                    .last()
+                    .ok_or_else(|| CcError::new(*line, "`break` outside a loop"))?
+                    .clone();
+                self.emitf(format_args!("    br {l}"));
+                Ok(())
+            }
+            Stmt::Continue(line) => {
+                let l = ctx
+                    .continue_labels
+                    .last()
+                    .ok_or_else(|| CcError::new(*line, "`continue` outside a loop"))?
+                    .clone();
+                self.emitf(format_args!("    br {l}"));
+                Ok(())
+            }
+            Stmt::Block(stmts) => {
+                ctx.scopes.push(HashMap::new());
+                for s in stmts {
+                    self.stmt(ctx, s)?;
+                }
+                ctx.scopes.pop();
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs a sub-statement in its own scope (so `if (c) int x = …;` style
+    /// single statements do not leak declarations).
+    fn scoped_stmt(&mut self, ctx: &mut FnCtx, s: &Stmt) -> Result<(), CcError> {
+        ctx.scopes.push(HashMap::new());
+        let r = self.stmt(ctx, s);
+        ctx.scopes.pop();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svf_emu::Emulator;
+
+    fn run(src: &str) -> String {
+        let program = crate::compile_to_program(src).expect("compiles");
+        let mut emu = Emulator::new(&program);
+        let outcome = emu.run(200_000_000).expect("no fault");
+        assert_eq!(outcome, svf_emu::RunOutcome::Halted, "did not halt");
+        emu.output_string()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(run("int main() { print(1 + 2 * 3 - 4 / 2); return 0; }"), "5\n");
+        assert_eq!(run("int main() { print((1 + 2) * (3 + 4)); return 0; }"), "21\n");
+        assert_eq!(run("int main() { print(17 % 5); return 0; }"), "2\n");
+        assert_eq!(run("int main() { print(-7 / 2); return 0; }"), "-3\n");
+        assert_eq!(run("int main() { print(1 << 10); return 0; }"), "1024\n");
+        assert_eq!(run("int main() { print(-16 >> 2); return 0; }"), "-4\n");
+        assert_eq!(run("int main() { print(12 & 10); print(12 | 10); print(12 ^ 10); return 0; }"), "8\n14\n6\n");
+        assert_eq!(run("int main() { print(~0); return 0; }"), "-1\n");
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(run("int main() { print(3 < 4); print(4 < 3); return 0; }"), "1\n0\n");
+        assert_eq!(run("int main() { print(3 <= 3); print(4 >= 5); return 0; }"), "1\n0\n");
+        assert_eq!(run("int main() { print(3 == 3); print(3 != 3); return 0; }"), "1\n0\n");
+        assert_eq!(run("int main() { print(5 > 4); return 0; }"), "1\n");
+        assert_eq!(run("int main() { print(!5); print(!0); return 0; }"), "0\n1\n");
+    }
+
+    #[test]
+    fn short_circuit_logic() {
+        // The right operand must not execute when short-circuited: side
+        // effect via global.
+        let src = "
+            int hits;
+            int bump() { hits = hits + 1; return 1; }
+            int main() {
+                print(0 && bump());
+                print(hits);
+                print(1 || bump());
+                print(hits);
+                print(1 && bump());
+                print(hits);
+                return 0;
+            }";
+        assert_eq!(run(src), "0\n0\n1\n0\n1\n1\n");
+    }
+
+    #[test]
+    fn locals_params_and_calls() {
+        let src = "
+            int add3(int a, int b, int c) { return a + b + c; }
+            int main() {
+                int x = 10;
+                int y = add3(x, x * 2, 5);
+                print(y);
+                return 0;
+            }";
+        assert_eq!(run(src), "35\n");
+    }
+
+    #[test]
+    fn six_argument_calls() {
+        let src = "
+            int f(int a, int b, int c, int d, int e, int g) {
+                return a + 10*b + 100*c + 1000*d + 10000*e + 100000*g;
+            }
+            int main() { print(f(1, 2, 3, 4, 5, 6)); return 0; }";
+        assert_eq!(run(src), "654321\n");
+    }
+
+    #[test]
+    fn recursion() {
+        let src = "
+            int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+            int main() { print(fact(12)); return 0; }";
+        assert_eq!(run(src), "479001600\n");
+    }
+
+    #[test]
+    fn mutual_recursion() {
+        let src = "
+            int is_odd(int n);
+            int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+            int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+            int main() { print(is_even(10)); print(is_odd(10)); return 0; }";
+        // Forward declaration is not in the grammar: define in call order
+        // instead.
+        let src2 = "
+            int is_odd(int n) { if (n == 0) return 0; return is_odd(n - 1) == 0; }
+            int main() { print(is_odd(9)); return 0; }";
+        let _ = src;
+        assert_eq!(run(src2), "1\n");
+    }
+
+    #[test]
+    fn while_and_for_loops() {
+        let src = "
+            int main() {
+                int s = 0;
+                for (int i = 1; i <= 10; i = i + 1) s = s + i;
+                print(s);
+                int k = 0;
+                while (s > 0) { s = s - 7; k = k + 1; }
+                print(k);
+                return 0;
+            }";
+        assert_eq!(run(src), "55\n8\n");
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let src = "
+            int main() {
+                int s = 0;
+                for (int i = 0; i < 100; i = i + 1) {
+                    if (i % 2 == 0) continue;
+                    if (i > 10) break;
+                    s = s + i;
+                }
+                print(s);
+                return 0;
+            }";
+        assert_eq!(run(src), "25\n"); // 1+3+5+7+9
+    }
+
+    #[test]
+    fn local_arrays() {
+        let src = "
+            int main() {
+                int a[10];
+                for (int i = 0; i < 10; i = i + 1) a[i] = i * i;
+                int s = 0;
+                for (int i = 0; i < 10; i = i + 1) s = s + a[i];
+                print(s);
+                return 0;
+            }";
+        assert_eq!(run(src), "285\n");
+    }
+
+    #[test]
+    fn global_scalars_and_arrays() {
+        let src = "
+            int counter = 100;
+            int table[8];
+            int main() {
+                counter = counter + 1;
+                table[3] = counter;
+                print(table[3]);
+                print(table[0]);
+                return 0;
+            }";
+        assert_eq!(run(src), "101\n0\n");
+    }
+
+    #[test]
+    fn pointers_and_address_of() {
+        let src = "
+            int swap(int* a, int* b) {
+                int t = *a;
+                *a = *b;
+                *b = t;
+                return 0;
+            }
+            int main() {
+                int x = 1;
+                int y = 2;
+                swap(&x, &y);
+                print(x);
+                print(y);
+                return 0;
+            }";
+        assert_eq!(run(src), "2\n1\n");
+    }
+
+    #[test]
+    fn pointer_arithmetic_scales() {
+        let src = "
+            int main() {
+                int a[4];
+                a[0] = 10; a[1] = 20; a[2] = 30; a[3] = 40;
+                int* p = a;
+                print(*(p + 2));
+                int* q = &a[3];
+                print(q - p);
+                print(*q);
+                return 0;
+            }";
+        assert_eq!(run(src), "30\n3\n40\n");
+    }
+
+    #[test]
+    fn heap_alloc() {
+        let src = "
+            int main() {
+                int* a = alloc(80);
+                int* b = alloc(16);
+                for (int i = 0; i < 10; i = i + 1) a[i] = i;
+                b[0] = 7; b[1] = 8;
+                print(a[9] + b[0] + b[1]);
+                print(b - a);
+                return 0;
+            }";
+        assert_eq!(run(src), "24\n10\n");
+    }
+
+    #[test]
+    fn double_pointers() {
+        let src = "
+            int main() {
+                int x = 5;
+                int* p = &x;
+                int** pp = &p;
+                **pp = 9;
+                print(x);
+                return 0;
+            }";
+        assert_eq!(run(src), "9\n");
+    }
+
+    #[test]
+    fn assignment_is_an_expression_value() {
+        let src = "
+            int main() {
+                int a[2];
+                int i = 0;
+                a[i = 1] = 42;
+                print(a[1]);
+                print(i);
+                return 0;
+            }";
+        assert_eq!(run(src), "42\n1\n");
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let src = "
+            int main() {
+                int x = 10;
+                x += 5; print(x);
+                x -= 3; print(x);
+                x *= 2; print(x);
+                x /= 4; print(x);
+                x %= 4; print(x);
+                return 0;
+            }";
+        assert_eq!(run(src), "15\n12\n24\n6\n2\n");
+    }
+
+    #[test]
+    fn block_scoping_shadows() {
+        let src = "
+            int main() {
+                int x = 1;
+                { int x = 2; print(x); }
+                print(x);
+                return 0;
+            }";
+        assert_eq!(run(src), "2\n1\n");
+    }
+
+    #[test]
+    fn char_output() {
+        let src = "int main() { printc('O'); printc('K'); printc('\\n'); return 0; }";
+        assert_eq!(run(src), "OK\n");
+    }
+
+    #[test]
+    fn large_constants() {
+        let src = "
+            int main() {
+                int seed = 0x5DEECE66D;
+                print(seed);
+                int big = 6364136223846793005;
+                print(big);
+                return 0;
+            }";
+        assert_eq!(run(src), format!("{}\n{}\n", 0x5DEECE66Du64, 6364136223846793005u64));
+    }
+
+    #[test]
+    fn lcg_prng_reference() {
+        // The PRNG used by the workloads, validated against Rust arithmetic.
+        let src = "
+            int seed = 88172645463325252;
+            int rnd() {
+                seed = seed * 6364136223846793005 + 1442695040888963407;
+                return (seed >> 33) & 0x3FFFFFFF;
+            }
+            int main() {
+                print(rnd());
+                print(rnd());
+                print(rnd());
+                return 0;
+            }";
+        let mut seed = 88172645463325252i64;
+        let mut expect = String::new();
+        for _ in 0..3 {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            expect.push_str(&format!("{}\n", (seed >> 33) & 0x3FFF_FFFF));
+        }
+        assert_eq!(run(src), expect);
+    }
+
+    #[test]
+    fn deep_expression_within_limit() {
+        let src = "int main() { print(((((((1+2)*3)+4)*5)+6)*7)+8); return 0; }";
+        assert_eq!(run(src), format!("{}\n", ((((((1 + 2) * 3) + 4) * 5) + 6) * 7) + 8));
+    }
+
+    #[test]
+    fn calls_inside_expressions_preserve_temps() {
+        let src = "
+            int two() { return 2; }
+            int main() {
+                print(1000 + two() * 10 + two());
+                return 0;
+            }";
+        assert_eq!(run(src), "1022\n");
+    }
+
+    #[test]
+    fn semantic_errors() {
+        assert!(crate::compile_to_program("int main() { return x; }").is_err());
+        assert!(crate::compile_to_program("int main() { foo(); return 0; }").is_err());
+        assert!(crate::compile_to_program("int f(int a) { return a; } int main() { return f(); }").is_err());
+        assert!(crate::compile_to_program("int main() { 1 = 2; return 0; }").is_err());
+        assert!(crate::compile_to_program("int main() { int x = 0; return *x; }").is_err());
+        assert!(crate::compile_to_program("int g() { return 0; }").is_err(), "no main");
+        assert!(crate::compile_to_program("int main() { int a[4]; a = 0; return 0; }").is_err());
+        assert!(
+            crate::compile_to_program("int main(){return 0;} int main(){return 1;}").is_err(),
+            "redefinition"
+        );
+    }
+
+    #[test]
+    fn fp_is_used_only_with_arrays() {
+        let with = compile_to_asm("int main() { int a[2]; a[0]=1; return a[0]; }").unwrap();
+        assert!(with.contains("mov $sp, $fp"));
+        let without = compile_to_asm("int main() { int x = 1; return x; }").unwrap();
+        assert!(!without.contains("$fp"));
+    }
+
+    #[test]
+    fn char_arrays_are_byte_sized() {
+        let src = "
+            int main() {
+                char buf[16];
+                for (int i = 0; i < 16; i = i + 1) buf[i] = i * 17;
+                int s = 0;
+                for (int i = 0; i < 16; i = i + 1) s = s + buf[i];
+                print(s);
+                return 0;
+            }";
+        // Stores truncate to a byte; loads zero-extend.
+        let expect: i64 = (0..16).map(|i| (i * 17) & 0xFF).sum();
+        assert_eq!(run(src), format!("{expect}\n"));
+    }
+
+    #[test]
+    fn char_pointer_arithmetic_is_unscaled() {
+        let src = "
+            int main() {
+                char b[8];
+                char* p = b;
+                *p = 65;
+                *(p + 1) = 66;
+                p = p + 2;
+                *p = 67;
+                printc(b[0]); printc(b[1]); printc(b[2]);
+                char* q = &b[7];
+                print(q - b);
+                return 0;
+            }";
+        assert_eq!(run(src), "ABC7\n");
+    }
+
+    #[test]
+    fn char_heap_buffer() {
+        let src = "
+            int main() {
+                char* s = alloc(32);
+                for (int i = 0; i < 26; i = i + 1) s[i] = 'a' + i;
+                int acc = 0;
+                for (int i = 0; i < 26; i = i + 1) acc = acc * 2 % 1000003 + s[i];
+                print(acc);
+                return 0;
+            }";
+        let mut acc = 0i64;
+        for i in 0..26 {
+            acc = acc * 2 % 1000003 + (b'a' as i64 + i);
+        }
+        assert_eq!(run(src), format!("{acc}\n"));
+    }
+
+    #[test]
+    fn global_char_array_alignment() {
+        let src = "
+            char tag[3];
+            int counter = 5;
+            int main() {
+                tag[0] = 1; tag[1] = 2; tag[2] = 3;
+                print(tag[0] + tag[1] + tag[2] + counter);
+                return 0;
+            }";
+        assert_eq!(run(src), "11\n");
+    }
+
+    #[test]
+    fn char_scalar_is_promoted_to_word() {
+        let src = "
+            int main() {
+                char c = 300;
+                print(c);
+                return 0;
+            }";
+        // Char *variables* live in 8-byte slots (documented promotion).
+        assert_eq!(run(src), "300\n");
+    }
+
+    #[test]
+    fn mixed_char_and_int_pointers() {
+        let src = "
+            int copy_bytes(char* dst, char* src, int n) {
+                for (int i = 0; i < n; i = i + 1) dst[i] = src[i];
+                return n;
+            }
+            int main() {
+                char a[16];
+                char b[16];
+                for (int i = 0; i < 16; i = i + 1) a[i] = i + 100;
+                copy_bytes(b, a, 16);
+                int s = 0;
+                for (int i = 0; i < 16; i = i + 1) s = s + b[i];
+                print(s);
+                return 0;
+            }";
+        let expect: i64 = (0..16).map(|i| i + 100).sum();
+        assert_eq!(run(src), format!("{expect}\n"));
+    }
+
+    #[test]
+    fn fib_end_to_end() {
+        let src = "
+            int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+            int main() { print(fib(20)); return 0; }";
+        assert_eq!(run(src), "6765\n");
+    }
+}

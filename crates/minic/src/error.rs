@@ -1,0 +1,32 @@
+//! Compiler diagnostics.
+
+use std::error::Error;
+use std::fmt;
+
+/// A compilation error with the 1-based source line it was detected on
+/// (line 0 for whole-program errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CcError {
+    /// 1-based source line, or 0 when not attributable to a line.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl CcError {
+    pub(crate) fn new(line: usize, msg: impl Into<String>) -> CcError {
+        CcError { line, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for CcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.msg)
+        } else {
+            write!(f, "line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl Error for CcError {}

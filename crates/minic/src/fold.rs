@@ -1,0 +1,306 @@
+//! Constant folding and branch pruning on the AST.
+//!
+//! A single bottom-up pass that:
+//!
+//! * folds binary and unary operations over integer literals, using the
+//!   same wrap-around and trap-free semantics the generated code has at
+//!   run time (`x / 0 == 0`, `x % 0 == x`, shifts mod 64);
+//! * strength-reduces multiplication by a power of two into a shift;
+//! * prunes `if`/`while`/`for` bodies whose condition is a literal;
+//! * collapses short-circuit operators with a literal left operand.
+//!
+//! Pointer-typed operands are never folded (scaling happens in codegen and
+//! depends on types); only pure integer arithmetic is touched, which a
+//! literal guarantees.
+
+use crate::ast::{BinOp, Expr, Function, Item, Program, Stmt, UnOp};
+
+/// Folds a whole translation unit in place.
+pub(crate) fn fold_program(ast: &mut Program) {
+    for item in &mut ast.items {
+        if let Item::Function(f) = item {
+            fold_function(f);
+        }
+    }
+}
+
+fn fold_function(f: &mut Function) {
+    let body = std::mem::take(&mut f.body);
+    f.body = body.into_iter().filter_map(fold_stmt).collect();
+}
+
+/// Folds one statement; returns `None` when the statement folds away
+/// entirely (e.g. `while (0) …`).
+fn fold_stmt(s: Stmt) -> Option<Stmt> {
+    Some(match s {
+        Stmt::Decl { name, ty, array, init, line } => {
+            Stmt::Decl { name, ty, array, init: init.map(fold_expr), line }
+        }
+        Stmt::Expr(e) => Stmt::Expr(fold_expr(e)),
+        Stmt::If(cond, then, els) => {
+            let cond = fold_expr(cond);
+            let then_f = fold_boxed(then);
+            let els_f = els.and_then(fold_boxed);
+            if let Expr::Num(v) = cond {
+                // The branch is statically decided; keep only the live arm.
+                return if v != 0 { then_f.map(|b| *b) } else { els_f.map(|b| *b) };
+            }
+            match then_f {
+                Some(t) => Stmt::If(cond, t, els_f),
+                // Then-arm folded away: invert into `if (!cond) els`.
+                None => match els_f {
+                    Some(e) => Stmt::If(Expr::Unary(UnOp::Not, Box::new(cond), 0), e, None),
+                    None => Stmt::Expr(cond), // keep side effects of the condition
+                },
+            }
+        }
+        Stmt::While(cond, body) => {
+            let cond = fold_expr(cond);
+            if matches!(cond, Expr::Num(0)) {
+                return None;
+            }
+            Stmt::While(cond, fold_boxed(body).unwrap_or(Box::new(Stmt::Block(Vec::new()))))
+        }
+        Stmt::For(init, cond, step, body) => {
+            let init = init.and_then(|b| fold_stmt(*b)).map(Box::new);
+            let cond = cond.map(fold_expr);
+            if let (None, Some(Expr::Num(0))) = (&init, &cond) {
+                return None; // never entered, no init side effects
+            }
+            let step = step.and_then(|b| fold_stmt(*b)).map(Box::new);
+            let body =
+                fold_boxed(body).unwrap_or(Box::new(Stmt::Block(Vec::new())));
+            Stmt::For(init, cond, step, body)
+        }
+        Stmt::Return(e, line) => Stmt::Return(e.map(fold_expr), line),
+        Stmt::Break(l) => Stmt::Break(l),
+        Stmt::Continue(l) => Stmt::Continue(l),
+        Stmt::Block(stmts) => {
+            let folded: Vec<Stmt> = stmts.into_iter().filter_map(fold_stmt).collect();
+            if folded.is_empty() {
+                return None;
+            }
+            Stmt::Block(folded)
+        }
+    })
+}
+
+fn fold_boxed(b: Box<Stmt>) -> Option<Box<Stmt>> {
+    fold_stmt(*b).map(Box::new)
+}
+
+/// The run-time semantics of each integer operator, applied at compile
+/// time (must match `svf_isa::AluOp::apply` composition in codegen).
+fn apply(op: BinOp, a: i64, b: i64) -> i64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                a
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        BinOp::Shl => ((a as u64).wrapping_shl(b as u32 & 63)) as i64,
+        BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+        BinOp::BitAnd => a & b,
+        BinOp::BitOr => a | b,
+        BinOp::BitXor => a ^ b,
+        BinOp::Lt => i64::from(a < b),
+        BinOp::Le => i64::from(a <= b),
+        BinOp::Gt => i64::from(a > b),
+        BinOp::Ge => i64::from(a >= b),
+        BinOp::Eq => i64::from(a == b),
+        BinOp::Ne => i64::from(a != b),
+        BinOp::LogAnd => i64::from(a != 0 && b != 0),
+        BinOp::LogOr => i64::from(a != 0 || b != 0),
+    }
+}
+
+fn fold_expr(e: Expr) -> Expr {
+    match e {
+        Expr::Num(_) | Expr::Var(..) => e,
+        Expr::Unary(op, inner, line) => {
+            let inner = fold_expr(*inner);
+            if let Expr::Num(v) = inner {
+                match op {
+                    UnOp::Neg => return Expr::Num(v.wrapping_neg()),
+                    UnOp::Not => return Expr::Num(i64::from(v == 0)),
+                    UnOp::BitNot => return Expr::Num(!v),
+                    UnOp::Deref | UnOp::AddrOf => {}
+                }
+            }
+            Expr::Unary(op, Box::new(inner), line)
+        }
+        Expr::Binary(op, lhs, rhs, line) => {
+            let lhs = fold_expr(*lhs);
+            let rhs = fold_expr(*rhs);
+            match (op, &lhs, &rhs) {
+                // Pure literal arithmetic (never pointer-typed).
+                (_, Expr::Num(a), Expr::Num(b))
+                    if !matches!(op, BinOp::LogAnd | BinOp::LogOr) =>
+                {
+                    Expr::Num(apply(op, *a, *b))
+                }
+                // Constant left operand of a short-circuit op decides or
+                // passes through (the right side has no side effects to
+                // preserve only when it is dropped on a decided 0/1… we
+                // must keep evaluation semantics: `0 && e` skips e, so
+                // dropping e is exactly the language semantics).
+                (BinOp::LogAnd, Expr::Num(0), _) => Expr::Num(0),
+                (BinOp::LogOr, Expr::Num(a), _) if *a != 0 => Expr::Num(1),
+                (BinOp::LogAnd, Expr::Num(a), Expr::Num(b)) => {
+                    Expr::Num(apply(BinOp::LogAnd, *a, *b))
+                }
+                (BinOp::LogOr, Expr::Num(a), Expr::Num(b)) => {
+                    Expr::Num(apply(BinOp::LogOr, *a, *b))
+                }
+                // Strength reduction: x * 2^k → x << k (integers only: a
+                // literal operand guarantees the other side is used as an
+                // integer — pointer × literal is rejected by codegen).
+                (BinOp::Mul, _, Expr::Num(n)) if *n > 1 && (n & (n - 1)) == 0 => {
+                    let k = n.trailing_zeros() as i64;
+                    Expr::Binary(BinOp::Shl, Box::new(lhs), Box::new(Expr::Num(k)), line)
+                }
+                (BinOp::Mul, Expr::Num(n), _) if *n > 1 && (n & (n - 1)) == 0 => {
+                    let k = n.trailing_zeros() as i64;
+                    Expr::Binary(BinOp::Shl, Box::new(rhs), Box::new(Expr::Num(k)), line)
+                }
+                // Additive/multiplicative identities.
+                (BinOp::Add | BinOp::Sub, _, Expr::Num(0)) => lhs,
+                (BinOp::Add, Expr::Num(0), _) => rhs,
+                (BinOp::Mul, _, Expr::Num(1)) => lhs,
+                (BinOp::Mul, Expr::Num(1), _) => rhs,
+                _ => Expr::Binary(op, Box::new(lhs), Box::new(rhs), line),
+            }
+        }
+        Expr::Assign(lhs, rhs, line) => {
+            Expr::Assign(Box::new(fold_expr(*lhs)), Box::new(fold_expr(*rhs)), line)
+        }
+        Expr::Call(name, args, line) => {
+            Expr::Call(name, args.into_iter().map(fold_expr).collect(), line)
+        }
+        Expr::Index(base, idx, line) => {
+            Expr::Index(Box::new(fold_expr(*base)), Box::new(fold_expr(*idx)), line)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn fold_main(src: &str) -> Vec<Stmt> {
+        let mut ast = parse(src).unwrap();
+        fold_program(&mut ast);
+        let body = ast.functions().next().unwrap().body.clone();
+        body
+    }
+
+    fn first_return(body: &[Stmt]) -> &Expr {
+        match &body[0] {
+            Stmt::Return(Some(e), _) => e,
+            other => panic!("expected return, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn folds_literal_arithmetic() {
+        let body = fold_main("int main() { return 2 + 3 * 4 - 6 / 2; }");
+        assert_eq!(first_return(&body), &Expr::Num(11));
+        let body = fold_main("int main() { return (1 << 10) | 7; }");
+        assert_eq!(first_return(&body), &Expr::Num(1031));
+        let body = fold_main("int main() { return 5 / 0 + 5 % 0; }");
+        assert_eq!(first_return(&body), &Expr::Num(5), "trap-free semantics");
+        let body = fold_main("int main() { return -(3) + ~0 + !7; }");
+        assert_eq!(first_return(&body), &Expr::Num(-4));
+    }
+
+    #[test]
+    fn strength_reduces_power_of_two_multiply() {
+        let body = fold_main("int main() { int x = 3; return x * 8; }");
+        match first_return(&body[1..]) {
+            Expr::Binary(BinOp::Shl, _, k, _) => assert_eq!(**k, Expr::Num(3)),
+            other => panic!("expected shift, got {other:?}"),
+        }
+        // Non-powers stay multiplies.
+        let body = fold_main("int main() { int x = 3; return x * 6; }");
+        assert!(matches!(first_return(&body[1..]), Expr::Binary(BinOp::Mul, ..)));
+    }
+
+    #[test]
+    fn identities_are_removed() {
+        let body = fold_main("int main() { int x = 3; return x + 0; }");
+        assert!(matches!(first_return(&body[1..]), Expr::Var(..)));
+        let body = fold_main("int main() { int x = 3; return x * 1; }");
+        assert!(matches!(first_return(&body[1..]), Expr::Var(..)));
+        let body = fold_main("int main() { int x = 3; return 0 + x; }");
+        assert!(matches!(first_return(&body[1..]), Expr::Var(..)));
+    }
+
+    #[test]
+    fn prunes_dead_branches() {
+        let body = fold_main("int main() { if (0) return 1; return 2; }");
+        assert_eq!(body.len(), 1, "dead if removed: {body:?}");
+        let body = fold_main("int main() { if (1) return 1; else return 2; }");
+        assert!(matches!(&body[0], Stmt::Return(Some(Expr::Num(1)), _)));
+        let body = fold_main("int main() { while (0) { return 9; } return 2; }");
+        assert_eq!(body.len(), 1);
+        let body = fold_main("int main() { for (; 0;) { return 9; } return 2; }");
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn short_circuit_left_constant() {
+        let body = fold_main("int main() { return 0 && print(1); }");
+        assert_eq!(first_return(&body), &Expr::Num(0), "rhs dropped per && semantics");
+        let body = fold_main("int main() { return 2 || print(1); }");
+        assert_eq!(first_return(&body), &Expr::Num(1));
+        // Constant RIGHT operand must NOT drop a side-effecting left.
+        let body = fold_main("int main() { return print(1) && 1; }");
+        assert!(matches!(first_return(&body), Expr::Binary(BinOp::LogAnd, ..)));
+    }
+
+    #[test]
+    fn folding_preserves_behavior_end_to_end() {
+        // Same program with folding on and off must print identically.
+        let src = "
+            int main() {
+                int x = 4 * 4 + 1;
+                if (2 > 1) x = x + 2 * 8;
+                while (0) x = 99;
+                print(x * 2);
+                print(-5 / 2);
+                print(x % 0 + 3);
+                return 0;
+            }";
+        let folded = crate::compile_to_program(src).unwrap();
+        let unfolded = crate::compile_to_program_with(
+            src,
+            crate::Options { fold: false, ..Default::default() },
+        )
+        .unwrap();
+        let run = |p: &svf_isa::Program| {
+            let mut e = svf_emu::Emulator::new(p);
+            e.run(1_000_000).unwrap();
+            e.output_string()
+        };
+        assert_eq!(run(&folded), run(&unfolded));
+        assert!(
+            folded.text.len() < unfolded.text.len(),
+            "folding must shrink the program: {} vs {}",
+            folded.text.len(),
+            unfolded.text.len()
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! The MiniC lexer.
+
+use crate::error::CcError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword body.
+    Ident(String),
+    /// An integer literal (char literals are folded to their code point).
+    Num(i64),
+    /// Punctuation or operator, e.g. `"+"`, `"<<"`, `"&&"`.
+    Punct(&'static str),
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+const PUNCTS2: [&str; 13] =
+    ["<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%="];
+const PUNCTS1: [&str; 18] = [
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^", "(", ")", "{", "}", ",",
+];
+const PUNCTS1B: [&str; 4] = ["[", "]", ";", ":"];
+
+fn punct2(a: char, b: char) -> Option<&'static str> {
+    let pair = [a, b];
+    PUNCTS2.iter().copied().find(|p| p.chars().eq(pair.iter().copied()))
+}
+
+fn punct1(a: char) -> Option<&'static str> {
+    PUNCTS1
+        .iter()
+        .chain(PUNCTS1B.iter())
+        .copied()
+        .find(|p| p.chars().eq(std::iter::once(a)))
+}
+
+/// Tokenizes MiniC source. `//` and `/* */` comments are skipped.
+///
+/// # Errors
+///
+/// Returns a [`CcError`] on unterminated comments/char literals or stray
+/// characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, CcError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = line;
+            i += 2;
+            loop {
+                if i + 1 >= chars.len() {
+                    return Err(CcError::new(start, "unterminated block comment"));
+                }
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                if chars[i] == '*' && chars[i + 1] == '/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(Token { tok: Tok::Ident(chars[start..i].iter().collect()), line });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let hex = c == '0' && matches!(chars.get(i + 1), Some('x' | 'X'));
+            if hex {
+                i += 2;
+            }
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let v = if hex {
+                u64::from_str_radix(&text[2..], 16).map(|v| v as i64)
+            } else {
+                text.parse::<u64>().map(|v| v as i64)
+            };
+            let v = v.map_err(|_| CcError::new(line, format!("bad number `{text}`")))?;
+            out.push(Token { tok: Tok::Num(v), line });
+            continue;
+        }
+        if c == '\'' {
+            let (v, consumed) = match (chars.get(i + 1), chars.get(i + 2), chars.get(i + 3)) {
+                (Some('\\'), Some(e), Some('\'')) => {
+                    let v = match e {
+                        'n' => '\n' as i64,
+                        't' => '\t' as i64,
+                        '0' => 0,
+                        '\\' => '\\' as i64,
+                        '\'' => '\'' as i64,
+                        _ => return Err(CcError::new(line, format!("bad escape `\\{e}`"))),
+                    };
+                    (v, 4)
+                }
+                (Some(ch), Some('\''), _) if *ch != '\\' => (*ch as i64, 3),
+                _ => return Err(CcError::new(line, "bad character literal")),
+            };
+            out.push(Token { tok: Tok::Num(v), line });
+            i += consumed;
+            continue;
+        }
+        if let Some(next) = chars.get(i + 1) {
+            if let Some(p) = punct2(c, *next) {
+                out.push(Token { tok: Tok::Punct(p), line });
+                i += 2;
+                continue;
+            }
+        }
+        if let Some(p) = punct1(c) {
+            out.push(Token { tok: Tok::Punct(p), line });
+            i += 1;
+            continue;
+        }
+        return Err(CcError::new(line, format!("unexpected character `{c}`")));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        assert_eq!(
+            toks("int x = 0x2A + 10;"),
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Num(42),
+                Tok::Punct("+"),
+                Tok::Num(10),
+                Tok::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_take_precedence() {
+        assert_eq!(toks("a<<=")[1], Tok::Punct("<<"));
+        assert_eq!(toks("a<=b")[1], Tok::Punct("<="));
+        assert_eq!(toks("a&&b")[1], Tok::Punct("&&"));
+        assert_eq!(toks("a&b")[1], Tok::Punct("&"));
+    }
+
+    #[test]
+    fn comments_skipped_with_line_tracking() {
+        let ts = lex("// one\n/* two\nthree */ x").unwrap();
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].line, 3);
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(toks("'A'"), vec![Tok::Num(65)]);
+        assert_eq!(toks("'\\n'"), vec![Tok::Num(10)]);
+        assert_eq!(toks("'\\0'"), vec![Tok::Num(0)]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("@").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("'ab'").is_err());
+    }
+
+    #[test]
+    fn large_hex_literal() {
+        assert_eq!(toks("0xFFFFFFFFFFFFFFFF"), vec![Tok::Num(-1)]);
+    }
+}

@@ -1,0 +1,106 @@
+//! # svf-cc — the MiniC compiler
+//!
+//! A small C-like language compiled to the SVF reproduction ISA. The paper's
+//! workloads are SPECint2000 binaries built by the Compaq Alpha C compiler;
+//! we cannot run those, so the benchmarks in `svf-workloads` are written in
+//! MiniC and compiled by this crate. The code generator deliberately mirrors
+//! the stack conventions that give the paper its reference mix:
+//!
+//! * scalar locals, spilled arguments and the saved return address live in
+//!   the stack frame and are addressed **`$sp`-relative** — the references
+//!   the SVF front end can morph into register moves;
+//! * functions containing local arrays maintain a **frame pointer** and
+//!   address their scalars through `$fp`;
+//! * array elements and anything address-taken are reached **through
+//!   computed pointers** (`$gpr`-based), including the store-through-pointer
+//!   followed by `$sp`-relative-load pattern that causes SVF load squashes
+//!   (paper §3.2).
+//!
+//! ## Language
+//!
+//! `int` is a 64-bit signed integer; `int*`/`int**` are 8-byte pointers with
+//! scaled arithmetic; local and global arrays decay to pointers. Functions,
+//! recursion, `if`/`else`, `while`, `for`, `break`/`continue`, `return`,
+//! short-circuit `&&`/`||`, the usual C operator set, character literals.
+//! Built-ins: `print(x)` (decimal + newline), `printc(x)` (one byte),
+//! `alloc(nbytes)` (bump allocator on the heap).
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = svf_cc::compile_to_program("
+//!     int fib(int n) {
+//!         if (n < 2) return n;
+//!         return fib(n - 1) + fib(n - 2);
+//!     }
+//!     int main() { print(fib(10)); return 0; }
+//! ")?;
+//! let mut emu = svf_emu::Emulator::new(&program);
+//! emu.run(1_000_000)?;
+//! assert_eq!(emu.output_string(), "55\n");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod codegen;
+mod error;
+mod lexer;
+mod fold;
+mod parser;
+mod peephole;
+mod regalloc;
+
+pub use ast::{BinOp, Expr, Function, Global, Item, Program as Ast, Stmt, Ty, UnOp};
+pub use codegen::{compile_to_asm, compile_to_asm_with};
+pub use error::CcError;
+pub use parser::parse;
+
+use svf_isa::Program;
+
+/// Code-generation options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Options {
+    /// Promote hot scalars to callee-saved registers (`$s0`–`$s5`). On by
+    /// default; turning it off reproduces a naive, spill-everything code
+    /// generator (useful for the code-quality ablation).
+    pub regalloc: bool,
+    /// Constant folding, branch pruning and strength reduction on the AST.
+    pub fold: bool,
+    /// Peephole cleanup on the emitted assembly (store-to-load and
+    /// redundant-move elimination).
+    pub peephole: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options { regalloc: true, fold: true, peephole: true }
+    }
+}
+
+/// Compiles MiniC source all the way to a linked [`Program`] image.
+///
+/// # Errors
+///
+/// Returns a [`CcError`] for lexical, syntactic or semantic errors, and
+/// wraps assembler errors (which indicate a compiler bug) the same way.
+pub fn compile_to_program(source: &str) -> Result<Program, CcError> {
+    compile_to_program_with(source, Options::default())
+}
+
+/// [`compile_to_program`] with explicit [`Options`].
+///
+/// # Errors
+///
+/// Same as [`compile_to_program`].
+pub fn compile_to_program_with(source: &str, opts: Options) -> Result<Program, CcError> {
+    let asm = compile_to_asm_with(source, opts)?;
+    svf_asm::assemble(&asm).map_err(|e| CcError {
+        line: 0,
+        msg: format!("internal: generated assembly rejected: {e}"),
+    })
+}

@@ -1,0 +1,532 @@
+//! Recursive-descent parser for MiniC.
+
+use crate::ast::{BinOp, Expr, Function, Global, Item, Program, ScalarTy, Stmt, Ty, UnOp};
+use crate::error::CcError;
+use crate::lexer::{lex, Tok, Token};
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(0, |t| t.line)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.peek() == Some(&Tok::Punct(match_punct(p))) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CcError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(CcError::new(self.line(), format!("expected `{p}`, found {}", self.describe())))
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self.peek() {
+            Some(Tok::Ident(s)) => format!("`{s}`"),
+            Some(Tok::Num(n)) => format!("`{n}`"),
+            Some(Tok::Punct(p)) => format!("`{p}`"),
+            None => "end of input".to_string(),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CcError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) if !is_keyword(&s) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(CcError::new(self.line(), format!("expected identifier, found {}", self.describe())))
+            }
+        }
+    }
+
+    // ---- types & declarations ----
+
+    /// Parses `int`/`char` followed by `*`s; returns None if the next token
+    /// is not a type keyword (position unchanged).
+    fn try_type(&mut self) -> Option<Ty> {
+        let elem = if self.eat_kw("int") {
+            ScalarTy::Int
+        } else if self.eat_kw("char") {
+            ScalarTy::Char
+        } else {
+            return None;
+        };
+        let mut depth = 0u8;
+        while self.eat_punct("*") {
+            depth += 1;
+        }
+        Some(match (elem, depth) {
+            (ScalarTy::Int, 0) => Ty::Int,
+            (ScalarTy::Char, 0) => Ty::Char,
+            (elem, depth) => Ty::Ptr { elem, depth },
+        })
+    }
+
+    fn program(&mut self) -> Result<Program, CcError> {
+        let mut items = Vec::new();
+        while self.peek().is_some() {
+            let line = self.line();
+            let ty = self
+                .try_type()
+                .ok_or_else(|| CcError::new(line, format!("expected `int`, found {}", self.describe())))?;
+            let name = self.expect_ident()?;
+            if self.eat_punct("(") {
+                items.push(Item::Function(self.function(ty, name, line)?));
+            } else {
+                items.push(Item::Global(self.global(ty, name, line)?));
+            }
+        }
+        Ok(Program { items })
+    }
+
+    fn function(&mut self, ret: Ty, name: String, line: usize) -> Result<Function, CcError> {
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                let pline = self.line();
+                let ty = self
+                    .try_type()
+                    .ok_or_else(|| CcError::new(pline, "expected parameter type"))?;
+                let pname = self.expect_ident()?;
+                params.push((pname, ty));
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        self.expect_punct("{")?;
+        let body = self.block_body()?;
+        Ok(Function { name, ret, params, body, line })
+    }
+
+    fn global(&mut self, ty: Ty, name: String, line: usize) -> Result<Global, CcError> {
+        let array = if self.eat_punct("[") {
+            let n = self.const_int()?;
+            self.expect_punct("]")?;
+            Some(u32::try_from(n).map_err(|_| CcError::new(line, "bad array length"))?)
+        } else {
+            None
+        };
+        let init = if self.eat_punct("=") {
+            if array.is_some() {
+                return Err(CcError::new(line, "array initializers are not supported"));
+            }
+            Some(self.const_int()?)
+        } else {
+            None
+        };
+        self.expect_punct(";")?;
+        Ok(Global { name, ty, array, init, line })
+    }
+
+    fn const_int(&mut self) -> Result<i64, CcError> {
+        let neg = self.eat_punct("-");
+        match self.bump() {
+            Some(Tok::Num(v)) => Ok(if neg { v.wrapping_neg() } else { v }),
+            _ => Err(CcError::new(self.line(), "expected constant integer")),
+        }
+    }
+
+    // ---- statements ----
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, CcError> {
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if self.peek().is_none() {
+                return Err(CcError::new(self.line(), "unexpected end of input in block"));
+            }
+            stmts.push(self.statement()?);
+        }
+        Ok(stmts)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, CcError> {
+        let line = self.line();
+        if self.eat_punct("{") {
+            return Ok(Stmt::Block(self.block_body()?));
+        }
+        if let Some(ty) = self.try_type() {
+            let name = self.expect_ident()?;
+            let array = if self.eat_punct("[") {
+                let n = self.const_int()?;
+                self.expect_punct("]")?;
+                Some(u32::try_from(n).map_err(|_| CcError::new(line, "bad array length"))?)
+            } else {
+                None
+            };
+            let init = if self.eat_punct("=") {
+                if array.is_some() {
+                    return Err(CcError::new(line, "array initializers are not supported"));
+                }
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Decl { name, ty, array, init, line });
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = Box::new(self.statement()?);
+            let els = if self.eat_kw("else") { Some(Box::new(self.statement()?)) } else { None };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(Stmt::While(cond, Box::new(self.statement()?)));
+        }
+        if self.eat_kw("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else {
+                let s = self.simple_stmt()?;
+                self.expect_punct(";")?;
+                Some(Box::new(s))
+            };
+            let cond = if self.eat_punct(";") {
+                None
+            } else {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Some(e)
+            };
+            let step = if self.eat_punct(")") {
+                None
+            } else {
+                let s = self.simple_stmt()?;
+                self.expect_punct(")")?;
+                Some(Box::new(s))
+            };
+            return Ok(Stmt::For(init, cond, step, Box::new(self.statement()?)));
+        }
+        if self.eat_kw("return") {
+            let value = if self.eat_punct(";") {
+                None
+            } else {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Some(e)
+            };
+            return Ok(Stmt::Return(value, line));
+        }
+        if self.eat_kw("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break(line));
+        }
+        if self.eat_kw("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue(line));
+        }
+        let s = self.simple_stmt()?;
+        self.expect_punct(";")?;
+        Ok(s)
+    }
+
+    /// An expression statement (also used for `for` init/step, where local
+    /// declarations are allowed for `for (int i = 0; …)`).
+    fn simple_stmt(&mut self) -> Result<Stmt, CcError> {
+        let line = self.line();
+        if let Some(ty) = self.try_type() {
+            let name = self.expect_ident()?;
+            self.expect_punct("=")?;
+            let init = Some(self.expr()?);
+            return Ok(Stmt::Decl { name, ty, array: None, init, line });
+        }
+        Ok(Stmt::Expr(self.expr()?))
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> Result<Expr, CcError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, CcError> {
+        let line = self.line();
+        let lhs = self.binary(0)?;
+        for (tok, op) in [
+            ("+=", BinOp::Add),
+            ("-=", BinOp::Sub),
+            ("*=", BinOp::Mul),
+            ("/=", BinOp::Div),
+            ("%=", BinOp::Rem),
+        ] {
+            if self.eat_punct(tok) {
+                let rhs = self.assignment()?;
+                let combined =
+                    Expr::Binary(op, Box::new(lhs.clone()), Box::new(rhs), line);
+                return Ok(Expr::Assign(Box::new(lhs), Box::new(combined), line));
+            }
+        }
+        if self.eat_punct("=") {
+            let rhs = self.assignment()?;
+            return Ok(Expr::Assign(Box::new(lhs), Box::new(rhs), line));
+        }
+        Ok(lhs)
+    }
+
+    /// Precedence-climbing over binary operators.
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, CcError> {
+        let mut lhs = self.unary()?;
+        while let Some((op, prec)) = self.peek_binop() {
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.pos += 1;
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), line);
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&self) -> Option<(BinOp, u8)> {
+        let p = match self.peek()? {
+            Tok::Punct(p) => *p,
+            _ => return None,
+        };
+        Some(match p {
+            "||" => (BinOp::LogOr, 1),
+            "&&" => (BinOp::LogAnd, 2),
+            "|" => (BinOp::BitOr, 3),
+            "^" => (BinOp::BitXor, 4),
+            "&" => (BinOp::BitAnd, 5),
+            "==" => (BinOp::Eq, 6),
+            "!=" => (BinOp::Ne, 6),
+            "<" => (BinOp::Lt, 7),
+            "<=" => (BinOp::Le, 7),
+            ">" => (BinOp::Gt, 7),
+            ">=" => (BinOp::Ge, 7),
+            "<<" => (BinOp::Shl, 8),
+            ">>" => (BinOp::Shr, 8),
+            "+" => (BinOp::Add, 9),
+            "-" => (BinOp::Sub, 9),
+            "*" => (BinOp::Mul, 10),
+            "/" => (BinOp::Div, 10),
+            "%" => (BinOp::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn unary(&mut self) -> Result<Expr, CcError> {
+        let line = self.line();
+        for (tok, op) in [
+            ("-", UnOp::Neg),
+            ("!", UnOp::Not),
+            ("~", UnOp::BitNot),
+            ("*", UnOp::Deref),
+            ("&", UnOp::AddrOf),
+        ] {
+            if self.eat_punct(tok) {
+                let inner = self.unary()?;
+                return Ok(Expr::Unary(op, Box::new(inner), line));
+            }
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CcError> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            if self.eat_punct("[") {
+                let idx = self.expr()?;
+                self.expect_punct("]")?;
+                e = Expr::Index(Box::new(e), Box::new(idx), line);
+            } else if self.eat_punct("(") {
+                let name = match e {
+                    Expr::Var(n, _) => n,
+                    _ => return Err(CcError::new(line, "can only call named functions")),
+                };
+                let mut args = Vec::new();
+                if !self.eat_punct(")") {
+                    loop {
+                        args.push(self.expr()?);
+                        if self.eat_punct(")") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                e = Expr::Call(name, args, line);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CcError> {
+        let line = self.line();
+        if self.eat_punct("(") {
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        match self.bump() {
+            Some(Tok::Num(v)) => Ok(Expr::Num(v)),
+            Some(Tok::Ident(s)) if !is_keyword(&s) => Ok(Expr::Var(s, line)),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(CcError::new(line, format!("expected expression, found {}", self.describe())))
+            }
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(s, "int" | "char" | "if" | "else" | "while" | "for" | "return" | "break" | "continue")
+}
+
+/// Maps the borrowed punct text to the canonical `&'static str` used in
+/// [`Tok::Punct`] so equality comparison works.
+fn match_punct(p: &str) -> &'static str {
+    const ALL: [&str; 35] = [
+        "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "+", "-",
+        "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^", "(", ")", "{", "}", ",", "[", "]",
+        ";", ":",
+    ];
+    ALL.iter().copied().find(|q| *q == p).unwrap_or("")
+}
+
+/// Parses MiniC source into an AST.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic [`CcError`].
+pub fn parse(source: &str) -> Result<Program, CcError> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_and_global() {
+        let ast = parse("int g = 5; int tbl[10]; int main() { return g; }").unwrap();
+        assert_eq!(ast.globals().count(), 2);
+        assert_eq!(ast.functions().count(), 1);
+        let g = ast.globals().next().unwrap();
+        assert_eq!(g.init, Some(5));
+        let f = ast.functions().next().unwrap();
+        assert_eq!(f.name, "main");
+        assert!(matches!(f.body[0], Stmt::Return(Some(_), _)));
+    }
+
+    #[test]
+    fn pointer_types() {
+        let ast = parse("int* f(int** p, int x) { return *p; }").unwrap();
+        let f = ast.functions().next().unwrap();
+        assert_eq!(f.ret, Ty::ptr_to(ScalarTy::Int, 1));
+        assert_eq!(f.params[0].1, Ty::ptr_to(ScalarTy::Int, 2));
+        assert_eq!(f.params[1].1, Ty::Int);
+    }
+
+    #[test]
+    fn precedence() {
+        let ast = parse("int main() { return 1 + 2 * 3 == 7 && 4 < 5; }").unwrap();
+        let f = ast.functions().next().unwrap();
+        let Stmt::Return(Some(e), _) = &f.body[0] else { panic!() };
+        // Top node must be &&.
+        assert!(matches!(e, Expr::Binary(BinOp::LogAnd, _, _, _)));
+    }
+
+    #[test]
+    fn control_flow_statements() {
+        let src = "
+            int main() {
+                int s = 0;
+                for (int i = 0; i < 10; i = i + 1) {
+                    if (i % 2 == 0) continue;
+                    s += i;
+                    if (s > 100) break;
+                }
+                while (s) s = s - 1;
+                return s;
+            }";
+        let ast = parse(src).unwrap();
+        let f = ast.functions().next().unwrap();
+        assert!(f.body.len() >= 3);
+    }
+
+    #[test]
+    fn compound_assignment_desugars() {
+        let ast = parse("int main() { int x = 1; x += 2; return x; }").unwrap();
+        let f = ast.functions().next().unwrap();
+        let Stmt::Expr(Expr::Assign(lhs, rhs, _)) = &f.body[1] else { panic!("{:?}", f.body[1]) };
+        assert!(matches!(**lhs, Expr::Var(_, _)));
+        assert!(matches!(**rhs, Expr::Binary(BinOp::Add, _, _, _)));
+    }
+
+    #[test]
+    fn array_and_index() {
+        let ast = parse("int main() { int a[4]; a[0] = 1; return a[0]; }").unwrap();
+        let f = ast.functions().next().unwrap();
+        assert!(matches!(f.body[0], Stmt::Decl { array: Some(4), .. }));
+    }
+
+    #[test]
+    fn address_of_and_deref() {
+        let ast = parse("int main() { int x = 0; int* p = &x; *p = 3; return x; }").unwrap();
+        let f = ast.functions().next().unwrap();
+        assert_eq!(f.body.len(), 4);
+    }
+
+    #[test]
+    fn errors_report_lines() {
+        let e = parse("int main() {\n  return 1 +;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse("int main() { int a[2] = 3; }").is_err());
+        assert!(parse("float main() {}").is_err());
+        assert!(parse("int main() { 1()(); }").is_err());
+        assert!(parse("int main() {").is_err());
+    }
+
+    #[test]
+    fn negative_global_initializer() {
+        let ast = parse("int g = -7; int main() { return g; }").unwrap();
+        assert_eq!(ast.globals().next().unwrap().init, Some(-7));
+    }
+}

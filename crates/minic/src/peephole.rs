@@ -1,0 +1,155 @@
+//! Assembly-level peephole cleanup.
+//!
+//! The stack-machine code generator produces some locally redundant
+//! sequences; this pass removes the safe ones:
+//!
+//! 1. `stq R, off(B)` immediately followed by `ldq R, off(B)` — the load
+//!    is dropped (the value is already in `R`);
+//! 2. `stq R, off(B)` immediately followed by `ldq R2, off(B)` — the load
+//!    becomes `mov R, R2` (no memory reference);
+//! 3. `mov X, X` — dropped.
+//!
+//! Rules 1–2 fire only on *adjacent* lines, so no intervening instruction
+//! can have changed `R` or `B`, and only when `B` is not written by the
+//! replaced instruction itself. Labels and directives break adjacency.
+//!
+//! The pass is purely textual over the assembler syntax this compiler
+//! emits; it leaves anything it does not recognize untouched.
+
+/// Parses `mnemonic reg, disp(base)` into its parts.
+fn parse_mem(line: &str) -> Option<(&str, &str, &str)> {
+    let t = line.trim();
+    let (mnem, rest) = t.split_once(' ')?;
+    if mnem != "stq" && mnem != "ldq" {
+        return None;
+    }
+    let (reg, addr) = rest.split_once(',')?;
+    Some((mnem, reg.trim(), addr.trim()))
+}
+
+fn parse_mov(line: &str) -> Option<(&str, &str)> {
+    let t = line.trim();
+    let rest = t.strip_prefix("mov ")?;
+    let (src, dst) = rest.split_once(',')?;
+    Some((src.trim(), dst.trim()))
+}
+
+/// Whether a line is an instruction (not a label, directive or blank).
+fn is_inst(line: &str) -> bool {
+    let t = line.trim();
+    !t.is_empty() && !t.ends_with(':') && !t.starts_with('.') && !t.starts_with(';')
+}
+
+/// Runs the peephole pass over a whole assembly listing.
+#[must_use]
+pub(crate) fn peephole_pass(asm: &str) -> String {
+    let lines: Vec<&str> = asm.lines().collect();
+    let mut out: Vec<String> = Vec::with_capacity(lines.len());
+    let mut i = 0;
+    while i < lines.len() {
+        let line = lines[i];
+        // mov X, X → drop.
+        if let Some((src, dst)) = parse_mov(line) {
+            if src == dst {
+                i += 1;
+                continue;
+            }
+        }
+        // stq/ldq pair on adjacent lines.
+        if let (Some(("stq", r1, addr1)), Some(next)) = (parse_mem(line), lines.get(i + 1)) {
+            if is_inst(next) {
+                if let Some(("ldq", r2, addr2)) = parse_mem(next) {
+                    if addr1 == addr2 {
+                        out.push(line.to_string());
+                        if r1 != r2 {
+                            out.push(format!("    mov {r1}, {r2}"));
+                        }
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+        }
+        out.push(line.to_string());
+        i += 1;
+    }
+    let mut s = out.join("\n");
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_then_same_reg_load_drops_the_load() {
+        let asm = "main:\n    stq $t0, 96($sp)\n    ldq $t0, 96($sp)\n    halt\n";
+        let out = peephole_pass(asm);
+        assert_eq!(out, "main:\n    stq $t0, 96($sp)\n    halt\n");
+    }
+
+    #[test]
+    fn store_then_other_reg_load_becomes_move() {
+        let asm = "    stq $t0, 96($sp)\n    ldq $t3, 96($sp)\n";
+        let out = peephole_pass(asm);
+        assert_eq!(out, "    stq $t0, 96($sp)\n    mov $t0, $t3\n");
+    }
+
+    #[test]
+    fn different_addresses_are_untouched() {
+        let asm = "    stq $t0, 96($sp)\n    ldq $t1, 104($sp)\n";
+        assert_eq!(peephole_pass(asm), asm);
+    }
+
+    #[test]
+    fn labels_break_adjacency() {
+        // A label between the pair means another path may reach the load.
+        let asm = "    stq $t0, 96($sp)\n.L1:\n    ldq $t0, 96($sp)\n";
+        assert_eq!(peephole_pass(asm), asm);
+    }
+
+    #[test]
+    fn self_moves_are_dropped() {
+        let asm = "    mov $t1, $t1\n    mov $t1, $t2\n";
+        assert_eq!(peephole_pass(asm), "    mov $t1, $t2\n");
+    }
+
+    #[test]
+    fn byte_ops_are_left_alone() {
+        let asm = "    stb $t0, 96($sp)\n    ldbu $t0, 96($sp)\n";
+        assert_eq!(peephole_pass(asm), asm, "sub-word pairs are not value-preserving");
+    }
+
+    #[test]
+    fn end_to_end_behavior_is_preserved_and_smaller() {
+        let src = "
+            int sum(int* a, int n) {
+                int s = 0;
+                for (int i = 0; i < n; i = i + 1) s = s + a[i];
+                return s;
+            }
+            int main() {
+                int v[10];
+                for (int i = 0; i < 10; i = i + 1) v[i] = i * 3;
+                print(sum(v, 10));
+                return 0;
+            }";
+        let on = crate::compile_to_program(src).unwrap();
+        let off = crate::compile_to_program_with(
+            src,
+            crate::Options { peephole: false, ..Default::default() },
+        )
+        .unwrap();
+        let run = |p: &svf_isa::Program| {
+            let mut e = svf_emu::Emulator::new(p);
+            e.run(1_000_000).unwrap();
+            (e.output_string(), e.steps())
+        };
+        let (out_on, steps_on) = run(&on);
+        let (out_off, steps_off) = run(&off);
+        assert_eq!(out_on, out_off);
+        assert!(steps_on <= steps_off, "peephole must not add work");
+        assert!(on.text.len() <= off.text.len());
+    }
+}

@@ -1,0 +1,236 @@
+//! Scalar register promotion ("-O1").
+//!
+//! Picks up to six hot, non-address-taken scalar locals/parameters per
+//! function and assigns them to the callee-saved registers `$s0`–`$s5`.
+//! Promoted variables live entirely in registers: reads and writes become
+//! register moves, and the prologue/epilogue save and restore the used
+//! `$s` registers (which is itself realistic callee-save stack traffic).
+//!
+//! Safety argument: a variable is only promoted when
+//! * it is a scalar (not an array),
+//! * its name is declared exactly once in the function (no shadowing
+//!   ambiguity), and
+//! * its address is never taken — so no pointer can alias it and all
+//!   accesses are lexically visible.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{Expr, Function, Stmt, UnOp};
+
+/// The callee-saved registers available for promotion.
+pub(crate) const S_REGS: [&str; 6] = ["$s0", "$s1", "$s2", "$s3", "$s4", "$s5"];
+
+/// Minimum use weight for promotion (a use inside one loop level already
+/// clears it; straight-line variables need several uses).
+const MIN_WEIGHT: u64 = 6;
+
+/// The per-function promotion decision.
+#[derive(Debug, Default)]
+pub(crate) struct RegPlan {
+    /// Variable name → assigned callee-saved register.
+    pub assigned: HashMap<String, &'static str>,
+}
+
+impl RegPlan {
+    /// The registers this plan uses, in save order.
+    pub fn used_regs(&self) -> Vec<&'static str> {
+        let mut regs: Vec<&'static str> = self.assigned.values().copied().collect();
+        regs.sort_unstable();
+        regs.dedup();
+        regs
+    }
+}
+
+#[derive(Default)]
+struct Analysis {
+    weight: HashMap<String, u64>,
+    addr_taken: HashSet<String>,
+    decl_count: HashMap<String, u32>,
+    arrays: HashSet<String>,
+}
+
+fn weight_at(depth: u32) -> u64 {
+    1 << (2 * depth.min(3))
+}
+
+fn walk_expr(e: &Expr, depth: u32, a: &mut Analysis) {
+    match e {
+        Expr::Num(_) => {}
+        Expr::Var(name, _) => {
+            *a.weight.entry(name.clone()).or_insert(0) += weight_at(depth);
+        }
+        Expr::Unary(op, inner, _) => {
+            if *op == UnOp::AddrOf {
+                if let Expr::Var(name, _) = &**inner {
+                    a.addr_taken.insert(name.clone());
+                }
+            }
+            walk_expr(inner, depth, a);
+        }
+        Expr::Binary(_, l, r, _) | Expr::Assign(l, r, _) | Expr::Index(l, r, _) => {
+            walk_expr(l, depth, a);
+            walk_expr(r, depth, a);
+        }
+        Expr::Call(_, args, _) => args.iter().for_each(|x| walk_expr(x, depth, a)),
+    }
+}
+
+fn walk_stmt(s: &Stmt, depth: u32, a: &mut Analysis) {
+    match s {
+        Stmt::Decl { name, array, init, .. } => {
+            *a.decl_count.entry(name.clone()).or_insert(0) += 1;
+            if array.is_some() {
+                a.arrays.insert(name.clone());
+            }
+            if let Some(e) = init {
+                walk_expr(e, depth, a);
+                *a.weight.entry(name.clone()).or_insert(0) += weight_at(depth);
+            }
+        }
+        Stmt::Expr(e) => walk_expr(e, depth, a),
+        Stmt::If(c, t, e) => {
+            walk_expr(c, depth, a);
+            walk_stmt(t, depth, a);
+            if let Some(e) = e {
+                walk_stmt(e, depth, a);
+            }
+        }
+        Stmt::While(c, b) => {
+            walk_expr(c, depth + 1, a);
+            walk_stmt(b, depth + 1, a);
+        }
+        Stmt::For(i, c, st, b) => {
+            if let Some(i) = i {
+                walk_stmt(i, depth, a);
+            }
+            if let Some(c) = c {
+                walk_expr(c, depth + 1, a);
+            }
+            if let Some(st) = st {
+                walk_stmt(st, depth + 1, a);
+            }
+            walk_stmt(b, depth + 1, a);
+        }
+        Stmt::Return(e, _) => {
+            if let Some(e) = e {
+                walk_expr(e, depth, a);
+            }
+        }
+        Stmt::Break(_) | Stmt::Continue(_) => {}
+        Stmt::Block(v) => v.iter().for_each(|s| walk_stmt(s, depth, a)),
+    }
+}
+
+/// Plans register promotion for one function.
+pub(crate) fn plan(f: &Function) -> RegPlan {
+    let mut a = Analysis::default();
+    for (pname, _) in &f.params {
+        *a.decl_count.entry(pname.clone()).or_insert(0) += 1;
+        // Parameters arrive in registers; spilling them is pure cost, so
+        // bias lightly toward promotion.
+        *a.weight.entry(pname.clone()).or_insert(0) += 2;
+    }
+    for s in &f.body {
+        walk_stmt(s, 0, &mut a);
+    }
+    let mut candidates: Vec<(String, u64)> = a
+        .weight
+        .iter()
+        .filter(|(name, &w)| {
+            w >= MIN_WEIGHT
+                && a.decl_count.get(*name) == Some(&1)
+                && !a.addr_taken.contains(*name)
+                && !a.arrays.contains(*name)
+        })
+        .map(|(n, &w)| (n.clone(), w))
+        .collect();
+    candidates.sort_by(|x, y| y.1.cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
+    let assigned = candidates
+        .into_iter()
+        .take(S_REGS.len())
+        .enumerate()
+        .map(|(i, (name, _))| (name, S_REGS[i]))
+        .collect();
+    RegPlan { assigned }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn plan_for(src: &str) -> RegPlan {
+        let ast = parse(src).unwrap();
+        let f = ast.functions().next().unwrap().clone();
+        plan(&f)
+    }
+
+    #[test]
+    fn loop_variables_are_promoted() {
+        let p = plan_for(
+            "int main() {
+                int s = 0;
+                for (int i = 0; i < 100; i = i + 1) s = s + i;
+                return s;
+            }",
+        );
+        assert!(p.assigned.contains_key("i"), "{:?}", p.assigned);
+        assert!(p.assigned.contains_key("s"), "{:?}", p.assigned);
+    }
+
+    #[test]
+    fn address_taken_variables_are_excluded() {
+        let p = plan_for(
+            "int main() {
+                int x = 0;
+                int* q = &x;
+                for (int i = 0; i < 100; i = i + 1) x = x + *q + i;
+                return x;
+            }",
+        );
+        assert!(!p.assigned.contains_key("x"), "&x forbids promotion");
+        assert!(p.assigned.contains_key("i"));
+    }
+
+    #[test]
+    fn arrays_and_shadowed_names_are_excluded() {
+        let p = plan_for(
+            "int main() {
+                int a[4];
+                int v = 0;
+                { int v = 1; a[0] = v; }
+                for (int i = 0; i < 50; i = i + 1) { a[1] = a[0] + v + i; }
+                return v;
+            }",
+        );
+        assert!(!p.assigned.contains_key("a"));
+        assert!(!p.assigned.contains_key("v"), "shadowed name is ambiguous");
+        assert!(p.assigned.contains_key("i"));
+    }
+
+    #[test]
+    fn at_most_six_promotions() {
+        let p = plan_for(
+            "int main() {
+                int a=0; int b=0; int c=0; int d=0; int e=0; int f=0; int g=0; int h=0;
+                for (int i = 0; i < 9; i = i + 1) {
+                    a=a+1; b=b+1; c=c+1; d=d+1; e=e+1; f=f+1; g=g+1; h=h+1;
+                }
+                return a+b+c+d+e+f+g+h;
+            }",
+        );
+        assert_eq!(p.assigned.len(), 6);
+        assert!(p.used_regs().len() <= 6);
+    }
+
+    #[test]
+    fn cold_variables_stay_in_memory() {
+        let p = plan_for(
+            "int main() {
+                int once = 5;
+                return once;
+            }",
+        );
+        assert!(p.assigned.is_empty(), "{:?}", p.assigned);
+    }
+}

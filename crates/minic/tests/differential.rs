@@ -1,0 +1,208 @@
+//! Differential testing of the compiler: randomly generated, always-
+//! terminating MiniC programs must produce bit-identical output under every
+//! combination of optimization options (register promotion, constant
+//! folding, peephole), and across repeated runs.
+
+use proptest::prelude::*;
+use svf_cc::Options;
+use svf_emu::Emulator;
+
+/// A tiny structured program generator. Programs only use bounded `for`
+/// loops and in-bounds array indices, so they always terminate and never
+/// fault.
+#[derive(Debug, Clone)]
+enum GExpr {
+    Lit(i64),
+    Global(u8),       // g0..g3
+    Local(u8),        // l0..l3
+    Arr(u8),          // arr[k] with k in 0..16
+    Bin(u8, Box<GExpr>, Box<GExpr>),
+    Un(u8, Box<GExpr>),
+}
+
+#[derive(Debug, Clone)]
+enum GStmt {
+    AssignGlobal(u8, GExpr),
+    AssignLocal(u8, GExpr),
+    AssignArr(u8, GExpr),
+    If(GExpr, Vec<GStmt>, Vec<GStmt>),
+    Loop(u8, Vec<GStmt>), // for (i = 0; i < k; i++) body — uses l3 as i? no: dedicated counter
+}
+
+const OPS: [&str; 13] = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "<", "==", ">="];
+const UNOPS: [&str; 3] = ["-", "!", "~"];
+
+fn emit_expr(e: &GExpr, out: &mut String) {
+    match e {
+        GExpr::Lit(v) => out.push_str(&format!("({v})")),
+        GExpr::Global(i) => out.push_str(&format!("g{}", i % 4)),
+        GExpr::Local(i) => out.push_str(&format!("l{}", i % 4)),
+        GExpr::Arr(k) => out.push_str(&format!("arr[{}]", k % 16)),
+        GExpr::Bin(op, a, b) => {
+            let op = OPS[*op as usize % OPS.len()];
+            out.push('(');
+            emit_expr(a, out);
+            // Keep shift amounts small and divisors away from overflow
+            // corner cases by masking the right operand for risky ops.
+            match op {
+                "<<" | ">>" => {
+                    out.push_str(op);
+                    out.push('(');
+                    emit_expr(b, out);
+                    out.push_str(" & 15)");
+                }
+                "/" | "%" => {
+                    out.push_str(op);
+                    out.push('(');
+                    emit_expr(b, out);
+                    out.push_str(" | 1)"); // never zero… sign kept
+                }
+                _ => {
+                    out.push_str(op);
+                    emit_expr(b, out);
+                }
+            }
+            out.push(')');
+        }
+        GExpr::Un(op, a) => {
+            out.push_str(UNOPS[*op as usize % UNOPS.len()]);
+            out.push('(');
+            emit_expr(a, out);
+            out.push(')');
+        }
+    }
+}
+
+fn emit_stmt(s: &GStmt, depth: usize, counter: &mut usize, out: &mut String) {
+    let pad = "    ".repeat(depth + 1);
+    match s {
+        GStmt::AssignGlobal(i, e) => {
+            out.push_str(&format!("{pad}g{} = ", i % 4));
+            emit_expr(e, out);
+            out.push_str(";\n");
+        }
+        GStmt::AssignLocal(i, e) => {
+            out.push_str(&format!("{pad}l{} = ", i % 4));
+            emit_expr(e, out);
+            out.push_str(";\n");
+        }
+        GStmt::AssignArr(k, e) => {
+            out.push_str(&format!("{pad}arr[{}] = ", k % 16));
+            emit_expr(e, out);
+            out.push_str(";\n");
+        }
+        GStmt::If(c, t, f) => {
+            out.push_str(&format!("{pad}if ("));
+            emit_expr(c, out);
+            out.push_str(") {\n");
+            for s in t {
+                emit_stmt(s, depth + 1, counter, out);
+            }
+            out.push_str(&format!("{pad}}} else {{\n"));
+            for s in f {
+                emit_stmt(s, depth + 1, counter, out);
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+        GStmt::Loop(k, body) => {
+            let c = *counter;
+            *counter += 1;
+            let n = 1 + (k % 6);
+            out.push_str(&format!(
+                "{pad}for (int it{c} = 0; it{c} < {n}; it{c} = it{c} + 1) {{\n"
+            ));
+            out.push_str(&format!("{}l0 = l0 + it{c};\n", "    ".repeat(depth + 2)));
+            for s in body {
+                emit_stmt(s, depth + 1, counter, out);
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+    }
+}
+
+fn render(stmts: &[GStmt]) -> String {
+    let mut src = String::from(
+        "int g0 = 1; int g1 = -2; int g2 = 3; int g3 = 0;\nint arr[16];\nint main() {\n    int l0 = 5; int l1 = -7; int l2 = 11; int l3 = 0;\n",
+    );
+    let mut counter = 0;
+    for s in stmts {
+        emit_stmt(s, 0, &mut counter, &mut src);
+    }
+    src.push_str(
+        "    print(g0); print(g1); print(g2); print(g3);\n    print(l0 + l1 * 3 + l2 * 5 + l3 * 7);\n    int sum = 0;\n    for (int i = 0; i < 16; i = i + 1) sum = sum * 31 % 1000003 + arr[i];\n    print(sum);\n    return 0;\n}\n",
+    );
+    src
+}
+
+fn arb_expr(depth: u32) -> BoxedStrategy<GExpr> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(GExpr::Lit),
+        any::<u8>().prop_map(GExpr::Global),
+        any::<u8>().prop_map(GExpr::Local),
+        any::<u8>().prop_map(GExpr::Arr),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let sub = arb_expr(depth - 1);
+        prop_oneof![
+            4 => leaf,
+            3 => (any::<u8>(), sub.clone(), arb_expr(depth - 1))
+                .prop_map(|(op, a, b)| GExpr::Bin(op, Box::new(a), Box::new(b))),
+            1 => (any::<u8>(), sub).prop_map(|(op, a)| GExpr::Un(op, Box::new(a))),
+        ]
+        .boxed()
+    }
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<GStmt> {
+    let simple = prop_oneof![
+        (any::<u8>(), arb_expr(2)).prop_map(|(i, e)| GStmt::AssignGlobal(i, e)),
+        (any::<u8>(), arb_expr(2)).prop_map(|(i, e)| GStmt::AssignLocal(i, e)),
+        (any::<u8>(), arb_expr(2)).prop_map(|(k, e)| GStmt::AssignArr(k, e)),
+    ];
+    if depth == 0 {
+        simple.boxed()
+    } else {
+        let body = proptest::collection::vec(arb_stmt(depth - 1), 0..3);
+        prop_oneof![
+            4 => simple,
+            1 => (arb_expr(1), body.clone(), proptest::collection::vec(arb_stmt(depth - 1), 0..3))
+                .prop_map(|(c, t, f)| GStmt::If(c, t, f)),
+            1 => (any::<u8>(), body).prop_map(|(k, b)| GStmt::Loop(k, b)),
+        ]
+        .boxed()
+    }
+}
+
+fn run_with(src: &str, opts: Options) -> String {
+    let program = svf_cc::compile_to_program_with(src, opts)
+        .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    let mut emu = Emulator::new(&program);
+    emu.run(20_000_000).unwrap_or_else(|e| panic!("runtime fault: {e}\n{src}"));
+    assert!(emu.is_halted(), "generated program did not halt:\n{src}");
+    emu.output_string()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_option_combinations_agree(stmts in proptest::collection::vec(arb_stmt(2), 1..10)) {
+        let src = render(&stmts);
+        let reference = run_with(&src, Options { regalloc: false, fold: false, peephole: false });
+        for (ra, fo, pe) in [
+            (true, false, false),
+            (false, true, false),
+            (false, false, true),
+            (true, true, true),
+        ] {
+            let got = run_with(&src, Options { regalloc: ra, fold: fo, peephole: pe });
+            prop_assert_eq!(
+                &got, &reference,
+                "output diverged with regalloc={} fold={} peephole={}\n{}",
+                ra, fo, pe, src
+            );
+        }
+    }
+}

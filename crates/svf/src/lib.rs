@@ -1,0 +1,61 @@
+//! # svf — the Stack Value File
+//!
+//! The paper's primary contribution (Lee, Smelyanskiy, Newburn, Tyson:
+//! *Stack Value File: Custom Microarchitecture for the Stack*, HPCA 2001):
+//! a non-architected register file that holds the memory words nearest the
+//! top of stack, replacing the L1 data cache for stack references.
+//!
+//! This crate implements the SVF **storage structure and its policies**,
+//! independent of any pipeline:
+//!
+//! * a circular buffer of 64-bit entries indexed by the low-order bits of
+//!   the quad-word address — no tags, no associative lookup (§3);
+//! * a contiguous address range `[TOS, TOS + capacity)` tracked against the
+//!   stack pointer (§2: the working set is a single contiguous region);
+//! * per-entry **valid** and **dirty** bits at quad-word granularity (§3.3);
+//! * the two semantic optimizations that distinguish it from a stack cache
+//!   (§5.3.2):
+//!   1. *allocations* (stack growth) mark entries invalid — newly allocated
+//!      memory is by definition uninitialized, so nothing is read in;
+//!   2. *deallocations* (stack shrink) **kill** entries — deallocated data
+//!      is semantically dead, so dirty words are dropped, never written
+//!      back.
+//!
+//! Data movement is to/from the **L1 data cache** (fills on demand, spills
+//! when the window slides over live data), counted in quad-words exactly as
+//! in the paper's Table 3. [`StackValueFile::context_switch_flush`]
+//! implements the Table 4 experiment: only valid **and** dirty quad-words
+//! are written back, at 8-byte granularity, versus whole lines for a cache.
+//!
+//! The pipeline integration (morphing, renaming, squashes) lives in
+//! `svf-cpu`; the pure structure lives here so its invariants can be tested
+//! and benchmarked in isolation.
+//!
+//! # Example
+//!
+//! ```
+//! use svf::{StackValueFile, SvfConfig};
+//!
+//! let sp0 = 0x4000_0000;
+//! let mut svf = StackValueFile::new(SvfConfig::kb8(), sp0);
+//!
+//! // A function prologue grows the stack; allocation costs no traffic.
+//! svf.on_sp_update(sp0, sp0 - 64);
+//! assert!(svf.in_range(sp0 - 64));
+//!
+//! // First touch is a store (spilling $ra): no fill needed.
+//! svf.store(sp0 - 64, 8);
+//! assert_eq!(svf.stats().traffic.qw_in, 0);
+//!
+//! // The epilogue shrinks the stack: the dirty word is killed, not
+//! // written back.
+//! svf.on_sp_update(sp0 - 64, sp0);
+//! assert_eq!(svf.stats().traffic.qw_out, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod file;
+
+pub use file::{SpAdjustEffect, StackValueFile, SvfAccess, SvfConfig, SvfStats};

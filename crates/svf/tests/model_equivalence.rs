@@ -1,0 +1,179 @@
+//! Property tests: the circular-buffer SVF behaves exactly like an
+//! unbounded reference model that tracks per-address state explicitly.
+//!
+//! The reference model keeps a map from quad-word address to (valid, dirty)
+//! for the covered range only. Every observable behaviour — range checks,
+//! demand fills, kills, spills — must match.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use svf::{StackValueFile, SvfConfig};
+
+const SP0: u64 = 0x4000_0000;
+
+/// The straightforward reference model.
+struct Model {
+    cap: u64,
+    lo: u64,
+    state: HashMap<u64, (bool, bool)>, // addr -> (valid, dirty)
+    qw_in: u64,
+    qw_out: u64,
+}
+
+impl Model {
+    fn new(cap: u64) -> Model {
+        Model { cap, lo: SP0, state: HashMap::new(), qw_in: 0, qw_out: 0 }
+    }
+
+    fn in_range(&self, addr: u64) -> bool {
+        addr >= self.lo && addr < self.lo + self.cap
+    }
+
+    fn on_sp_update(&mut self, new_sp: u64) {
+        if new_sp < self.lo {
+            // Growth: spill dirty words leaving through the window top.
+            let keep_hi = new_sp + self.cap;
+            let mut next = HashMap::new();
+            for (&a, &(v, d)) in &self.state {
+                if a >= keep_hi {
+                    if v && d {
+                        self.qw_out += 1;
+                    }
+                } else {
+                    next.insert(a, (v, d));
+                }
+            }
+            self.state = next;
+        } else if new_sp > self.lo {
+            // Shrink: kill deallocated words.
+            self.state.retain(|&a, _| a >= new_sp);
+        }
+        self.lo = new_sp;
+    }
+
+    fn load(&mut self, addr: u64) -> Option<bool> {
+        if !self.in_range(addr) {
+            return None;
+        }
+        let e = self.state.entry(addr).or_insert((false, false));
+        if e.0 {
+            Some(false)
+        } else {
+            *e = (true, e.1);
+            self.qw_in += 1;
+            Some(true)
+        }
+    }
+
+    fn store(&mut self, addr: u64, size: u8) -> Option<bool> {
+        if !self.in_range(addr) {
+            return None;
+        }
+        let e = self.state.entry(addr).or_insert((false, false));
+        let filled = !e.0 && size < 8;
+        if filled {
+            self.qw_in += 1;
+        }
+        *e = (true, true);
+        Some(filled)
+    }
+
+    fn flush(&mut self) -> u64 {
+        let dirty = self.state.values().filter(|&&(v, d)| v && d).count() as u64;
+        self.qw_out += dirty;
+        self.state.clear();
+        dirty * 8
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Adjust SP by this many quad-words (negative = grow).
+    Adjust(i64),
+    /// Load at TOS + offset quad-words.
+    Load(u64),
+    /// Store at TOS + offset quad-words, with this access size.
+    Store(u64, u8),
+    /// Context switch.
+    Flush,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (-64i64..64).prop_map(Op::Adjust),
+        4 => (0u64..160).prop_map(Op::Load),
+        4 => ((0u64..160), prop_oneof![Just(8u8), Just(4), Just(1)])
+            .prop_map(|(o, s)| Op::Store(o, s)),
+        1 => Just(Op::Flush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn svf_matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let cap = 1024u64; // 128 entries
+        let mut svf = StackValueFile::new(SvfConfig::with_size(cap), SP0);
+        let mut model = Model::new(cap);
+        let mut sp = SP0;
+
+        for op in ops {
+            match op {
+                Op::Adjust(dq) => {
+                    let new_sp = sp
+                        .saturating_add_signed(dq * 8)
+                        .clamp(SP0 - 1_000_000, SP0);
+                    svf.on_sp_update(sp, new_sp);
+                    model.on_sp_update(new_sp);
+                    sp = new_sp;
+                }
+                Op::Load(off_qw) => {
+                    let addr = sp + off_qw * 8;
+                    let got = svf.load(addr, 8).map(|a| a.filled);
+                    let want = model.load(addr);
+                    prop_assert_eq!(got, want, "load at TOS+{}qw", off_qw);
+                }
+                Op::Store(off_qw, size) => {
+                    let addr = sp + off_qw * 8;
+                    let got = svf.store(addr, size).map(|a| a.filled);
+                    let want = model.store(addr, size);
+                    prop_assert_eq!(got, want, "store at TOS+{}qw size {}", off_qw, size);
+                }
+                Op::Flush => {
+                    prop_assert_eq!(svf.context_switch_flush(), model.flush());
+                }
+            }
+            prop_assert_eq!(svf.range().0, model.lo);
+            prop_assert_eq!(svf.stats().traffic.qw_in, model.qw_in, "fill traffic diverged");
+            prop_assert_eq!(svf.stats().traffic.qw_out, model.qw_out, "spill traffic diverged");
+            prop_assert_eq!(svf.valid_count() as u64,
+                model.state.values().filter(|&&(v, _)| v).count() as u64);
+            prop_assert_eq!(svf.dirty_count() as u64,
+                model.state.values().filter(|&&(v, d)| v && d).count() as u64);
+        }
+    }
+
+    #[test]
+    fn traffic_is_zero_while_shallow(depths in proptest::collection::vec(1u64..100, 1..50)) {
+        // Any sequence of call/return pairs whose frames fit inside the SVF
+        // generates no memory traffic at all (the paper's headline claim).
+        let mut svf = StackValueFile::new(SvfConfig::kb8(), SP0);
+        let sp = SP0;
+        for frame_qw in depths {
+            let new_sp = sp - frame_qw * 8;
+            if SP0 - new_sp >= 8192 {
+                continue; // would exceed capacity; skip
+            }
+            svf.on_sp_update(sp, new_sp);
+            for i in 0..frame_qw {
+                svf.store(new_sp + i * 8, 8);
+                svf.load(new_sp + i * 8, 8);
+            }
+            svf.on_sp_update(new_sp, sp);
+        }
+        prop_assert_eq!(svf.stats().traffic.qw_in, 0);
+        prop_assert_eq!(svf.stats().traffic.qw_out, 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! # svf-workloads — SPECint2000-analog benchmark kernels
+//!
+//! The paper evaluates the twelve SPEC CPU2000 integer benchmarks compiled
+//! for Alpha. Those binaries (and inputs) are unavailable, so this crate
+//! provides twelve MiniC kernels, one per SPEC program, each designed to
+//! mimic the *stack signature* the paper reports for its namesake:
+//!
+//! | kernel | models | stack character (paper §2, Figs 1–3, Table 3) |
+//! |---|---|---|
+//! | `bzip2`   | 256.bzip2   | shallow stack, tight loops over a buffer (refs ~2.5 B from TOS) |
+//! | `crafty`  | 186.crafty  | alpha-beta game-tree search, ~400-unit active region |
+//! | `eon`     | 252.eon     | pointer-heavy vector math; many `$gpr` stack refs → SVF squashes |
+//! | `gap`     | 254.gap     | bignum limb arithmetic through pointer parameters |
+//! | `gcc`     | 176.gcc     | deep recursion with *large* frames (deepest stack; SVF spill traffic) |
+//! | `gzip`    | 164.gzip    | LZ77 match finding; heap/global dominated, flat stack |
+//! | `mcf`     | 181.mcf     | graph relaxation over heap arrays; few stack refs |
+//! | `parser`  | 197.parser  | recursive-descent parsing, deep but small frames |
+//! | `twolf`   | 300.twolf   | annealing with very frequent small helper calls |
+//! | `vortex`  | 255.vortex  | in-memory record store (hash table, chained records) |
+//! | `perlbmk` | 253.perlbmk | bytecode-interpreter dispatch loop with a VM stack |
+//! | `vpr`     | 175.vpr     | maze routing / BFS over a grid with a work queue |
+//!
+//! All inputs are generated in-language from a fixed linear-congruential
+//! PRNG, so every run of a kernel at a given [`Scale`] commits exactly the
+//! same instruction stream and prints the same checksum.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use svf_workloads::{workload, Scale};
+//!
+//! let w = workload("bzip2").expect("exists");
+//! let program = w.compile(Scale::Test)?;
+//! let mut emu = svf_emu::Emulator::new(&program);
+//! emu.run(50_000_000)?;
+//! assert!(emu.output_string().ends_with('\n'));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod sources;
+
+use svf_cc::CcError;
+use svf_isa::Program;
+
+/// Problem-size selector. `Test` keeps functional tests fast, `Small` is
+/// the default for timing experiments, `Full` approaches the shape of a
+/// long run (minutes of simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// ~100 K committed instructions.
+    Test,
+    /// ~1–3 M committed instructions — the experiment default.
+    Small,
+    /// ~10 M committed instructions.
+    Full,
+}
+
+/// A named input data set for a kernel (the paper's Table 1 lists one to
+/// three inputs per benchmark, e.g. `bzip2.graphic` and `bzip2.program`;
+/// Table 3 reports traffic per input). Inputs differ by PRNG seed, which
+/// changes every generated datum while keeping runs deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Input {
+    /// Input name as the paper writes it (`"graphic"`, `"cp-decl"`, …).
+    pub name: &'static str,
+    /// The 64-bit LCG seed generating this input.
+    pub seed: i64,
+}
+
+/// One benchmark kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Short name (`"bzip2"`, `"gcc"`, …).
+    pub name: &'static str,
+    /// The SPEC CPU2000 program it stands in for.
+    pub spec: &'static str,
+    /// One-line description of the kernel.
+    pub description: &'static str,
+    /// Named inputs, mirroring the paper's Table 1 (first is the default).
+    pub inputs: &'static [Input],
+    template: &'static str,
+    n_test: u64,
+    n_small: u64,
+    n_full: u64,
+}
+
+impl Workload {
+    /// The default input (the first of [`Workload::inputs`]).
+    #[must_use]
+    pub fn default_input(&self) -> Input {
+        self.inputs[0]
+    }
+
+    /// The MiniC source at the given scale with the default input.
+    #[must_use]
+    pub fn source(&self, scale: Scale) -> String {
+        self.source_with_input(scale, self.default_input())
+    }
+
+    /// The MiniC source at the given scale and input.
+    #[must_use]
+    pub fn source_with_input(&self, scale: Scale, input: Input) -> String {
+        let n = match scale {
+            Scale::Test => self.n_test,
+            Scale::Small => self.n_small,
+            Scale::Full => self.n_full,
+        };
+        let prng = sources::PRNG.replace("@SEED@", &input.seed.to_string());
+        format!("{}{}", prng, self.template.replace("@N@", &n.to_string()))
+    }
+
+    /// Compiles the kernel with its default input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler errors (which would indicate a broken template).
+    pub fn compile(&self, scale: Scale) -> Result<Program, CcError> {
+        self.compile_with_input(scale, self.default_input())
+    }
+
+    /// Compiles the kernel with a specific input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler errors (which would indicate a broken template).
+    pub fn compile_with_input(&self, scale: Scale, input: Input) -> Result<Program, CcError> {
+        svf_cc::compile_to_program(&self.source_with_input(scale, input))
+    }
+}
+
+/// All twelve kernels, in the paper's Table 1 order.
+#[must_use]
+pub fn all() -> &'static [Workload] {
+    &sources::ALL
+}
+
+/// Looks up a kernel by name.
+#[must_use]
+pub fn workload(name: &str) -> Option<&'static Workload> {
+    sources::ALL.iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svf_emu::{Emulator, RunOutcome};
+
+    #[test]
+    fn twelve_workloads_exist() {
+        assert_eq!(all().len(), 12);
+        let names: Vec<_> = all().iter().map(|w| w.name).collect();
+        for expected in [
+            "bzip2", "crafty", "eon", "gap", "gcc", "gzip", "mcf", "parser", "twolf", "vortex",
+            "perlbmk", "vpr",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(workload("gcc").unwrap().spec, "176.gcc");
+        assert!(workload("nonexistent").is_none());
+    }
+
+    #[test]
+    fn all_compile_and_halt_at_test_scale() {
+        for w in all() {
+            let p = w.compile(Scale::Test).unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+            let mut emu = Emulator::new(&p);
+            let outcome = emu.run(80_000_000).unwrap_or_else(|e| panic!("{} faulted: {e}", w.name));
+            assert_eq!(outcome, RunOutcome::Halted, "{} did not halt", w.name);
+            assert!(!emu.output().is_empty(), "{} printed nothing", w.name);
+            assert!(
+                emu.steps() > 20_000,
+                "{} too small at Test scale: {} instructions",
+                w.name,
+                emu.steps()
+            );
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        for w in all() {
+            let p = w.compile(Scale::Test).unwrap();
+            let mut a = Emulator::new(&p);
+            a.run(80_000_000).unwrap();
+            let mut b = Emulator::new(&p);
+            b.run(80_000_000).unwrap();
+            assert_eq!(a.output_string(), b.output_string(), "{} not deterministic", w.name);
+            assert_eq!(a.steps(), b.steps());
+        }
+    }
+
+    #[test]
+    fn inputs_mirror_the_papers_table1() {
+        // 17 (benchmark, input) pairs, exactly the paper's Table 1/3 rows.
+        let pairs: usize = all().iter().map(|w| w.inputs.len()).sum();
+        assert_eq!(pairs, 17);
+        assert_eq!(workload("bzip2").unwrap().inputs.len(), 2); // graphic, program
+        assert_eq!(workload("gzip").unwrap().inputs.len(), 3); // graphic, log, program
+        assert_eq!(workload("eon").unwrap().inputs.len(), 2); // cook, kajiya
+        assert_eq!(workload("gcc").unwrap().inputs.len(), 2); // cp-decl, integrate
+        for w in all() {
+            assert!(!w.inputs.is_empty(), "{} needs at least one input", w.name);
+            assert_eq!(w.default_input(), w.inputs[0]);
+        }
+    }
+
+    #[test]
+    fn different_inputs_produce_different_runs() {
+        let w = workload("bzip2").unwrap();
+        let a = w.compile_with_input(Scale::Test, w.inputs[0]).unwrap();
+        let b = w.compile_with_input(Scale::Test, w.inputs[1]).unwrap();
+        let mut ea = Emulator::new(&a);
+        ea.run(80_000_000).unwrap();
+        let mut eb = Emulator::new(&b);
+        eb.run(80_000_000).unwrap();
+        assert!(ea.is_halted() && eb.is_halted());
+        assert_ne!(
+            ea.output_string(),
+            eb.output_string(),
+            "distinct seeds must produce distinct checksums"
+        );
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        for w in all() {
+            let t = w.source(Scale::Test);
+            let s = w.source(Scale::Small);
+            assert_ne!(t, s, "{}: scales must differ", w.name);
+        }
+    }
+}

@@ -1,0 +1,698 @@
+//! The twelve MiniC kernel templates.
+//!
+//! Every kernel uses the same 64-bit LCG (`rnd`) for input generation, so
+//! runs are bit-exact deterministic. `@N@` is replaced by the scale's size
+//! parameter. Each `main` ends by printing checksums used as golden values
+//! in tests.
+
+use crate::{Input, Workload};
+
+pub(crate) const PRNG: &str = "
+int seed = @SEED@;
+int rnd() {
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    return (seed >> 33) & 0x3FFFFFFF;
+}
+";
+
+/// 256.bzip2 — move-to-front + run-length over a skewed buffer. Shallow
+/// stack; references stay within a few bytes of the TOS.
+const BZIP2: &str = "
+int table[64];
+int mtf_encode(int* src, int* dst, int n) {
+    for (int j = 0; j < 64; j = j + 1) table[j] = j;
+    int zeros = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        int c = src[i];
+        int j = 0;
+        while (table[j] != c) j = j + 1;
+        int r = j;
+        while (j > 0) { table[j] = table[j - 1]; j = j - 1; }
+        table[0] = c;
+        dst[i] = r;
+        if (r == 0) zeros = zeros + 1;
+    }
+    return zeros;
+}
+int rle_runs(int* v, int n) {
+    int runs = 0;
+    int i = 0;
+    while (i < n) {
+        int j = i + 1;
+        while (j < n && v[j] == v[i]) j = j + 1;
+        runs = runs + 1;
+        i = j;
+    }
+    return runs;
+}
+int main() {
+    int n = @N@;
+    int* buf = alloc(n * 8);
+    int* out = alloc(n * 8);
+    for (int i = 0; i < n; i = i + 1) {
+        int r = rnd();
+        buf[i] = r % 8 * 5 % 64;
+    }
+    int zeros = mtf_encode(buf, out, n);
+    int runs = rle_runs(out, n);
+    int sum = 0;
+    for (int i = 0; i < n; i = i + 1) sum = sum + out[i] * (i % 13 + 1);
+    print(zeros);
+    print(runs);
+    print(sum);
+    return 0;
+}
+";
+
+/// 186.crafty — alpha-beta negamax over a hash-generated game tree.
+const CRAFTY: &str = "
+int nodes = 0;
+int eval(int state) {
+    int h = state * 2654435761;
+    return (h >> 16) % 200;
+}
+int negamax(int state, int depth, int alpha, int beta) {
+    nodes = nodes + 1;
+    if (depth == 0) return eval(state);
+    int moves[8];
+    int nm = 2 + (state & 3);
+    for (int m = 0; m < nm; m = m + 1) moves[m] = state * 31 + m * 17 + depth;
+    int best = -1000000000;
+    for (int i = 0; i < nm; i = i + 1) {
+        int v = -negamax(moves[i], depth - 1, -beta, -alpha);
+        if (v > best) best = v;
+        if (best > alpha) alpha = best;
+        if (alpha >= beta) break;
+    }
+    return best;
+}
+int main() {
+    int total = 0;
+    for (int g = 0; g < @N@; g = g + 1) {
+        total = total + negamax(rnd(), 6, -1000000000, 1000000000);
+    }
+    print(total);
+    print(nodes);
+    return 0;
+}
+";
+
+/// 252.eon — fixed-point vector kernels with pointer writes to scalar
+/// locals immediately re-read through `$sp` (the squash-heavy pattern the
+/// paper reports for eon).
+const EON: &str = "
+int advance(int* x, int* y, int* z, int k) {
+    *x = (*x * k) >> 12;
+    *y = (*y * k + 977) >> 12;
+    *z = (*z * k - 455) >> 12;
+    return 0;
+}
+int trace(int ox, int oy, int oz) {
+    int px = ox;
+    int py = oy;
+    int pz = oz;
+    int acc = 0;
+    for (int it = 0; it < 10; it = it + 1) {
+        advance(&px, &py, &pz, 4096 + it * 11);
+        acc = acc + px + py + pz;
+        int r2 = (px * px + py * py + pz * pz) >> 12;
+        acc = acc + (r2 >> 8);
+        px = px + 4096;
+        py = py - 2048;
+        pz = pz + it;
+    }
+    return acc;
+}
+int main() {
+    int image = 0;
+    for (int ray = 0; ray < @N@; ray = ray + 1) {
+        image = image + trace(rnd() % 65536, rnd() % 65536, rnd() % 65536);
+    }
+    print(image);
+    return 0;
+}
+";
+
+/// 254.gap — multi-limb (bignum) arithmetic through pointer parameters.
+const GAP: &str = "
+int badd(int* r, int* a, int* b, int n) {
+    int carry = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        int s = a[i] + b[i] + carry;
+        carry = s >> 30;
+        r[i] = s & 0x3FFFFFFF;
+    }
+    return carry;
+}
+int bscale(int* r, int* a, int d, int n) {
+    int carry = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        int s = a[i] * d + carry;
+        carry = s >> 30;
+        r[i] = s & 0x3FFFFFFF;
+    }
+    return carry;
+}
+int bsum(int* a, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) s = s + a[i] * (i + 1);
+    return s;
+}
+int main() {
+    int n = 24;
+    int* x = alloc(n * 8);
+    int* y = alloc(n * 8);
+    int* z = alloc(n * 8);
+    x[0] = 1;
+    y[0] = 1;
+    for (int it = 0; it < @N@; it = it + 1) {
+        badd(z, x, y, n);
+        int* t = x;
+        x = y;
+        y = z;
+        z = t;
+        if (it % 37 == 0) bscale(x, x, 3, n);
+    }
+    print(bsum(y, n));
+    print(bsum(x, n));
+    return 0;
+}
+";
+
+/// 176.gcc — recursive descent with *large* frames; the deepest stack of
+/// the suite, regularly exceeding an 8 KB SVF (spill traffic, Table 3).
+const GCC: &str = "
+int gtoks = 0;
+int pos = 0;
+int ntoks = 0;
+int parse_prim(int depth, int* up) {
+    int regcache[56];
+    int* toks = gtoks;
+    for (int i = 0; i < 8; i = i + 1) regcache[i * 7] = pos * (i + 3);
+    int t = toks[pos % ntoks];
+    pos = pos + 1;
+    up[2 + (t & 15)] = t * 3 + depth;
+    if (depth <= 0) return t + regcache[7] + up[2];
+    if (t == 0) return parse_expr(depth - 1) + parse_expr(depth - 2) + regcache[0];
+    if (t < 4) return parse_expr(depth - 1) + regcache[t * 7];
+    if (t < 7) return parse_prim(depth - 1, up) * 3 + t;
+    return t * 5 + regcache[14] + up[3];
+}
+int parse_expr(int depth) {
+    int locals[40];
+    locals[0] = parse_prim(depth, &locals[8]);
+    locals[1] = 0;
+    int* toks = gtoks;
+    while (toks[pos % ntoks] == 1 && locals[1] < 3) {
+        pos = pos + 1;
+        locals[0] = locals[0] + parse_prim(depth - 1, &locals[8]);
+        locals[1] = locals[1] + 1;
+    }
+    return locals[0];
+}
+int main() {
+    ntoks = 512;
+    int* toks = alloc(ntoks * 8);
+    for (int i = 0; i < ntoks; i = i + 1) toks[i] = rnd() % 10;
+    gtoks = toks;
+    int sum = 0;
+    for (int it = 0; it < @N@; it = it + 1) {
+        sum = sum + parse_expr(14 + it % 5);
+    }
+    print(sum);
+    print(pos);
+    return 0;
+}
+";
+
+/// 164.gzip — LZ77 match finding with a global hash-head table over a
+/// semi-repetitive buffer. Heap and global dominated; flat, shallow stack.
+const GZIP: &str = "
+int head[4096];
+int main() {
+    int n = @N@;
+    int* buf = alloc(n * 8 + 512);
+    for (int i = 0; i < n; i = i + 1) {
+        if (i > 64 && rnd() % 4 != 0) buf[i] = buf[i - 64 + rnd() % 32];
+        else buf[i] = rnd() % 16;
+    }
+    int total = 0;
+    int matches = 0;
+    for (int i = 0; i + 4 < n; i = i + 1) {
+        int h = (buf[i] * 33 + buf[i + 1] * 7 + buf[i + 2]) & 4095;
+        int cand = head[h] - 1;
+        if (cand >= 0 && cand < i) {
+            int len = 0;
+            while (len < 16 && i + len < n && buf[cand + len] == buf[i + len]) len = len + 1;
+            if (len >= 3) {
+                total = total + len;
+                matches = matches + 1;
+            }
+        }
+        head[h] = i + 1;
+    }
+    print(total);
+    print(matches);
+    return 0;
+}
+";
+
+/// 181.mcf — Bellman-Ford-style relaxation over heap-resident graph
+/// arrays. Few stack references, like the real mcf.
+const MCF: &str = "
+int main() {
+    int n = 160;
+    int m = 800;
+    int* esrc = alloc(m * 8);
+    int* edst = alloc(m * 8);
+    int* ecost = alloc(m * 8);
+    int* dist = alloc(n * 8);
+    for (int e = 0; e < m; e = e + 1) {
+        esrc[e] = rnd() % n;
+        edst[e] = rnd() % n;
+        ecost[e] = rnd() % 100 + 1;
+    }
+    for (int i = 1; i < n; i = i + 1) dist[i] = 1 << 40;
+    dist[0] = 0;
+    int updates = 0;
+    for (int r = 0; r < @N@; r = r + 1) {
+        for (int e = 0; e < m; e = e + 1) {
+            int u = esrc[e];
+            int v = edst[e];
+            int nd = dist[u] + ecost[e];
+            if (nd < dist[v]) {
+                dist[v] = nd;
+                updates = updates + 1;
+            }
+        }
+        esrc[r % m] = rnd() % n;
+    }
+    int sum = 0;
+    for (int i = 0; i < n; i = i + 1) sum = sum + dist[i] % 100000;
+    print(updates);
+    print(sum);
+    return 0;
+}
+";
+
+/// 197.parser — recursive-descent parsing of generated balanced
+/// expressions: deep recursion with small frames.
+const PARSER: &str = "
+int gbuf = 0;
+int gpos = 0;
+int cap = 0;
+int pos = 0;
+int gen(int depth) {
+    int* b = gbuf;
+    if (gpos >= cap - 4 || depth <= 0 || rnd() % 5 < 2) {
+        b[gpos] = 2 + rnd() % 7;
+        gpos = gpos + 1;
+        return 0;
+    }
+    b[gpos] = 0;
+    gpos = gpos + 1;
+    int k = 1 + rnd() % 2;
+    for (int i = 0; i < k; i = i + 1) gen(depth - 1);
+    b[gpos] = 1;
+    gpos = gpos + 1;
+    return 0;
+}
+int parse() {
+    int* b = gbuf;
+    int t = b[pos];
+    pos = pos + 1;
+    if (t >= 2) return t;
+    int sum = 0;
+    while (b[pos] != 1) sum = sum + parse();
+    pos = pos + 1;
+    return sum + 1;
+}
+int main() {
+    cap = 65536;
+    gbuf = alloc(cap * 8);
+    int total = 0;
+    int sentences = @N@;
+    for (int s = 0; s < sentences; s = s + 1) {
+        gpos = 0;
+        gen(14);
+        pos = 0;
+        total = total + parse();
+    }
+    print(total);
+    return 0;
+}
+";
+
+/// 300.twolf — simulated-annealing placement with very frequent small
+/// helper calls (wire-length evaluation), the call-heaviest kernel.
+const TWOLF: &str = "
+int posx[256];
+int posy[256];
+int neta[512];
+int netb[512];
+int wire(int i) {
+    int dx = posx[neta[i]] - posx[netb[i]];
+    if (dx < 0) dx = -dx;
+    int dy = posy[neta[i]] - posy[netb[i]];
+    if (dy < 0) dy = -dy;
+    return dx + dy;
+}
+int cell_cost(int c) {
+    int s = 0;
+    for (int i = c % 16; i < 512; i = i + 16) s = s + wire(i);
+    return s;
+}
+int swap_cells(int a, int b) {
+    int t = posx[a];
+    posx[a] = posx[b];
+    posx[b] = t;
+    t = posy[a];
+    posy[a] = posy[b];
+    posy[b] = t;
+    return 0;
+}
+int main() {
+    for (int i = 0; i < 256; i = i + 1) {
+        posx[i] = rnd() % 64;
+        posy[i] = rnd() % 64;
+    }
+    for (int i = 0; i < 512; i = i + 1) {
+        neta[i] = rnd() % 256;
+        netb[i] = rnd() % 256;
+    }
+    int accepted = 0;
+    int temp = 900;
+    for (int it = 0; it < @N@; it = it + 1) {
+        int a = rnd() % 256;
+        int b = rnd() % 256;
+        int before = cell_cost(a) + cell_cost(b);
+        swap_cells(a, b);
+        int after = cell_cost(a) + cell_cost(b);
+        if (after > before && rnd() % 1000 > temp) {
+            swap_cells(a, b);
+        } else {
+            accepted = accepted + 1;
+        }
+        if (it % 16 == 15 && temp > 10) temp = temp - 1;
+    }
+    int cost = 0;
+    for (int i = 0; i < 512; i = i + 1) cost = cost + wire(i);
+    print(accepted);
+    print(cost);
+    return 0;
+}
+";
+
+/// 255.vortex — an in-memory record store: hash-bucketed insertion and
+/// lookup over index-linked records.
+const VORTEX: &str = "
+int gkeys = 0;
+int gvals = 0;
+int gnext = 0;
+int buckets[1024];
+int nrec = 0;
+int hashk(int k) {
+    return ((k * 2654435761) >> 8) & 1023;
+}
+int insert(int k, int v) {
+    int* keys = gkeys;
+    int* vals = gvals;
+    int* next = gnext;
+    int b = hashk(k);
+    keys[nrec] = k;
+    vals[nrec] = v;
+    next[nrec] = buckets[b];
+    buckets[b] = nrec + 1;
+    nrec = nrec + 1;
+    return b;
+}
+int lookup(int k) {
+    int* keys = gkeys;
+    int* vals = gvals;
+    int* next = gnext;
+    int cur = buckets[hashk(k)];
+    while (cur != 0) {
+        if (keys[cur - 1] == k) return vals[cur - 1];
+        cur = next[cur - 1];
+    }
+    return -1;
+}
+int main() {
+    int n = @N@;
+    gkeys = alloc(n * 8);
+    gvals = alloc(n * 8);
+    gnext = alloc(n * 8);
+    for (int i = 0; i < n; i = i + 1) {
+        insert(rnd() % (n * 2), i * 3 + 1);
+    }
+    int hits = 0;
+    int sum = 0;
+    for (int q = 0; q < n * 2; q = q + 1) {
+        int v = lookup(rnd() % (n * 2));
+        if (v >= 0) {
+            hits = hits + 1;
+            sum = sum + v;
+        }
+    }
+    print(hits);
+    print(sum % 1000000007);
+    return 0;
+}
+";
+
+/// 253.perlbmk — a small bytecode interpreter: dispatch loop with a VM
+/// operand stack in a local array.
+const PERLBMK: &str = "
+int prog[2048];
+int run_vm(int steps) {
+    int stk[64];
+    int top = 0;
+    int ip = 0;
+    int acc = 0;
+    for (int s = 0; s < steps; s = s + 1) {
+        int op = prog[ip];
+        ip = ip + 1;
+        if (ip >= 2000) ip = 0;
+        if (op == 0) {
+            if (top < 60) {
+                stk[top] = (ip * 7) & 1023;
+                top = top + 1;
+            }
+        } else if (op == 1) {
+            if (top > 1) {
+                stk[top - 2] = stk[top - 2] + stk[top - 1];
+                top = top - 1;
+            }
+        } else if (op == 2) {
+            if (top > 1) {
+                stk[top - 2] = stk[top - 2] - stk[top - 1];
+                top = top - 1;
+            }
+        } else if (op == 3) {
+            if (top > 0) stk[top - 1] = stk[top - 1] * 3 + 1;
+        } else if (op == 4) {
+            if (top > 0 && top < 60) {
+                stk[top] = stk[top - 1];
+                top = top + 1;
+            }
+        } else if (op == 5) {
+            if (top > 0) top = top - 1;
+        } else if (op == 6) {
+            ip = (ip * 13 + 7) % 2000;
+        } else {
+            if (top > 0) acc = acc + stk[top - 1];
+        }
+    }
+    return acc + top;
+}
+int main() {
+    for (int i = 0; i < 2048; i = i + 1) prog[i] = rnd() % 8;
+    print(run_vm(@N@));
+    return 0;
+}
+";
+
+/// 175.vpr — maze routing: repeated BFS over a blocked grid with a heap
+/// work queue.
+const VPR: &str = "
+int main() {
+    int w = 48;
+    int h = 48;
+    int cells = 2304;
+    int* grid = alloc(cells * 8);
+    int* dist = alloc(cells * 8);
+    int* queue = alloc(cells * 8);
+    for (int i = 0; i < cells; i = i + 1) grid[i] = rnd() % 4 == 0;
+    int found = 0;
+    int totallen = 0;
+    for (int r = 0; r < @N@; r = r + 1) {
+        for (int i = 0; i < cells; i = i + 1) dist[i] = -1;
+        int s = rnd() % cells;
+        int t = rnd() % cells;
+        if (grid[s] || grid[t]) continue;
+        int head = 0;
+        int tail = 0;
+        dist[s] = 0;
+        queue[tail] = s;
+        tail = tail + 1;
+        while (head < tail) {
+            int c = queue[head];
+            head = head + 1;
+            if (c == t) break;
+            int cx = c % w;
+            int cy = c / w;
+            if (cx > 0 && dist[c - 1] < 0 && grid[c - 1] == 0) {
+                dist[c - 1] = dist[c] + 1;
+                queue[tail] = c - 1;
+                tail = tail + 1;
+            }
+            if (cx < w - 1 && dist[c + 1] < 0 && grid[c + 1] == 0) {
+                dist[c + 1] = dist[c] + 1;
+                queue[tail] = c + 1;
+                tail = tail + 1;
+            }
+            if (cy > 0 && dist[c - w] < 0 && grid[c - w] == 0) {
+                dist[c - w] = dist[c] + 1;
+                queue[tail] = c - w;
+                tail = tail + 1;
+            }
+            if (cy < h - 1 && dist[c + w] < 0 && grid[c + w] == 0) {
+                dist[c + w] = dist[c] + 1;
+                queue[tail] = c + w;
+                tail = tail + 1;
+            }
+        }
+        if (dist[t] >= 0) {
+            found = found + 1;
+            totallen = totallen + dist[t];
+        }
+    }
+    print(found);
+    print(totallen);
+    return 0;
+}
+";
+
+/// The twelve kernels in the paper's Table 1 order.
+pub const ALL: [Workload; 12] = [
+    Workload {
+        name: "bzip2",
+        inputs: &[Input { name: "graphic", seed: 88172645463325252 }, Input { name: "program", seed: 2862933555777941757 }],
+        spec: "256.bzip2",
+        description: "move-to-front + run-length encoding over a skewed buffer",
+        template: BZIP2,
+        n_test: 700,
+        n_small: 8_000,
+        n_full: 40_000,
+    },
+    Workload {
+        name: "crafty",
+        inputs: &[Input { name: "ref", seed: 88172645463325252 }],
+        spec: "186.crafty",
+        description: "alpha-beta negamax over a hash-generated game tree",
+        template: CRAFTY,
+        n_test: 2,
+        n_small: 25,
+        n_full: 120,
+    },
+    Workload {
+        name: "eon",
+        inputs: &[Input { name: "cook", seed: 88172645463325252 }, Input { name: "kajiya", seed: 3202034522624059733 }],
+        spec: "252.eon",
+        description: "fixed-point vector kernels with pointer writes re-read via $sp",
+        template: EON,
+        n_test: 300,
+        n_small: 4_000,
+        n_full: 20_000,
+    },
+    Workload {
+        name: "gap",
+        inputs: &[Input { name: "ref", seed: 88172645463325252 }],
+        spec: "254.gap",
+        description: "multi-limb bignum arithmetic through pointer parameters",
+        template: GAP,
+        n_test: 250,
+        n_small: 3_000,
+        n_full: 15_000,
+    },
+    Workload {
+        name: "gcc",
+        inputs: &[Input { name: "cp-decl", seed: 88172645463325252 }, Input { name: "integrate", seed: 7046029254386353087 }],
+        spec: "176.gcc",
+        description: "recursive descent with large frames and the deepest stack",
+        template: GCC,
+        n_test: 180,
+        n_small: 2_200,
+        n_full: 11_000,
+    },
+    Workload {
+        name: "gzip",
+        inputs: &[Input { name: "graphic", seed: 88172645463325252 }, Input { name: "log", seed: 4768777513237032717 }, Input { name: "program", seed: 1442695040888963407 }],
+        spec: "164.gzip",
+        description: "LZ77 match finding with a global hash-head table",
+        template: GZIP,
+        n_test: 1_500,
+        n_small: 18_000,
+        n_full: 90_000,
+    },
+    Workload {
+        name: "mcf",
+        inputs: &[Input { name: "inp", seed: 88172645463325252 }],
+        spec: "181.mcf",
+        description: "Bellman-Ford relaxation over heap-resident graph arrays",
+        template: MCF,
+        n_test: 10,
+        n_small: 120,
+        n_full: 600,
+    },
+    Workload {
+        name: "parser",
+        inputs: &[Input { name: "ref", seed: 88172645463325252 }],
+        spec: "197.parser",
+        description: "recursive-descent parsing of generated balanced expressions",
+        template: PARSER,
+        n_test: 120,
+        n_small: 1_400,
+        n_full: 7_000,
+    },
+    Workload {
+        name: "twolf",
+        inputs: &[Input { name: "ref", seed: 88172645463325252 }],
+        spec: "300.twolf",
+        description: "annealing placement with very frequent wire-length calls",
+        template: TWOLF,
+        n_test: 40,
+        n_small: 500,
+        n_full: 2_500,
+    },
+    Workload {
+        name: "vortex",
+        inputs: &[Input { name: "ref", seed: 88172645463325252 }],
+        spec: "255.vortex",
+        description: "hash-bucketed record store: insertion and chained lookup",
+        template: VORTEX,
+        n_test: 900,
+        n_small: 10_000,
+        n_full: 50_000,
+    },
+    Workload {
+        name: "perlbmk",
+        inputs: &[Input { name: "scrabbl", seed: 88172645463325252 }],
+        spec: "253.perlbmk",
+        description: "bytecode interpreter dispatch loop with a VM operand stack",
+        template: PERLBMK,
+        n_test: 4_000,
+        n_small: 50_000,
+        n_full: 250_000,
+    },
+    Workload {
+        name: "vpr",
+        inputs: &[Input { name: "ref", seed: 88172645463325252 }],
+        spec: "175.vpr",
+        description: "maze routing: repeated BFS over a blocked grid",
+        template: VPR,
+        n_test: 3,
+        n_small: 35,
+        n_full: 180,
+    },
+];

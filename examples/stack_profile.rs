@@ -1,0 +1,61 @@
+//! Stack-behaviour profiler: the Figures 1–3 characterization for any
+//! MiniC source file or a built-in workload.
+//!
+//! ```text
+//! cargo run --release --example stack_profile              # all kernels
+//! cargo run --release --example stack_profile gcc          # one kernel
+//! cargo run --release --example stack_profile path/to.c    # your own code
+//! ```
+
+use svf_experiments::characterize::{characterize_program, CharStats};
+use svf_workloads::Scale;
+
+fn report(name: &str, st: &CharStats) {
+    let total = st.mem_refs.max(1) as f64;
+    println!("--- {name} ---");
+    println!("  instructions        : {}", st.instructions);
+    println!("  memory refs         : {} ({:.1}% of instructions)", st.mem_refs, 100.0 * st.mem_frac());
+    println!(
+        "  stack refs          : {:.1}%  ($sp {:.1}% / $fp {:.1}% / $gpr {:.1}%)",
+        100.0 * st.stack_frac(),
+        100.0 * st.stack_sp as f64 / total,
+        100.0 * st.stack_fp as f64 / total,
+        100.0 * st.stack_gpr as f64 / total,
+    );
+    println!(
+        "  global / heap refs  : {:.1}% / {:.1}%",
+        100.0 * st.global as f64 / total,
+        100.0 * st.heap as f64 / total
+    );
+    println!("  max stack depth     : {} bytes", st.max_depth_bytes);
+    println!(
+        "  offset from TOS     : avg {:.0} B; within 256B {:.1}%, 1KB {:.1}%, 8KB {:.1}%",
+        st.avg_offset(),
+        100.0 * st.frac_within(256),
+        100.0 * st.frac_within(1024),
+        100.0 * st.frac_within(8192),
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arg = std::env::args().nth(1);
+    match arg.as_deref() {
+        None => {
+            for w in svf_workloads::all() {
+                let program = w.compile(Scale::Test)?;
+                report(w.name, &characterize_program(&program, u64::MAX));
+            }
+        }
+        Some(name) if svf_workloads::workload(name).is_some() => {
+            let w = svf_workloads::workload(name).expect("checked");
+            let program = w.compile(Scale::Small)?;
+            report(name, &characterize_program(&program, u64::MAX));
+        }
+        Some(path) => {
+            let source = std::fs::read_to_string(path)?;
+            let program = svf_cc::compile_to_program(&source)?;
+            report(path, &characterize_program(&program, 100_000_000));
+        }
+    }
+    Ok(())
+}

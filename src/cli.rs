@@ -1,0 +1,357 @@
+//! Implementation of the `svf-sim` command-line driver.
+//!
+//! ```text
+//! svf-sim <file.c|file.s> [options]
+//!   --engine none|svf|svf-nosquash|stack-cache|ideal   stack engine (default svf)
+//!   --width 4|8|16                                     machine width (default 16)
+//!   --ports R+S                                        D-cache + stack ports (default 2+2)
+//!   --svf-kb N                                         SVF/stack-cache capacity (default 8)
+//!   --gshare                                           gshare predictor (default perfect)
+//!   --naive                                            disable compiler optimizations
+//!   --max-insts N                                      instruction budget
+//!   --profile                                          print the Figures 1-3 characterization
+//!   --disasm                                           print the disassembly and exit
+//!   --compare                                          also run the (R+0) baseline and report speedup
+//! ```
+
+use std::error::Error;
+use std::fmt::Write as _;
+
+use svf::SvfConfig;
+use svf_cpu::{CpuConfig, PredictorKind, Simulator, StackEngine};
+use svf_emu::Emulator;
+use svf_isa::Program;
+use svf_mem::StackCacheConfig;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Input path (`.c` MiniC or `.s` assembly).
+    pub path: String,
+    /// Stack engine selector.
+    pub engine: String,
+    /// Machine width.
+    pub width: usize,
+    /// D-cache ports.
+    pub dl1_ports: usize,
+    /// Stack-structure ports.
+    pub stack_ports: usize,
+    /// SVF / stack-cache capacity in KiB.
+    pub capacity_kb: u64,
+    /// Use the gshare predictor.
+    pub gshare: bool,
+    /// Disable compiler optimizations.
+    pub naive: bool,
+    /// Committed-instruction budget.
+    pub max_insts: u64,
+    /// Print the characterization profile.
+    pub profile: bool,
+    /// Print disassembly and exit.
+    pub disasm: bool,
+    /// Print the compiler's assembly output and exit (MiniC inputs only).
+    pub emit_asm: bool,
+    /// Also run the (R+0) baseline.
+    pub compare: bool,
+    /// Print the first N retired instructions (functional trace).
+    pub trace: u64,
+    /// Write a compact binary trace of the whole run to this path.
+    pub dump_trace: Option<String>,
+}
+
+impl Default for CliOptions {
+    fn default() -> CliOptions {
+        CliOptions {
+            path: String::new(),
+            engine: "svf".into(),
+            width: 16,
+            dl1_ports: 2,
+            stack_ports: 2,
+            capacity_kb: 8,
+            gshare: false,
+            naive: false,
+            max_insts: u64::MAX,
+            profile: false,
+            disasm: false,
+            emit_asm: false,
+            compare: false,
+            trace: 0,
+            dump_trace: None,
+        }
+    }
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing values, or
+/// a missing input path.
+pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut o = CliOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(String::as_str).ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--engine" => o.engine = value("--engine")?.to_string(),
+            "--width" => {
+                o.width = value("--width")?.parse().map_err(|_| "bad --width")?;
+                if ![4, 8, 16].contains(&o.width) {
+                    return Err("--width must be 4, 8 or 16".into());
+                }
+            }
+            "--ports" => {
+                let v = value("--ports")?;
+                let (r, s) = v.split_once('+').ok_or("--ports wants R+S, e.g. 2+2")?;
+                o.dl1_ports = r.parse().map_err(|_| "bad R in --ports")?;
+                o.stack_ports = s.parse().map_err(|_| "bad S in --ports")?;
+            }
+            "--svf-kb" => o.capacity_kb = value("--svf-kb")?.parse().map_err(|_| "bad --svf-kb")?,
+            "--max-insts" => {
+                o.max_insts = value("--max-insts")?.parse().map_err(|_| "bad --max-insts")?;
+            }
+            "--gshare" => o.gshare = true,
+            "--naive" => o.naive = true,
+            "--profile" => o.profile = true,
+            "--disasm" => o.disasm = true,
+            "--emit-asm" => o.emit_asm = true,
+            "--compare" => o.compare = true,
+            "--trace" => o.trace = value("--trace")?.parse().map_err(|_| "bad --trace")?,
+            "--dump-trace" => o.dump_trace = Some(value("--dump-trace")?.to_string()),
+            p if !p.starts_with('-') && o.path.is_empty() => o.path = p.to_string(),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if o.path.is_empty() {
+        return Err("no input file given".into());
+    }
+    Ok(o)
+}
+
+/// Builds the machine configuration from the options.
+///
+/// # Errors
+///
+/// Rejects unknown engine names.
+pub fn build_config(o: &CliOptions) -> Result<CpuConfig, String> {
+    let mut cfg = match o.width {
+        4 => CpuConfig::wide4(),
+        8 => CpuConfig::wide8(),
+        _ => CpuConfig::wide16(),
+    }
+    .with_ports(o.dl1_ports, o.stack_ports);
+    cfg.stack_engine = match o.engine.as_str() {
+        "none" => StackEngine::None,
+        "svf" => StackEngine::Svf {
+            cfg: SvfConfig::with_size(o.capacity_kb << 10),
+            no_squash: false,
+        },
+        "svf-nosquash" => StackEngine::Svf {
+            cfg: SvfConfig::with_size(o.capacity_kb << 10),
+            no_squash: true,
+        },
+        "stack-cache" => {
+            StackEngine::StackCache(StackCacheConfig::with_size(o.capacity_kb << 10))
+        }
+        "ideal" => StackEngine::IdealSvf,
+        other => return Err(format!("unknown engine `{other}`")),
+    };
+    if o.gshare {
+        cfg.predictor = PredictorKind::Gshare { history_bits: 12 };
+    }
+    Ok(cfg)
+}
+
+/// Compiles the input file by extension.
+///
+/// # Errors
+///
+/// Propagates I/O, compiler and assembler diagnostics as strings.
+pub fn compile_input(o: &CliOptions, source: &str) -> Result<Program, String> {
+    if o.path.ends_with(".s") || o.path.ends_with(".asm") {
+        svf_asm::assemble(source).map_err(|e| format!("assembly error: {e}"))
+    } else {
+        let cc_opts = if o.naive {
+            svf_cc::Options { regalloc: false, fold: false, peephole: false }
+        } else {
+            svf_cc::Options::default()
+        };
+        svf_cc::compile_to_program_with(source, cc_opts).map_err(|e| format!("compile error: {e}"))
+    }
+}
+
+/// Runs the whole driver, returning the report text the binary prints.
+///
+/// # Errors
+///
+/// Any parse, compile, or functional-execution failure.
+pub fn run_cli(args: &[String]) -> Result<String, Box<dyn Error>> {
+    let o = parse_args(args)?;
+    let source = std::fs::read_to_string(&o.path)?;
+    if o.emit_asm {
+        let cc_opts = if o.naive {
+            svf_cc::Options { regalloc: false, fold: false, peephole: false }
+        } else {
+            svf_cc::Options::default()
+        };
+        return Ok(svf_cc::compile_to_asm_with(&source, cc_opts)
+            .map_err(|e| format!("compile error: {e}"))?);
+    }
+    let program = compile_input(&o, &source)?;
+    let mut report = String::new();
+
+    if o.disasm {
+        report.push_str(&program.disassemble());
+        return Ok(report);
+    }
+
+    // Functional run first: program output + instruction count.
+    let mut emu = Emulator::new(&program);
+    if o.trace > 0 {
+        let _ = writeln!(report, "--- first {} retired instructions ---", o.trace);
+        while !emu.is_halted() && emu.steps() < o.trace.min(o.max_insts) {
+            let r = emu.step()?;
+            let fun = program.function_at(r.pc).unwrap_or("?");
+            let mem = r.mem.map_or(String::new(), |m| {
+                format!(
+                    "  [{} {:#x} ({}B)]",
+                    if m.is_store { "store" } else { "load" },
+                    m.addr,
+                    m.size
+                )
+            });
+            let _ = writeln!(report, "{:>8}  {:#010x} <{}>  {}{}", emu.steps(), r.pc, fun, r.inst, mem);
+        }
+    }
+    if let Some(path) = &o.dump_trace {
+        let file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        let mut w = svf_emu::TraceWriter::new(file, program.entry, program.heap_base)?;
+        while !emu.is_halted() && emu.steps() < o.max_insts {
+            let r = emu.step()?;
+            w.push(&r)?;
+        }
+        let n = w.records();
+        w.finish()?;
+        let _ = writeln!(report, "--- {n} records written to {path} ---");
+    } else {
+        emu.run(o.max_insts.saturating_sub(emu.steps()))?;
+    }
+    let _ = writeln!(report, "--- program output ---");
+    report.push_str(&emu.output_string());
+    let _ = writeln!(report, "--- {} instructions committed ---", emu.steps());
+
+    if o.profile {
+        let st = svf_experiments::characterize::characterize_program(&program, o.max_insts);
+        let _ = writeln!(
+            report,
+            "memory refs: {:.1}% of instructions; stack {:.1}% of refs; \
+             within 8KB of TOS {:.1}%; max depth {} B",
+            100.0 * st.mem_frac(),
+            100.0 * st.stack_frac(),
+            100.0 * st.frac_within(8192),
+            st.max_depth_bytes
+        );
+    }
+
+    let cfg = build_config(&o)?;
+    let stats = Simulator::new(cfg).run(&program, o.max_insts);
+    let _ = writeln!(
+        report,
+        "[{} {}-wide ({}+{})] {} cycles, IPC {:.2}",
+        o.engine, o.width, o.dl1_ports, o.stack_ports, stats.cycles, stats.ipc()
+    );
+    let morphed = stats.svf_morphed_loads + stats.svf_morphed_stores;
+    if morphed + stats.svf_rerouted > 0 {
+        let _ = writeln!(
+            report,
+            "  SVF: {} morphed, {} re-routed, {} out-of-window, {} squashes",
+            morphed, stats.svf_rerouted, stats.svf_out_of_window, stats.svf_squashes
+        );
+    }
+    let _ = writeln!(
+        report,
+        "  DL1: {} accesses ({:.1}% hit); L2: {} accesses",
+        stats.dl1.accesses,
+        100.0 * stats.dl1.hit_rate(),
+        stats.l2.accesses
+    );
+
+    if o.compare {
+        let mut base_cfg = build_config(&CliOptions {
+            engine: "none".into(),
+            stack_ports: 0,
+            ..o.clone()
+        })?;
+        base_cfg.stack_engine = StackEngine::None;
+        let base = Simulator::new(base_cfg).run(&program, o.max_insts);
+        let _ = writeln!(
+            report,
+            "[baseline ({}+0)] {} cycles, IPC {:.2} -> speedup {:.3}x",
+            o.dl1_ports,
+            base.cycles,
+            base.ipc(),
+            stats.speedup_over(&base)
+        );
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let o = parse_args(&args(&[
+            "prog.c", "--engine", "stack-cache", "--width", "8", "--ports", "1+4", "--svf-kb",
+            "4", "--gshare", "--naive", "--max-insts", "1000", "--profile", "--compare",
+        ]))
+        .unwrap();
+        assert_eq!(o.path, "prog.c");
+        assert_eq!(o.engine, "stack-cache");
+        assert_eq!(o.width, 8);
+        assert_eq!((o.dl1_ports, o.stack_ports), (1, 4));
+        assert_eq!(o.capacity_kb, 4);
+        assert!(o.gshare && o.naive && o.profile && o.compare);
+        assert_eq!(o.max_insts, 1000);
+        let o = parse_args(&args(&["p.c", "--dump-trace", "t.bin", "--trace", "5"])).unwrap();
+        assert_eq!(o.dump_trace.as_deref(), Some("t.bin"));
+        assert_eq!(o.trace, 5);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["p.c", "--width", "7"])).is_err());
+        assert!(parse_args(&args(&["p.c", "--ports", "22"])).is_err());
+        assert!(parse_args(&args(&["p.c", "--bogus"])).is_err());
+        let o = parse_args(&args(&["p.c"])).unwrap();
+        assert!(build_config(&CliOptions { engine: "alien".into(), ..o }).is_err());
+    }
+
+    #[test]
+    fn config_reflects_options() {
+        let o = parse_args(&args(&["p.c", "--engine", "ideal", "--width", "4"])).unwrap();
+        let cfg = build_config(&o).unwrap();
+        assert_eq!(cfg.width, 4);
+        assert_eq!(cfg.stack_engine, StackEngine::IdealSvf);
+        let o = parse_args(&args(&["p.c", "--gshare"])).unwrap();
+        let cfg = build_config(&o).unwrap();
+        assert!(matches!(cfg.predictor, PredictorKind::Gshare { .. }));
+    }
+
+    #[test]
+    fn compiles_minic_and_assembly_by_extension() {
+        let o = CliOptions { path: "x.c".into(), ..CliOptions::default() };
+        assert!(compile_input(&o, "int main() { return 0; }").is_ok());
+        assert!(compile_input(&o, "not C at all").is_err());
+        let o = CliOptions { path: "x.s".into(), ..CliOptions::default() };
+        assert!(compile_input(&o, "main:\n halt\n").is_ok());
+        assert!(compile_input(&o, "int main() {}").is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Golden functional results for every workload at `Scale::Test`.
+//!
+//! Inputs are PRNG-generated in-language, so the committed instruction
+//! count and printed checksums are bit-exact across platforms. Any change
+//! here means the workload binaries changed — experiment numbers in
+//! EXPERIMENTS.md must then be regenerated.
+
+use svf_emu::Emulator;
+use svf_workloads::{workload, Scale};
+
+/// (kernel, committed instructions, output with newlines shown as `|`).
+const GOLDEN: &[(&str, u64, &str)] = &[
+    ("bzip2", 220_954, "84|613|17514|"),
+    ("crafty", 269_288, "77|1902|"),
+    ("eon", 382_827, "355906263|"),
+    ("gap", 246_300, "8606280273|14637178373|"),
+    ("gcc", 295_578, "6019413692497|812|"),
+    ("gzip", 365_700, "840|270|"),
+    ("mcf", 466_745, "498|19964|"),
+    ("parser", 223_870, "2428|"),
+    ("twolf", 598_696, "39|21152|"),
+    ("vortex", 407_373, "707|1004096|"),
+    ("perlbmk", 330_776, "1764|"),
+    ("vpr", 448_925, "1|35|"),
+];
+
+#[test]
+fn workload_outputs_match_golden_values() {
+    for &(name, steps, output) in GOLDEN {
+        let w = workload(name).unwrap_or_else(|| panic!("missing workload {name}"));
+        let program = w.compile(Scale::Test).expect("compiles");
+        let mut emu = Emulator::new(&program);
+        emu.run(u64::MAX).expect("runs to halt");
+        assert!(emu.is_halted(), "{name} did not halt");
+        assert_eq!(emu.steps(), steps, "{name}: instruction count drifted");
+        assert_eq!(
+            emu.output_string().replace('\n', "|"),
+            output,
+            "{name}: checksum output drifted"
+        );
+    }
+}
+
+#[test]
+fn golden_table_covers_all_workloads() {
+    assert_eq!(GOLDEN.len(), svf_workloads::all().len());
+}
