@@ -55,4 +55,19 @@ mod stats;
 pub use config::{CpuConfig, PredictorKind, StackEngine};
 pub use pipeline::Simulator;
 pub use predictor::{Gshare, Predictor};
-pub use stats::SimStats;
+pub use stats::{SimStats, CSV_COLUMNS};
+
+#[cfg(test)]
+mod thread_contract {
+    //! `svf-harness` ships configs to worker threads and runs simulations
+    //! under `catch_unwind`; these assertions pin the auto-traits it needs.
+    use super::*;
+
+    #[test]
+    fn harness_auto_traits_hold() {
+        fn send_and_unwind_safe<T: Send + std::panic::UnwindSafe>() {}
+        send_and_unwind_safe::<CpuConfig>();
+        send_and_unwind_safe::<SimStats>();
+        send_and_unwind_safe::<Simulator>();
+    }
+}

@@ -5,7 +5,7 @@ use svf_mem::TrafficStats;
 
 /// Everything a simulation run reports. Produced by
 /// [`Simulator::run`](crate::Simulator::run).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Total simulated cycles.
     pub cycles: u64,
@@ -116,6 +116,191 @@ impl SimStats {
     }
 }
 
+/// Column names of the flat CSV serialization, in serialization order.
+///
+/// Every counter is a `u64`; the nested [`TrafficStats`] blocks are
+/// flattened with a prefix (`dl1_`, `il1_`, `l2_`, `svf_`, `sc_`), and the
+/// two optional engine blocks carry a `*_present` 0/1 column so absent
+/// engines round-trip as `None`.
+pub const CSV_COLUMNS: &[&str] = &[
+    "cycles",
+    "committed",
+    "mem_refs",
+    "stack_refs",
+    "branches",
+    "mispredicts",
+    "svf_morphed_loads",
+    "svf_morphed_stores",
+    "svf_rerouted",
+    "svf_out_of_window",
+    "svf_squashes",
+    "stack_cache_refs",
+    "fetch_stall_cycles",
+    "sp_interlock_stalls",
+    "ruu_occupancy_sum",
+    "ruu_occupancy_max",
+    "lsq_occupancy_sum",
+    "dl1_accesses",
+    "dl1_hits",
+    "dl1_misses",
+    "dl1_writebacks",
+    "dl1_qw_in",
+    "dl1_qw_out",
+    "il1_accesses",
+    "il1_hits",
+    "il1_misses",
+    "il1_writebacks",
+    "il1_qw_in",
+    "il1_qw_out",
+    "l2_accesses",
+    "l2_hits",
+    "l2_misses",
+    "l2_writebacks",
+    "l2_qw_in",
+    "l2_qw_out",
+    "svf_present",
+    "svf_accesses",
+    "svf_hits",
+    "svf_misses",
+    "svf_writebacks",
+    "svf_qw_in",
+    "svf_qw_out",
+    "svf_alloc_kills",
+    "svf_dealloc_dirty_kills",
+    "svf_demand_fills",
+    "svf_window_spills",
+    "sc_present",
+    "sc_accesses",
+    "sc_hits",
+    "sc_misses",
+    "sc_writebacks",
+    "sc_qw_in",
+    "sc_qw_out",
+];
+
+fn push_traffic(out: &mut Vec<u64>, t: &TrafficStats) {
+    out.extend([t.accesses, t.hits, t.misses, t.writebacks, t.qw_in, t.qw_out]);
+}
+
+fn take_traffic(it: &mut impl Iterator<Item = u64>) -> TrafficStats {
+    // `flatten` and the length check in `from_csv_row` guarantee the
+    // iterator holds enough values; `unwrap_or(0)` keeps this total.
+    let mut next = || it.next().unwrap_or(0);
+    TrafficStats {
+        accesses: next(),
+        hits: next(),
+        misses: next(),
+        writebacks: next(),
+        qw_in: next(),
+        qw_out: next(),
+    }
+}
+
+impl SimStats {
+    /// The CSV header matching [`SimStats::to_csv_row`].
+    #[must_use]
+    pub fn csv_header() -> String {
+        CSV_COLUMNS.join(",")
+    }
+
+    /// Every counter as one flat vector, in [`CSV_COLUMNS`] order.
+    #[must_use]
+    pub fn flatten(&self) -> Vec<u64> {
+        let mut v = vec![
+            self.cycles,
+            self.committed,
+            self.mem_refs,
+            self.stack_refs,
+            self.branches,
+            self.mispredicts,
+            self.svf_morphed_loads,
+            self.svf_morphed_stores,
+            self.svf_rerouted,
+            self.svf_out_of_window,
+            self.svf_squashes,
+            self.stack_cache_refs,
+            self.fetch_stall_cycles,
+            self.sp_interlock_stalls,
+            self.ruu_occupancy_sum,
+            self.ruu_occupancy_max,
+            self.lsq_occupancy_sum,
+        ];
+        push_traffic(&mut v, &self.dl1);
+        push_traffic(&mut v, &self.il1);
+        push_traffic(&mut v, &self.l2);
+        let svf = self.svf.unwrap_or_default();
+        v.push(u64::from(self.svf.is_some()));
+        push_traffic(&mut v, &svf.traffic);
+        v.extend([svf.alloc_kills, svf.dealloc_dirty_kills, svf.demand_fills, svf.window_spills]);
+        let sc = self.stack_cache.unwrap_or_default();
+        v.push(u64::from(self.stack_cache.is_some()));
+        push_traffic(&mut v, &sc);
+        debug_assert_eq!(v.len(), CSV_COLUMNS.len());
+        v
+    }
+
+    /// One CSV data row matching [`SimStats::csv_header`].
+    #[must_use]
+    pub fn to_csv_row(&self) -> String {
+        self.flatten().iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+    }
+
+    /// Parses a row produced by [`SimStats::to_csv_row`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field, or a count
+    /// mismatch against [`CSV_COLUMNS`].
+    pub fn from_csv_row(row: &str) -> Result<SimStats, String> {
+        let vals: Vec<u64> = row
+            .trim_end()
+            .split(',')
+            .map(|f| f.trim().parse::<u64>().map_err(|e| format!("bad field {f:?}: {e}")))
+            .collect::<Result<_, _>>()?;
+        if vals.len() != CSV_COLUMNS.len() {
+            return Err(format!("expected {} fields, got {}", CSV_COLUMNS.len(), vals.len()));
+        }
+        let mut it = vals.into_iter();
+        let mut next = || it.next().unwrap_or(0);
+        let mut s = SimStats {
+            cycles: next(),
+            committed: next(),
+            mem_refs: next(),
+            stack_refs: next(),
+            branches: next(),
+            mispredicts: next(),
+            svf_morphed_loads: next(),
+            svf_morphed_stores: next(),
+            svf_rerouted: next(),
+            svf_out_of_window: next(),
+            svf_squashes: next(),
+            stack_cache_refs: next(),
+            fetch_stall_cycles: next(),
+            sp_interlock_stalls: next(),
+            ruu_occupancy_sum: next(),
+            ruu_occupancy_max: next(),
+            lsq_occupancy_sum: next(),
+            ..SimStats::default()
+        };
+        s.dl1 = take_traffic(&mut it);
+        s.il1 = take_traffic(&mut it);
+        s.l2 = take_traffic(&mut it);
+        let svf_present = it.next().unwrap_or(0) != 0;
+        let svf = SvfStats {
+            traffic: take_traffic(&mut it),
+            alloc_kills: it.next().unwrap_or(0),
+            dealloc_dirty_kills: it.next().unwrap_or(0),
+            demand_fills: it.next().unwrap_or(0),
+            window_spills: it.next().unwrap_or(0),
+        };
+        s.svf = svf_present.then_some(svf);
+        let sc_present = it.next().unwrap_or(0) != 0;
+        let sc = take_traffic(&mut it);
+        s.stack_cache = sc_present.then_some(sc);
+        Ok(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +319,38 @@ mod tests {
         let a = SimStats { cycles: 10, committed: 10, ..SimStats::default() };
         let b = SimStats { cycles: 10, committed: 20, ..SimStats::default() };
         let _ = b.speedup_over(&a);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut s = SimStats {
+            cycles: 123,
+            committed: 456,
+            mispredicts: 7,
+            ruu_occupancy_max: 99,
+            dl1: TrafficStats { accesses: 10, hits: 8, misses: 2, writebacks: 1, qw_in: 16, qw_out: 8 },
+            svf: Some(SvfStats { alloc_kills: 3, window_spills: 5, ..SvfStats::default() }),
+            ..SimStats::default()
+        };
+        assert_eq!(s.flatten().len(), CSV_COLUMNS.len());
+        assert_eq!(SimStats::csv_header().split(',').count(), CSV_COLUMNS.len());
+        let back = SimStats::from_csv_row(&s.to_csv_row()).expect("parses");
+        assert_eq!(back, s);
+        // Engine-less runs round-trip their `None`s.
+        s.svf = None;
+        s.stack_cache = Some(TrafficStats { accesses: 4, ..TrafficStats::default() });
+        let back = SimStats::from_csv_row(&s.to_csv_row()).expect("parses");
+        assert_eq!(back, s);
+        assert!(back.svf.is_none());
+    }
+
+    #[test]
+    fn csv_rejects_malformed_rows() {
+        assert!(SimStats::from_csv_row("1,2,3").is_err(), "short row");
+        assert!(SimStats::from_csv_row("not-a-number").is_err());
+        let mut row = SimStats::default().to_csv_row();
+        row.push_str(",0");
+        assert!(SimStats::from_csv_row(&row).is_err(), "long row");
     }
 
     #[test]

@@ -208,9 +208,8 @@ impl<R: Read> TraceReader<R> {
         let inst = decode(u32::from_le_bytes(word))
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         let mut mem = None;
-        let mut sp_rel_addr = 0i64;
         if flags & 1 != 0 {
-            sp_rel_addr = unzigzag(read_varint(&mut self.input)?);
+            let sp_rel_addr = unzigzag(read_varint(&mut self.input)?);
             let mut sb = [0u8; 2];
             self.input.read_exact(&mut sb)?;
             mem = Some((sp_rel_addr, sb[0], Reg::from_number(sb[1] & 31), flags & 16 != 0));

@@ -13,10 +13,11 @@
 //!   compiler (the classic critique of stack-oriented hardware).
 
 use crate::geomean;
-use crate::runner::run;
+use crate::runner::{matrix, matrix_for, run_rows};
 use crate::table::ExpTable;
 use svf::SvfConfig;
 use svf_cpu::{CpuConfig, StackEngine};
+use svf_harness::{Experiment, ProgramSpec};
 use svf_workloads::{all, Scale};
 
 fn svf_cfg(capacity: u64) -> CpuConfig {
@@ -31,13 +32,15 @@ pub fn size_sweep(scale: Scale) -> ExpTable {
     let sizes = [1u64 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10];
     let headers = ["bench", "1KB", "2KB", "4KB", "8KB", "16KB"];
     let mut t = ExpTable::new("Ablation: SVF capacity vs speedup (16-wide, 2+2)", &headers);
+    let labels: Vec<String> = sizes.iter().map(|&s| format!("SVF {}KB", s >> 10)).collect();
+    let mut configs = vec![("base (2+0)", CpuConfig::wide16().with_ports(2, 0))];
+    configs.extend(labels.iter().zip(&sizes).map(|(l, &s)| (l.as_str(), svf_cfg(s))));
     let mut per_col: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
-    for w in all() {
-        let program = w.compile(scale).expect("workload compiles");
-        let base = run(&CpuConfig::wide16().with_ports(2, 0), &program);
-        let mut cells = vec![w.name.to_string()];
-        for (col, &size) in sizes.iter().enumerate() {
-            let s = run(&svf_cfg(size), &program).speedup_over(&base);
+    for (bench, stats) in matrix("ablation-size", &configs, scale) {
+        let base = &stats[0];
+        let mut cells = vec![bench];
+        for (col, stat) in stats.iter().skip(1).enumerate() {
+            let s = stat.speedup_over(base);
             per_col[col].push(s);
             cells.push(format!("{s:.3}x"));
         }
@@ -60,21 +63,21 @@ pub fn squash_sensitivity(scale: Scale) -> ExpTable {
         "Ablation: §3.2 squash recovery penalty (SVF 2+2, speedup over 2+0)",
         &["bench", "5 cyc", "10 cyc", "15 cyc", "25 cyc", "40 cyc", "no_squash"],
     );
-    for w in all() {
-        if !["eon", "twolf", "vortex", "gcc"].contains(&w.name) {
-            continue;
-        }
-        let program = w.compile(scale).expect("workload compiles");
-        let base = run(&CpuConfig::wide16().with_ports(2, 0), &program);
-        let mut cells = vec![w.name.to_string()];
-        for &p in &penalties {
-            let mut cfg = svf_cfg(8 << 10);
-            cfg.squash_penalty = p;
-            cells.push(format!("{:.3}x", run(&cfg, &program).speedup_over(&base)));
-        }
-        let mut nosq = CpuConfig::wide16().with_ports(2, 2);
-        nosq.stack_engine = StackEngine::Svf { cfg: SvfConfig::kb8(), no_squash: true };
-        cells.push(format!("{:.3}x", run(&nosq, &program).speedup_over(&base)));
+    let labels: Vec<String> = penalties.iter().map(|p| format!("SVF {p} cyc")).collect();
+    let mut configs = vec![("base (2+0)", CpuConfig::wide16().with_ports(2, 0))];
+    configs.extend(labels.iter().zip(&penalties).map(|(l, &p)| {
+        let mut cfg = svf_cfg(8 << 10);
+        cfg.squash_penalty = p;
+        (l.as_str(), cfg)
+    }));
+    let mut nosq = CpuConfig::wide16().with_ports(2, 2);
+    nosq.stack_engine = StackEngine::Svf { cfg: SvfConfig::kb8(), no_squash: true };
+    configs.push(("SVF no_squash", nosq));
+    let benches = ["eon", "twolf", "vortex", "gcc"];
+    for (bench, stats) in matrix_for("ablation-squash", &configs, scale, &benches) {
+        let base = &stats[0];
+        let mut cells = vec![bench];
+        cells.extend(stats.iter().skip(1).map(|s| format!("{:.3}x", s.speedup_over(base))));
         t.row(cells);
     }
     t.note("eon degrades with the penalty; kernels without gpr-store/sp-load collisions are flat");
@@ -89,21 +92,29 @@ pub fn code_quality(scale: Scale) -> ExpTable {
         "Ablation: compiler quality vs SVF benefit (16-wide)",
         &["bench", "regalloc speedup", "naive speedup", "regalloc stack/inst", "naive stack/inst"],
     );
-    let mut opt_s = Vec::new();
-    let mut naive_s = Vec::new();
+    // Four jobs per workload: {optimized, naive} source x {base, SVF}.
+    // The sources are ad-hoc (not registry kernels), so the jobs carry the
+    // MiniC text itself and compile on the worker.
+    let base_cfg = CpuConfig::wide16().with_ports(2, 0);
+    let mut exp = Experiment::new("ablation-codegen");
     for w in all() {
         let src = w.source(scale);
-        let optimized = svf_cc::compile_to_program(&src).expect("compiles");
-        let naive =
-            svf_cc::compile_to_program_with(&src, svf_cc::Options { regalloc: false, ..Default::default() })
-                .expect("compiles");
-        let mut cells = vec![w.name.to_string()];
+        let opt = ProgramSpec::source_with(w.name, src.clone(), true);
+        let naive = ProgramSpec::source_with(&format!("{}-naive", w.name), src, false);
+        exp.push(opt.clone(), "base (2+0)", base_cfg.clone());
+        exp.push(opt, "SVF (2+2)", svf_cfg(8 << 10));
+        exp.push(naive.clone(), "base (2+0)", base_cfg.clone());
+        exp.push(naive, "SVF (2+2)", svf_cfg(8 << 10));
+    }
+    let mut opt_s = Vec::new();
+    let mut naive_s = Vec::new();
+    for (bench, stats) in run_rows(&exp, 4) {
+        let mut cells = vec![bench];
         let mut densities = Vec::new();
         let mut speeds = Vec::new();
-        for program in [&optimized, &naive] {
-            let base = run(&CpuConfig::wide16().with_ports(2, 0), program);
-            let svf = run(&svf_cfg(8 << 10), program);
-            speeds.push(svf.speedup_over(&base));
+        for pair in stats.chunks(2) {
+            let (base, svf) = (&pair[0], &pair[1]);
+            speeds.push(svf.speedup_over(base));
             densities.push(svf.stack_refs as f64 / svf.committed.max(1) as f64);
         }
         opt_s.push(speeds[0]);

@@ -155,6 +155,24 @@ pub fn characterize(w: &Workload, scale: Scale) -> CharStats {
     characterize_program(&program, u64::MAX)
 }
 
+/// Characterizes every registered workload, in registry order, using the
+/// process-global harness worker pool (the functional passes behind
+/// Figures 1–3 share one characterization sweep's cost structure).
+///
+/// # Panics
+///
+/// Panics if any workload's characterization panics, with the failing
+/// kernel named.
+#[must_use]
+pub fn characterize_all(scale: Scale) -> Vec<(&'static str, CharStats)> {
+    let workers = svf_harness::global().workers();
+    svf_harness::parallel_map(workers, svf_workloads::all(), |w| (w.name, characterize(w, scale)))
+        .into_iter()
+        .zip(svf_workloads::all())
+        .map(|(r, w)| r.unwrap_or_else(|e| panic!("characterize {}: {e}", w.name)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,7 +4,7 @@
 //! into stack (`$sp` / `$fp` / `$gpr` addressed), global and heap, plus the
 //! fraction of all instructions that are memory accesses.
 
-use crate::characterize::characterize;
+use crate::characterize::characterize_all;
 use crate::table::ExpTable;
 use svf_workloads::{all, Scale};
 
@@ -16,8 +16,7 @@ pub fn run(scale: Scale) -> ExpTable {
         &["bench", "mem/inst", "stack", "stack-$sp", "stack-$fp", "stack-$gpr", "global", "heap"],
     );
     let mut sums = [0.0f64; 7];
-    for w in all() {
-        let st = characterize(w, scale);
+    for (name, st) in characterize_all(scale) {
         let total = st.mem_refs.max(1) as f64;
         let vals = [
             st.mem_frac(),
@@ -32,7 +31,7 @@ pub fn run(scale: Scale) -> ExpTable {
             *s += v;
         }
         t.row(
-            std::iter::once(w.name.to_string())
+            std::iter::once(name.to_string())
                 .chain(vals.iter().map(|v| format!("{:.1}%", 100.0 * v)))
                 .collect(),
         );

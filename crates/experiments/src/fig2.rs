@@ -6,9 +6,9 @@
 //! render each workload's depth series as summary statistics plus a coarse
 //! text sparkline over ten epochs of the run.
 
-use crate::characterize::characterize;
+use crate::characterize::characterize_all;
 use crate::table::ExpTable;
-use svf_workloads::{all, Scale};
+use svf_workloads::Scale;
 
 const EPOCHS: usize = 10;
 
@@ -19,11 +19,10 @@ pub fn run(scale: Scale) -> ExpTable {
         "Figure 2: Stack Depth Variation (depth in 64-bit units)",
         &["bench", "max", "mean", "epoch depths (10 slices of the run)"],
     );
-    for w in all() {
-        let st = characterize(w, scale);
+    for (name, st) in characterize_all(scale) {
         let samples = &st.depth_samples;
         if samples.is_empty() {
-            t.row(vec![w.name.into(), "0".into(), "0".into(), String::new()]);
+            t.row(vec![name.into(), "0".into(), "0".into(), String::new()]);
             continue;
         }
         let max = samples.iter().map(|&(_, d)| d).max().unwrap_or(0);
@@ -36,7 +35,7 @@ pub fn run(scale: Scale) -> ExpTable {
         }
         let spark: Vec<String> = epoch_max.iter().map(ToString::to_string).collect();
         t.row(vec![
-            w.name.into(),
+            name.into(),
             max.to_string(),
             format!("{mean:.0}"),
             spark.join(" "),
@@ -50,6 +49,7 @@ pub fn run(scale: Scale) -> ExpTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use svf_workloads::all;
 
     #[test]
     fn most_workloads_fit_in_1000_units() {

@@ -5,9 +5,9 @@
 //! justifying a small contiguous SVF. We report the CDF at the interesting
 //! byte thresholds plus the average distance.
 
-use crate::characterize::characterize;
+use crate::characterize::characterize_all;
 use crate::table::ExpTable;
-use svf_workloads::{all, Scale};
+use svf_workloads::Scale;
 
 /// Byte thresholds reported in the CDF columns.
 pub const THRESHOLDS: [u64; 6] = [64, 256, 1024, 2048, 4096, 8192];
@@ -19,9 +19,8 @@ pub fn run(scale: Scale) -> ExpTable {
         "Figure 3: Offset Locality — CDF of distance from TOS",
         &["bench", "<64B", "<256B", "<1KB", "<2KB", "<4KB", "<8KB", "avg dist (B)"],
     );
-    for w in all() {
-        let st = characterize(w, scale);
-        let mut cells = vec![w.name.to_string()];
+    for (name, st) in characterize_all(scale) {
+        let mut cells = vec![name.to_string()];
         for thr in THRESHOLDS {
             cells.push(format!("{:.1}%", 100.0 * st.frac_within(thr)));
         }
@@ -36,6 +35,7 @@ pub fn run(scale: Scale) -> ExpTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use svf_workloads::all;
 
     #[test]
     fn almost_all_refs_within_8kb() {

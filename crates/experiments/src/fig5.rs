@@ -6,10 +6,10 @@
 //! with gshare (each relative to its own-width, own-predictor baseline).
 
 use crate::geomean;
-use crate::runner::{compile, run};
+use crate::runner::matrix;
 use crate::table::ExpTable;
 use svf_cpu::{CpuConfig, PredictorKind, StackEngine};
-use svf_workloads::{all, Scale};
+use svf_workloads::Scale;
 
 fn ideal(mut cfg: CpuConfig) -> CpuConfig {
     cfg.stack_engine = StackEngine::IdealSvf;
@@ -28,20 +28,23 @@ pub fn run_fig(scale: Scale) -> ExpTable {
         "Figure 5: Ideal-SVF speedup (infinite size & ports, all stack refs morphed)",
         &["bench", "4-wide", "8-wide", "16-wide", "16-wide gshare"],
     );
-    let pairs: Vec<(CpuConfig, CpuConfig)> = vec![
-        (CpuConfig::wide4(), ideal(CpuConfig::wide4())),
-        (CpuConfig::wide8(), ideal(CpuConfig::wide8())),
-        (CpuConfig::wide16(), ideal(CpuConfig::wide16())),
-        (gshare(CpuConfig::wide16()), ideal(gshare(CpuConfig::wide16()))),
+    // Base/ideal pairs flattened into one job matrix; column `2k` is the
+    // baseline of column `2k+1`.
+    let configs = [
+        ("base 4-wide", CpuConfig::wide4()),
+        ("ideal 4-wide", ideal(CpuConfig::wide4())),
+        ("base 8-wide", CpuConfig::wide8()),
+        ("ideal 8-wide", ideal(CpuConfig::wide8())),
+        ("base 16-wide", CpuConfig::wide16()),
+        ("ideal 16-wide", ideal(CpuConfig::wide16())),
+        ("base 16-wide gshare", gshare(CpuConfig::wide16())),
+        ("ideal 16-wide gshare", ideal(gshare(CpuConfig::wide16()))),
     ];
-    let mut per_col: Vec<Vec<f64>> = vec![Vec::new(); pairs.len()];
-    for w in all() {
-        let program = compile(w, scale);
-        let mut cells = vec![w.name.to_string()];
-        for (col, (base_cfg, ideal_cfg)) in pairs.iter().enumerate() {
-            let base = run(base_cfg, &program);
-            let fast = run(ideal_cfg, &program);
-            let sp = fast.speedup_over(&base);
+    let mut per_col: Vec<Vec<f64>> = vec![Vec::new(); configs.len() / 2];
+    for (bench, stats) in matrix("fig5", &configs, scale) {
+        let mut cells = vec![bench];
+        for (col, pair) in stats.chunks(2).enumerate() {
+            let sp = pair[1].speedup_over(&pair[0]);
             per_col[col].push(sp);
             cells.push(format!("{sp:.3}x"));
         }

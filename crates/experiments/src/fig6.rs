@@ -6,11 +6,11 @@
 //! then add a 1-, 2- and 16-ported SVF (the bulk of the speedup).
 
 use crate::geomean;
-use crate::runner::{compile, run};
+use crate::runner::matrix;
 use crate::table::ExpTable;
 use svf_cpu::{CpuConfig, StackEngine};
 use svf_mem::CacheConfig;
-use svf_workloads::{all, Scale};
+use svf_workloads::Scale;
 
 /// The Figure 6 configuration ladder, in presentation order.
 #[must_use]
@@ -45,12 +45,11 @@ pub fn run_fig(scale: Scale) -> ExpTable {
         std::iter::once("bench").chain(cfgs.iter().skip(1).map(|(n, _)| *n)).collect();
     let mut t = ExpTable::new("Figure 6: Progressive Performance Analysis (16-wide)", &headers);
     let mut per_col: Vec<Vec<f64>> = vec![Vec::new(); cfgs.len() - 1];
-    for w in all() {
-        let program = compile(w, scale);
-        let base = run(&cfgs[0].1, &program);
-        let mut cells = vec![w.name.to_string()];
-        for (col, (_, cfg)) in cfgs.iter().skip(1).enumerate() {
-            let s = run(cfg, &program).speedup_over(&base);
+    for (bench, stats) in matrix("fig6", &cfgs, scale) {
+        let base = &stats[0];
+        let mut cells = vec![bench];
+        for (col, stat) in stats.iter().skip(1).enumerate() {
+            let s = stat.speedup_over(base);
             per_col[col].push(s);
             cells.push(format!("{s:.3}x"));
         }

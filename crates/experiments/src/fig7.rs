@@ -5,10 +5,10 @@
 //! over the `(2+0)` baseline.
 
 use crate::geomean;
-use crate::runner::{compile, run};
+use crate::runner::matrix;
 use crate::table::ExpTable;
 use svf_cpu::{CpuConfig, StackEngine};
-use svf_workloads::{all, Scale};
+use svf_workloads::Scale;
 
 /// The Figure 7 configurations, baseline first.
 #[must_use]
@@ -41,12 +41,11 @@ pub fn run_fig(scale: Scale) -> ExpTable {
         &headers,
     );
     let mut per_col: Vec<Vec<f64>> = vec![Vec::new(); cfgs.len() - 1];
-    for w in all() {
-        let program = compile(w, scale);
-        let base = run(&cfgs[0].1, &program);
-        let mut cells = vec![w.name.to_string()];
-        for (col, (_, cfg)) in cfgs.iter().skip(1).enumerate() {
-            let s = run(cfg, &program).speedup_over(&base);
+    for (bench, stats) in matrix("fig7", &cfgs, scale) {
+        let base = &stats[0];
+        let mut cells = vec![bench];
+        for (col, stat) in stats.iter().skip(1).enumerate() {
+            let s = stat.speedup_over(base);
             per_col[col].push(s);
             cells.push(format!("{s:.3}x"));
         }

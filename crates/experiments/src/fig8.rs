@@ -5,10 +5,10 @@
 //! generation (non-`$sp` stack references), versus falling outside the SVF
 //! window entirely. The paper reports ~86% morphed / 14% re-routed.
 
-use crate::runner::{compile, run};
+use crate::runner::matrix;
 use crate::table::ExpTable;
 use svf_cpu::{CpuConfig, StackEngine};
-use svf_workloads::{all, Scale};
+use svf_workloads::Scale;
 
 /// Runs the Figure 8 breakdown (SVF `(2+2)` on the 16-wide machine).
 #[must_use]
@@ -20,15 +20,14 @@ pub fn run_fig(scale: Scale) -> ExpTable {
         &["bench", "fast loads", "fast stores", "re-routed", "out-of-window", "squashes"],
     );
     let (mut sum_morph, mut sum_total) = (0u64, 0u64);
-    for w in all() {
-        let program = compile(w, scale);
-        let s = run(&cfg, &program);
+    for (bench, stats) in matrix("fig8", &[("SVF (2+2)", cfg)], scale) {
+        let s = &stats[0];
         let morphed = s.svf_morphed_loads + s.svf_morphed_stores;
         let total = (morphed + s.svf_rerouted + s.svf_out_of_window).max(1);
         sum_morph += morphed;
         sum_total += total;
         t.row(vec![
-            w.name.to_string(),
+            bench,
             format!("{:.1}%", 100.0 * s.svf_morphed_loads as f64 / total as f64),
             format!("{:.1}%", 100.0 * s.svf_morphed_stores as f64 / total as f64),
             format!("{:.1}%", 100.0 * s.svf_rerouted as f64 / total as f64),
@@ -46,6 +45,7 @@ pub fn run_fig(scale: Scale) -> ExpTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use svf_workloads::all;
 
     #[cfg_attr(debug_assertions, ignore = "timing-heavy; run with --release")]
     #[test]

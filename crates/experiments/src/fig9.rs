@@ -7,10 +7,10 @@
 //! peaking at +84% (using no_squash).
 
 use crate::geomean;
-use crate::runner::{compile, run};
+use crate::runner::matrix;
 use crate::table::ExpTable;
 use svf_cpu::{CpuConfig, StackEngine};
-use svf_workloads::{all, Scale};
+use svf_workloads::Scale;
 
 fn svf_cfg(dl1_ports: usize, svf_ports: usize) -> CpuConfig {
     let mut c = CpuConfig::wide16().with_ports(dl1_ports, svf_ports);
@@ -26,17 +26,24 @@ pub fn run_fig(scale: Scale) -> ExpTable {
         "Figure 9: SVF speedup over same-R baseline",
         &["bench", "(1+1)", "(1+2)", "(2+1)", "(2+2)", "(2+4)"],
     );
+    // Columns 0/1 are the two baselines; each sweep column compares to the
+    // baseline with the same number of D-cache ports.
     let sweeps: [(usize, usize); 5] = [(1, 1), (1, 2), (2, 1), (2, 2), (2, 4)];
+    let configs: Vec<(String, CpuConfig)> = std::iter::once((
+        "base (1+0)".to_string(),
+        CpuConfig::wide16().with_ports(1, 0),
+    ))
+    .chain(std::iter::once(("base (2+0)".to_string(), CpuConfig::wide16().with_ports(2, 0))))
+    .chain(sweeps.iter().map(|&(r, s)| (format!("SVF ({r}+{s})"), svf_cfg(r, s))))
+    .collect();
+    let configs: Vec<(&str, CpuConfig)> =
+        configs.iter().map(|(n, c)| (n.as_str(), c.clone())).collect();
     let mut per_col: Vec<Vec<f64>> = vec![Vec::new(); sweeps.len()];
-    for w in all() {
-        let program = compile(w, scale);
-        let base1 = run(&CpuConfig::wide16().with_ports(1, 0), &program);
-        let base2 = run(&CpuConfig::wide16().with_ports(2, 0), &program);
-        let mut cells = vec![w.name.to_string()];
-        for (col, (r, s)) in sweeps.iter().enumerate() {
-            let stats = run(&svf_cfg(*r, *s), &program);
-            let base = if *r == 1 { &base1 } else { &base2 };
-            let sp = stats.speedup_over(base);
+    for (bench, stats) in matrix("fig9", &configs, scale) {
+        let mut cells = vec![bench];
+        for (col, (r, _)) in sweeps.iter().enumerate() {
+            let base = if *r == 1 { &stats[0] } else { &stats[1] };
+            let sp = stats[col + 2].speedup_over(base);
             per_col[col].push(sp);
             cells.push(format!("{sp:.3}x"));
         }

@@ -2,9 +2,13 @@
 //!
 //! ```text
 //! svf-experiments <experiment> [--scale test|small|full] [--csv DIR]
+//!                              [--jobs N] [--out DIR]
 //! experiments: fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig9 table1 table2
 //!              table3 table4 ablation-* partial-word all
-//! --csv DIR additionally writes each result table as DIR/<id>[.n].csv
+//! --csv DIR  additionally writes each result table as DIR/<id>[.n].csv
+//! --jobs N   simulate N jobs in parallel (default: all hardware threads)
+//! --out DIR  per-job result sink: DIR/<experiment>/<job>.csv; jobs whose
+//!            result file exists are resumed instead of re-simulated
 //! ```
 
 use std::time::Instant;
@@ -13,11 +17,45 @@ use svf_experiments::{
     ablations, partial_word, fig1, fig2, fig3, fig5, fig6, fig7, fig8, fig9, tables, traffic, Scale,
 };
 
+/// Every experiment name `run_one` accepts, for usage and error messages.
+const EXPERIMENTS: &[&str] = &[
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "ablation-size",
+    "ablation-squash",
+    "ablation-codegen",
+    "ablations",
+    "partial-word",
+    "all",
+];
+
 fn usage() -> ! {
     eprintln!(
-        "usage: svf-experiments <fig1|fig2|fig3|fig5|fig6|fig7|fig8|fig9|table1|table2|table3|table4|ablation-size|ablation-squash|ablation-codegen|ablations|partial-word|all> [--scale test|small|full]"
+        "usage: svf-experiments <experiment> [--scale test|small|full] [--csv DIR] [--jobs N] [--out DIR]\n\
+         experiments: {}",
+        EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
+}
+
+/// Exits with a specific complaint (rather than the generic usage text).
+fn fail(msg: &str) -> ! {
+    eprintln!("svf-experiments: {msg}");
+    std::process::exit(2);
+}
+
+fn required_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
+    it.next().cloned().unwrap_or_else(|| fail(&format!("{flag} requires a value")))
 }
 
 fn main() {
@@ -25,31 +63,54 @@ fn main() {
     let mut which: Option<String> = None;
     let mut scale = Scale::Small;
     let mut csv_dir: Option<String> = None;
+    let mut jobs: Option<usize> = None;
+    let mut out_dir: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
-                scale = match it.next().map(String::as_str) {
-                    Some("test") => Scale::Test,
-                    Some("small") => Scale::Small,
-                    Some("full") => Scale::Full,
-                    _ => usage(),
+                scale = match required_value(&mut it, "--scale").as_str() {
+                    "test" => Scale::Test,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => fail(&format!("--scale must be test|small|full, got {other:?}")),
                 };
             }
-            "--csv" => {
-                csv_dir = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            "--csv" => csv_dir = Some(required_value(&mut it, "--csv")),
+            "--out" => out_dir = Some(required_value(&mut it, "--out")),
+            "--jobs" => {
+                let v = required_value(&mut it, "--jobs");
+                jobs = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => fail(&format!("--jobs must be a positive integer, got {v:?}")),
+                };
             }
+            flag if flag.starts_with("--") => fail(&format!("unknown flag {flag}")),
             name if which.is_none() => which = Some(name.to_string()),
-            _ => usage(),
+            extra => fail(&format!("unexpected argument {extra:?}")),
         }
     }
     let Some(which) = which else { usage() };
+    if !EXPERIMENTS.contains(&which.as_str()) {
+        fail(&format!("unknown experiment {which:?} (valid: {})", EXPERIMENTS.join(", ")));
+    }
     if let Some(dir) = &csv_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("svf-experiments: cannot create {dir}: {e}");
             std::process::exit(1);
         }
     }
+
+    // Every figure/table driver routes its simulations through the global
+    // harness, so `--jobs`/`--out` are installed exactly once, here.
+    let mut harness = svf_harness::Harness::parallel().with_progress(true);
+    if let Some(n) = jobs {
+        harness = harness.with_workers(n);
+    }
+    if let Some(dir) = &out_dir {
+        harness = harness.with_out_dir(dir);
+    }
+    svf_harness::configure(harness);
 
     let start = Instant::now();
     run_one(&which, scale, csv_dir.as_deref());
@@ -106,6 +167,6 @@ fn run_one(which: &str, scale: Scale, csv: Option<&str>) {
                 eprintln!("[{} done in {:.1}s]", exp, t.elapsed().as_secs_f64());
             }
         }
-        _ => usage(),
+        other => fail(&format!("unknown experiment {other:?} (valid: {})", EXPERIMENTS.join(", "))),
     }
 }

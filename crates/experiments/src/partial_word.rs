@@ -13,10 +13,10 @@
 //! mergeable) lines across calls — so on byte-dominated frames the SVF can
 //! move *more* data than the cache, even though it still wins on latency.
 
-use crate::runner::run;
 use crate::table::ExpTable;
 use crate::traffic::traffic_run;
 use svf_cpu::{CpuConfig, StackEngine};
+use svf_harness::{Experiment, ProgramSpec};
 use svf_workloads::Scale;
 
 /// A byte-heavy kernel: tokenization + byte histogram + string reversal in
@@ -87,16 +87,21 @@ fn iterations(scale: Scale) -> u64 {
 /// Panics if the embedded kernel fails to compile (covered by tests).
 #[must_use]
 pub fn run_experiment(scale: Scale) -> ExpTable {
-    let program =
-        svf_cc::compile_to_program(&byte_kernel_source(iterations(scale))).expect("compiles");
+    let source = byte_kernel_source(iterations(scale));
+    let program = svf_cc::compile_to_program(&source).expect("compiles");
     let mut t = ExpTable::new(
         "Extension: partial-word (x86-style) stack references",
         &["metric", "value"],
     );
-    let base = run(&CpuConfig::wide16().with_ports(2, 0), &program);
     let mut cfg = CpuConfig::wide16().with_ports(2, 2);
     cfg.stack_engine = StackEngine::svf_8kb();
-    let svf = run(&cfg, &program);
+    let spec = ProgramSpec::source("byte-kernel", source);
+    let mut exp = Experiment::new("partial-word");
+    exp.push(spec.clone(), "base (2+0)", CpuConfig::wide16().with_ports(2, 0));
+    exp.push(spec, "SVF (2+2)", cfg);
+    let report = svf_harness::global().run(&exp);
+    let stats = report.stats();
+    let (base, svf) = (stats[0].clone(), stats[1].clone());
     let svf_stats = svf.svf.expect("svf engine");
     t.row(vec!["committed instructions".into(), svf.committed.to_string()]);
     t.row(vec!["SVF speedup over (2+0)".into(), format!("{:.3}x", svf.speedup_over(&base))]);

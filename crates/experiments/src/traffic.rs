@@ -112,18 +112,25 @@ pub fn table3_for_size(scale: Scale, size_bytes: u64) -> ExpTable {
         format!("Table 3 ({}KB): stack-structure memory traffic (quad-words)", size_bytes >> 10),
         &["bench.input", "stack$ in", "SVF in", "stack$ out", "SVF out"],
     );
-    for w in all() {
-        for &input in w.inputs {
-            let program = w.compile_with_input(scale, input).expect("workload compiles");
-            let (row, _) = traffic_run(&program, size_bytes, None);
-            t.row(vec![
-                format!("{}.{}", w.name, input.name),
-                row.sc_in.to_string(),
-                row.svf_in.to_string(),
-                row.sc_out.to_string(),
-                row.svf_out.to_string(),
-            ]);
-        }
+    // One replay per (benchmark, input) pair, fanned out on the harness
+    // pool; rows are emitted in the deterministic pair order regardless of
+    // which worker finished first.
+    let pairs: Vec<_> =
+        all().iter().flat_map(|w| w.inputs.iter().map(move |&input| (w, input))).collect();
+    let workers = svf_harness::global().workers();
+    let rows = svf_harness::parallel_map(workers, &pairs, |(w, input)| {
+        let program = w.compile_with_input(scale, *input).expect("workload compiles");
+        traffic_run(&program, size_bytes, None).0
+    });
+    for ((w, input), row) in pairs.iter().zip(rows) {
+        let row = row.unwrap_or_else(|e| panic!("{}.{}: {e}", w.name, input.name));
+        t.row(vec![
+            format!("{}.{}", w.name, input.name),
+            row.sc_in.to_string(),
+            row.svf_in.to_string(),
+            row.sc_out.to_string(),
+            row.svf_out.to_string(),
+        ]);
     }
     t.note("in = fills from the next level; out = dirty writebacks");
     t.note("paper: SVF traffic is orders of magnitude below the stack cache at equal size");
@@ -151,9 +158,13 @@ pub fn table4_with_period(scale: Scale, period: u64) -> ExpTable {
         format!("Table 4: bytes written back per context switch (period {period} insts)"),
         &["bench", "switches", "stack cache (B)", "SVF (B)", "ratio"],
     );
-    for w in all() {
+    let workers = svf_harness::global().workers();
+    let switches = svf_harness::parallel_map(workers, all(), |w| {
         let program = compile(w, scale);
-        let (_, sw) = traffic_run(&program, 8 << 10, Some(period));
+        traffic_run(&program, 8 << 10, Some(period)).1
+    });
+    for (w, sw) in all().iter().zip(switches) {
+        let sw = sw.unwrap_or_else(|e| panic!("{}: {e}", w.name));
         let ratio = if sw.svf_bytes_per_switch > 0.0 {
             format!("{:.1}x", sw.sc_bytes_per_switch / sw.svf_bytes_per_switch)
         } else {

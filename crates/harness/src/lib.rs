@@ -1,0 +1,296 @@
+//! # svf-harness — parallel experiment orchestration
+//!
+//! The paper's evaluation is a large matrix of *(workload × machine
+//! configuration)* cycle simulations. This crate turns that matrix into an
+//! orchestrated run:
+//!
+//! 1. **Expansion** — an [`Experiment`] expands into a deterministic list
+//!    of [`Job`]s (`{program, config_label, config}` units, ids in
+//!    definition order).
+//! 2. **Execution** — a [`Harness`] drains the job list across
+//!    `std::thread` workers fed by a shared queue. Each job runs under
+//!    `catch_unwind`, so one diverging simulation reports as
+//!    [`JobOutcome::Failed`] instead of killing the run.
+//! 3. **Reassembly** — results come back in job-id order, making parallel
+//!    output bit-identical to serial output (every simulation is itself
+//!    deterministic).
+//! 4. **Sinks & resume** — with an output directory configured, each job's
+//!    [`SimStats`](svf_cpu::SimStats) is written to
+//!    `<out>/<experiment>/<job-key>.csv`, and jobs whose result file
+//!    already exists are *resumed* (loaded, not re-simulated). Interrupted
+//!    long runs pick up where they stopped; delete the directory to force
+//!    a clean rerun.
+//!
+//! A light observability surface rides along: per-job wall clock, and a
+//! run-level progress line (jobs done/total, aggregate simulated Mcycles/s,
+//! ETA).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use svf_cpu::CpuConfig;
+//! use svf_harness::{Experiment, Harness};
+//! use svf_workloads::Scale;
+//!
+//! let exp = Experiment::matrix(
+//!     "width-sweep",
+//!     &[("4-wide", CpuConfig::wide4()), ("8-wide", CpuConfig::wide8())],
+//!     Scale::Test,
+//! );
+//! let report = Harness::parallel().run(&exp);
+//! for (bench, stats) in report.rows(2) {
+//!     println!("{bench}: {} vs {} cycles", stats[0].cycles, stats[1].cycles);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod experiment;
+mod job;
+mod pool;
+mod progress;
+mod sink;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use svf_cpu::SimStats;
+
+pub use experiment::Experiment;
+pub use job::{Job, JobOutcome, JobReport, ProgramSpec};
+pub use pool::parallel_map;
+pub use sink::RunDir;
+
+use progress::Progress;
+
+/// Execution policy: how many workers, where results go, whether to narrate.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    workers: usize,
+    out_dir: Option<PathBuf>,
+    progress: bool,
+}
+
+impl Default for Harness {
+    fn default() -> Harness {
+        Harness::parallel()
+    }
+}
+
+impl Harness {
+    /// One worker per available hardware thread, no result sink, quiet.
+    #[must_use]
+    pub fn parallel() -> Harness {
+        let workers = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Harness { workers, out_dir: None, progress: false }
+    }
+
+    /// A single worker (the job queue still runs, panic isolation included).
+    #[must_use]
+    pub fn serial() -> Harness {
+        Harness::parallel().with_workers(1)
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Harness {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables the result sink: per-job CSVs under `<dir>/<experiment>/`,
+    /// which also makes runs resumable.
+    #[must_use]
+    pub fn with_out_dir(mut self, dir: impl Into<PathBuf>) -> Harness {
+        self.out_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables the live progress line on stderr.
+    #[must_use]
+    pub fn with_progress(mut self, on: bool) -> Harness {
+        self.progress = on;
+        self
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every job of `exp` and reassembles the reports in job-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a result sink was requested but its directory cannot
+    /// be created — results would silently stop being resumable otherwise.
+    #[must_use]
+    pub fn run(&self, exp: &Experiment) -> RunReport {
+        let started = Instant::now();
+        let sink = self.out_dir.as_deref().map(|root| {
+            RunDir::create(root, &exp.name)
+                .unwrap_or_else(|e| panic!("cannot create run dir under {}: {e}", root.display()))
+        });
+        let jobs = exp.jobs();
+        let progress = Progress::new(&exp.name, jobs.len(), self.progress);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<JobReport>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for _ in 0..self.workers.clamp(1, jobs.len().max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let report = run_one(job, sink.as_ref());
+                    let (cycles, resumed, failed) = match &report.outcome {
+                        JobOutcome::Completed(s) => (s.cycles, false, false),
+                        JobOutcome::Resumed(_) => (0, true, false),
+                        JobOutcome::Failed(_) => (0, false, true),
+                    };
+                    progress.record(cycles, resumed, failed);
+                    *slots[i].lock().expect("report slot") = Some(report);
+                });
+            }
+        });
+        let summary = progress.finish();
+        RunReport {
+            name: exp.name.clone(),
+            jobs: slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("report slot").expect("every job visited"))
+                .collect(),
+            wall: started.elapsed(),
+            summary,
+        }
+    }
+}
+
+/// Executes (or resumes) one job, never letting a panic escape.
+fn run_one(job: &Job, sink: Option<&RunDir>) -> JobReport {
+    let t0 = Instant::now();
+    let outcome = if let Some(stats) = sink.and_then(|s| s.load(job)) {
+        JobOutcome::Resumed(stats)
+    } else {
+        match catch_unwind(AssertUnwindSafe(|| job.execute())) {
+            Ok(Ok(stats)) => {
+                if let Some(sink) = sink {
+                    if let Err(e) = sink.store(job, &stats) {
+                        eprintln!("svf-harness: cannot store {}: {e}", job.key());
+                    }
+                }
+                JobOutcome::Completed(stats)
+            }
+            Ok(Err(msg)) => JobOutcome::Failed(msg),
+            Err(payload) => JobOutcome::Failed(pool::panic_message(payload.as_ref())),
+        }
+    };
+    JobReport {
+        key: job.key(),
+        program_label: job.program.label(),
+        config_label: job.config_label.clone(),
+        outcome,
+        wall: t0.elapsed(),
+    }
+}
+
+/// Everything one [`Harness::run`] produced, in job-id order.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The experiment name.
+    pub name: String,
+    /// Per-job reports, indexed by job id.
+    pub jobs: Vec<JobReport>,
+    /// Total wall-clock time of the run.
+    pub wall: Duration,
+    /// The final throughput summary line (also printed when progress is on).
+    pub summary: String,
+}
+
+impl RunReport {
+    /// `(key, message)` for every failed job.
+    #[must_use]
+    pub fn failures(&self) -> Vec<(&str, &str)> {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.outcome.failure().map(|m| (j.key.as_str(), m)))
+            .collect()
+    }
+
+    /// Number of jobs loaded from the run directory instead of simulated.
+    #[must_use]
+    pub fn resumed(&self) -> usize {
+        self.jobs.iter().filter(|j| j.outcome.is_resumed()).count()
+    }
+
+    /// All statistics in job-id order.
+    ///
+    /// # Errors
+    ///
+    /// Lists every failed job if any job failed.
+    pub fn try_stats(&self) -> Result<Vec<&SimStats>, String> {
+        let failures = self.failures();
+        if !failures.is_empty() {
+            let mut msg = format!("{}: {} job(s) failed:", self.name, failures.len());
+            for (key, why) in failures {
+                msg.push_str(&format!("\n  {key}: {why}"));
+            }
+            return Err(msg);
+        }
+        Ok(self.jobs.iter().filter_map(|j| j.outcome.stats()).collect())
+    }
+
+    /// All statistics in job-id order, for drivers that treat a failed
+    /// simulation as fatal (the historical behaviour of the serial runners).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the full failure list if any job failed.
+    #[must_use]
+    pub fn stats(&self) -> Vec<&SimStats> {
+        self.try_stats().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Reassembles a [`Experiment::matrix`]-shaped run into
+    /// `(program_label, stats-per-config)` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job failed or the job count is not a multiple of
+    /// `configs_per_row`.
+    #[must_use]
+    pub fn rows(&self, configs_per_row: usize) -> Vec<(String, Vec<&SimStats>)> {
+        assert!(
+            configs_per_row > 0 && self.jobs.len().is_multiple_of(configs_per_row),
+            "{}: {} jobs do not tile into rows of {configs_per_row}",
+            self.name,
+            self.jobs.len()
+        );
+        let stats = self.stats();
+        self.jobs
+            .chunks(configs_per_row)
+            .zip(stats.chunks(configs_per_row))
+            .map(|(jobs, stats)| (jobs[0].program_label.clone(), stats.to_vec()))
+            .collect()
+    }
+}
+
+static GLOBAL: OnceLock<Mutex<Harness>> = OnceLock::new();
+
+/// Installs the process-wide harness used by [`global`] (the experiment
+/// drivers route through it, so a CLI sets `--jobs`/`--out` once here).
+pub fn configure(harness: Harness) {
+    *GLOBAL.get_or_init(|| Mutex::new(Harness::parallel())).lock().expect("global harness") =
+        harness;
+}
+
+/// The process-wide harness: whatever [`configure`] installed, or the
+/// default parallel, sink-less, quiet policy.
+#[must_use]
+pub fn global() -> Harness {
+    GLOBAL.get_or_init(|| Mutex::new(Harness::parallel())).lock().expect("global harness").clone()
+}

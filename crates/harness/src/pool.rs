@@ -1,0 +1,86 @@
+//! The worker pool: a shared atomic work queue drained by scoped threads,
+//! with per-job panic isolation.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Renders a payload from [`catch_unwind`] as a readable failure message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked (non-string payload)".to_string()
+    }
+}
+
+/// Applies `f` to every item on up to `workers` threads, returning results
+/// in item order. A panicking call is isolated to its own item and reported
+/// as `Err(message)`; sibling items still complete. With `workers == 1`
+/// this degenerates to a plain (but still panic-isolated) serial map.
+pub fn parallel_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<R, String>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = catch_unwind(AssertUnwindSafe(|| f(item)))
+                    .map_err(|p| panic_message(p.as_ref()));
+                *slots[i].lock().expect("result slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot").expect("every item visited"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_results_any_worker_count() {
+        let items: Vec<u64> = (0..50).collect();
+        let serial = parallel_map(1, &items, |x| x * x);
+        let wide = parallel_map(8, &items, |x| x * x);
+        assert_eq!(serial, wide);
+        assert_eq!(wide[7], Ok(49));
+    }
+
+    #[test]
+    fn panics_are_isolated_per_item() {
+        let items: Vec<u64> = (0..10).collect();
+        let out = parallel_map(4, &items, |&x| {
+            assert!(x != 3, "item three explodes");
+            x
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                let msg = r.as_ref().expect_err("item 3 failed");
+                assert!(msg.contains("item three explodes"), "{msg}");
+            } else {
+                assert_eq!(*r, Ok(i as u64), "siblings of a panicking item survive");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<Result<u64, String>> = parallel_map(4, &[], |x: &u64| *x);
+        assert!(out.is_empty());
+    }
+}

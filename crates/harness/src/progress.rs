@@ -1,0 +1,109 @@
+//! Run-level observability: a live progress line and a final throughput
+//! summary (jobs done/total, aggregate simulated Mcycles/s, ETA).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default, Clone, Copy)]
+struct State {
+    done: usize,
+    resumed: usize,
+    failed: usize,
+    cycles: u64,
+}
+
+/// Shared progress tracker; workers report each finished job.
+#[derive(Debug)]
+pub(crate) struct Progress {
+    enabled: bool,
+    name: String,
+    total: usize,
+    started: Instant,
+    state: Mutex<State>,
+}
+
+impl Progress {
+    pub(crate) fn new(name: &str, total: usize, enabled: bool) -> Progress {
+        Progress {
+            enabled,
+            name: name.to_string(),
+            total,
+            started: Instant::now(),
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// Records one finished job and repaints the progress line.
+    pub(crate) fn record(&self, simulated_cycles: u64, resumed: bool, failed: bool) {
+        let snapshot = {
+            let mut st = self.state.lock().expect("progress state");
+            st.done += 1;
+            st.resumed += usize::from(resumed);
+            st.failed += usize::from(failed);
+            st.cycles += simulated_cycles;
+            *st
+        };
+        if self.enabled {
+            eprint!("\r{}", self.line(snapshot));
+        }
+    }
+
+    /// Finishes the line and returns the run-level summary text.
+    pub(crate) fn finish(&self) -> String {
+        let snapshot = *self.state.lock().expect("progress state");
+        let line = self.line(snapshot);
+        if self.enabled {
+            eprintln!("\r{line}");
+        }
+        line
+    }
+
+    fn line(&self, st: State) -> String {
+        let elapsed = self.started.elapsed();
+        let mcyc_s = st.cycles as f64 / 1e6 / elapsed.as_secs_f64().max(1e-9);
+        let eta = if st.done == 0 || st.done >= self.total {
+            Duration::ZERO
+        } else {
+            elapsed.mul_f64((self.total - st.done) as f64 / st.done as f64)
+        };
+        let mut line = format!(
+            "[{}] {}/{} jobs  {:.1} Mcyc/s  eta {:.0}s",
+            self.name,
+            st.done,
+            self.total,
+            mcyc_s,
+            eta.as_secs_f64()
+        );
+        if st.resumed > 0 {
+            line.push_str(&format!("  ({} resumed)", st.resumed));
+        }
+        if st.failed > 0 {
+            line.push_str(&format!("  ({} FAILED)", st.failed));
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_counts_resumed_and_failed() {
+        let p = Progress::new("demo", 3, false);
+        p.record(1_000_000, false, false);
+        p.record(0, true, false);
+        p.record(0, false, true);
+        let line = p.finish();
+        assert!(line.contains("[demo] 3/3 jobs"), "{line}");
+        assert!(line.contains("(1 resumed)"), "{line}");
+        assert!(line.contains("(1 FAILED)"), "{line}");
+    }
+
+    #[test]
+    fn eta_is_zero_when_done() {
+        let p = Progress::new("demo", 1, false);
+        p.record(0, false, false);
+        assert!(p.finish().contains("eta 0s"));
+    }
+}

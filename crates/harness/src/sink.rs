@@ -1,0 +1,118 @@
+//! Structured result sink: one CSV file per job under `runs/<name>/`.
+//!
+//! The file layout is the resume protocol. A job whose result file exists
+//! and parses is not re-simulated; deleting the experiment's directory (or
+//! a single file) forces a rerun. Files are written via a temp-file rename
+//! so a killed run never leaves a truncated file that would later resume as
+//! a bogus result.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use svf_cpu::SimStats;
+
+use crate::job::Job;
+
+/// The per-experiment result directory.
+#[derive(Debug, Clone)]
+pub struct RunDir {
+    dir: PathBuf,
+}
+
+impl RunDir {
+    /// Opens (creating if needed) `<root>/<experiment-name>/`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn create(root: &Path, experiment: &str) -> io::Result<RunDir> {
+        let dir = root.join(experiment);
+        fs::create_dir_all(&dir)?;
+        Ok(RunDir { dir })
+    }
+
+    /// The directory results live in.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The result file for one job.
+    #[must_use]
+    pub fn job_path(&self, job: &Job) -> PathBuf {
+        self.dir.join(format!("{}.csv", job.key()))
+    }
+
+    /// Loads a previously stored result, if one exists and is intact.
+    /// Header mismatches (schema drift) and parse failures are treated as
+    /// "no result" so the job transparently re-runs.
+    #[must_use]
+    pub fn load(&self, job: &Job) -> Option<SimStats> {
+        let text = fs::read_to_string(self.job_path(job)).ok()?;
+        let mut lines = text.lines();
+        if lines.next()? != SimStats::csv_header() {
+            return None;
+        }
+        SimStats::from_csv_row(lines.next()?).ok()
+    }
+
+    /// Stores one job's result (header line + data row).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn store(&self, job: &Job, stats: &SimStats) -> io::Result<()> {
+        let path = self.job_path(job);
+        let tmp = path.with_extension("csv.tmp");
+        fs::write(&tmp, format!("{}\n{}\n", SimStats::csv_header(), stats.to_csv_row()))?;
+        fs::rename(&tmp, &path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::ProgramSpec;
+    use svf_cpu::CpuConfig;
+    use svf_workloads::Scale;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("svf-harness-sink-{tag}-{}", std::process::id()))
+    }
+
+    fn demo_job() -> Job {
+        Job {
+            id: 3,
+            program: ProgramSpec::workload("gcc", Scale::Test),
+            config_label: "base".to_string(),
+            config: CpuConfig::wide4(),
+        }
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let root = tmp_root("roundtrip");
+        let dir = RunDir::create(&root, "demo").expect("create");
+        let job = demo_job();
+        assert!(dir.load(&job).is_none(), "empty dir has no result");
+        let stats = SimStats { cycles: 42, committed: 99, ..SimStats::default() };
+        dir.store(&job, &stats).expect("store");
+        let back = dir.load(&job).expect("load");
+        assert_eq!(back, stats);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_or_stale_files_do_not_resume() {
+        let root = tmp_root("corrupt");
+        let dir = RunDir::create(&root, "demo").expect("create");
+        let job = demo_job();
+        fs::write(dir.job_path(&job), "garbage\n1,2,3\n").expect("write");
+        assert!(dir.load(&job).is_none(), "wrong header must not resume");
+        fs::write(dir.job_path(&job), format!("{}\nnot,numbers\n", SimStats::csv_header()))
+            .expect("write");
+        assert!(dir.load(&job).is_none(), "unparsable row must not resume");
+        fs::remove_dir_all(&root).ok();
+    }
+}

@@ -85,6 +85,7 @@ fn fold_stmt(s: Stmt) -> Option<Stmt> {
     })
 }
 
+#[allow(clippy::boxed_local)] // callers hold `Box<Stmt>`; unboxing is the point
 fn fold_boxed(b: Box<Stmt>) -> Option<Box<Stmt>> {
     fold_stmt(*b).map(Box::new)
 }

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full local gate: release build, the complete test suite (release mode also
+# enables the timing-heavy figure-shape tests), and warning-free clippy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

@@ -1,0 +1,258 @@
+//! Offline drop-in subset of [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no registry access, so this crate provides the
+//! slice of the criterion 0.5 API the workspace's benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `black_box` and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is simple wall-clock sampling: after a warm-up period, each
+//! benchmark runs `sample_size` samples (each sized to fill
+//! `measurement_time / sample_size`) and reports min / mean / max time per
+//! iteration. No statistics beyond that, no plots, no saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Settings {
+        Settings {
+            sample_size: 10,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// No-op (plots are never generated); kept for API compatibility.
+    #[must_use]
+    pub fn without_plots(self) -> Criterion {
+        self
+    }
+
+    /// No-op (bootstrap resampling is not implemented); kept for API
+    /// compatibility.
+    #[must_use]
+    pub fn nresamples(self, _n: usize) -> Criterion {
+        self
+    }
+
+    /// Sets the number of measurement samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        run_bench(&name.into(), self.settings, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks sharing settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), settings: self.settings, _criterion: self }
+    }
+}
+
+/// A group of related benchmarks (`<group>/<name>` labels).
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    settings: Settings,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up time for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// No-op; kept for API compatibility.
+    pub fn nresamples(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name.into()), self.settings, f);
+        self
+    }
+
+    /// Closes the group (output is flushed eagerly; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    settings: Settings,
+    samples: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly; timing is recorded by the harness.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget is spent, and use the
+        // observed speed to size each measurement sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.settings.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let sample_budget =
+            self.settings.measurement.as_secs_f64() / self.settings.sample_size as f64;
+        let iters = ((sample_budget / per_iter.max(1e-9)) as u64).max(1);
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.settings.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+}
+
+fn run_bench(label: &str, settings: Settings, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { settings, samples: Vec::new(), iters_per_sample: 0 };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<40} (no measurement)");
+        return;
+    }
+    let min = bencher.samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = bencher.samples.iter().copied().fold(0.0f64, f64::max);
+    let mean = bencher.samples.iter().sum::<f64>() / bencher.samples.len() as f64;
+    println!(
+        "{label:<40} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        bencher.samples.len(),
+        bencher.iters_per_sample,
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    let ns = seconds * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// Declares a benchmark group function from targets, optionally with a
+/// custom `Criterion` configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_formatting_scales_units() {
+        assert_eq!(fmt_time(5e-9), "5.00 ns");
+        assert_eq!(fmt_time(5e-6), "5.00 µs");
+        assert_eq!(fmt_time(5e-3), "5.00 ms");
+        assert_eq!(fmt_time(5.0), "5.00 s");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let settings = Settings {
+            sample_size: 3,
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(3),
+        };
+        let mut b = Bencher { settings, samples: Vec::new(), iters_per_sample: 0 };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(b.samples.len(), 3);
+        assert!(count > 0);
+        assert!(b.iters_per_sample >= 1);
+    }
+}
