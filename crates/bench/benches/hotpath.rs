@@ -1,0 +1,80 @@
+//! Hot-path benchmarks for the per-cycle simulator loop (PR 4).
+//!
+//! These cover the paths the flat-structure rewrite targets: whole-program
+//! pipeline simulation on the spill-heavy stack kernel (issue scheduler,
+//! alias table, watch ring), functional emulation (page-arena memory with
+//! the translation cache, record-free stepping), and a Figure 5-style sweep
+//! point. The `throughput` binary measures the same paths with wall-clock
+//! rates and JSON output; these benches make them visible to
+//! `cargo bench hotpath` alongside the rest of the suite.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use svf_bench::stack_kernel;
+use svf_cpu::{CpuConfig, Simulator, StackEngine};
+use svf_emu::Emulator;
+use svf_workloads::Scale;
+
+/// Baseline 16-wide pipeline over the stack kernel: exercises the ready
+/// list, the wakeup wheel, and the D-cache port model under port pressure.
+fn pipeline_baseline(c: &mut Criterion) {
+    let program = stack_kernel();
+    c.bench_function("hotpath/pipeline-16wide-stack-kernel", |b| {
+        b.iter(|| {
+            let stats = Simulator::new(CpuConfig::wide16()).run(&program, u64::MAX);
+            black_box(stats.cycles)
+        });
+    });
+}
+
+/// SVF-morphing pipeline over the stack kernel: exercises the alias table
+/// (sp/other split), morphed-load forwarding, and the §3.2 watch ring.
+fn pipeline_svf(c: &mut Criterion) {
+    let program = stack_kernel();
+    let mut cfg = CpuConfig::wide16().with_ports(2, 2);
+    cfg.stack_engine = StackEngine::svf_8kb();
+    c.bench_function("hotpath/pipeline-svf-stack-kernel", |b| {
+        b.iter(|| {
+            let stats = Simulator::new(cfg.clone()).run(&program, u64::MAX);
+            black_box(stats.cycles)
+        });
+    });
+}
+
+/// Functional emulation of a pointer-chasing workload: exercises the page
+/// arena, the direct-mapped translation cache, and the record-free
+/// `Emulator::run` step path.
+fn emulator_run(c: &mut Criterion) {
+    let program = svf_workloads::workload("gap")
+        .expect("gap workload exists")
+        .compile(Scale::Test)
+        .expect("compiles");
+    c.bench_function("hotpath/emulator-gap", |b| {
+        b.iter(|| {
+            let mut emu = Emulator::new(&program);
+            emu.run(u64::MAX).expect("runs");
+            black_box(emu.steps())
+        });
+    });
+}
+
+/// One Figure 5 sweep point (bzip2, base vs. SVF): the shape the
+/// experiment harness runs thousands of times.
+fn fig5_sweep_point(c: &mut Criterion) {
+    let program = svf_workloads::workload("bzip2")
+        .expect("bzip2 workload exists")
+        .compile(Scale::Test)
+        .expect("compiles");
+    let base = CpuConfig::wide16();
+    let mut svf = CpuConfig::wide16().with_ports(2, 2);
+    svf.stack_engine = StackEngine::svf_8kb();
+    c.bench_function("hotpath/fig5-point-bzip2", |b| {
+        b.iter(|| {
+            let b_cycles = Simulator::new(base.clone()).run(&program, u64::MAX).cycles;
+            let s_cycles = Simulator::new(svf.clone()).run(&program, u64::MAX).cycles;
+            black_box((b_cycles, s_cycles))
+        });
+    });
+}
+
+criterion_group!(hotpath, pipeline_baseline, pipeline_svf, emulator_run, fig5_sweep_point);
+criterion_main!(hotpath);

@@ -1,0 +1,101 @@
+//! Simulation-throughput tracker: measures the hot paths (functional
+//! emulation, cycle-level pipeline, a fig5-style sweep point) in real units
+//! (Minst/s, Mcyc/s) and writes a JSON report, so the performance
+//! trajectory of the simulator is tracked commit over commit.
+//!
+//! Usage: `throughput [OUT.json]` (default `BENCH_pr4.json`; see
+//! `scripts/bench.sh`). Wall-clock sampling: each benchmark repeats until
+//! both a minimum time and a minimum repetition count are reached, then
+//! reports the *best* rate observed (least-noise estimate, the same
+//! convention perf-tracking suites use).
+
+use std::time::Instant;
+
+use svf_bench::{simulate, stack_kernel};
+use svf_cpu::{CpuConfig, StackEngine};
+use svf_emu::Emulator;
+
+/// One measured benchmark: name, work metric per run, best rate.
+struct Row {
+    name: &'static str,
+    unit: &'static str,
+    /// Simulated work per run (cycles or instructions).
+    work_per_run: u64,
+    /// Best observed rate in mega-units per second.
+    best_rate: f64,
+    runs: usize,
+}
+
+/// Repeats `f` (which returns simulated work units) until `min_secs` and
+/// `min_runs` are both satisfied; returns the best per-run rate seen.
+fn measure(
+    name: &'static str,
+    unit: &'static str,
+    min_secs: f64,
+    min_runs: usize,
+    mut f: impl FnMut() -> u64,
+) -> Row {
+    // One untimed warm-up run.
+    let mut work_per_run = f();
+    let started = Instant::now();
+    let mut best_rate = 0.0f64;
+    let mut runs = 0;
+    while started.elapsed().as_secs_f64() < min_secs || runs < min_runs {
+        let t0 = Instant::now();
+        work_per_run = f();
+        let dt = t0.elapsed().as_secs_f64().max(1e-9);
+        best_rate = best_rate.max(work_per_run as f64 / 1e6 / dt);
+        runs += 1;
+    }
+    eprintln!("{name:<34} {best_rate:9.2} {unit} ({runs} runs)");
+    Row { name, unit, work_per_run, best_rate, runs }
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr4.json".to_string());
+    let kernel = stack_kernel();
+    let gap = svf_bench::compile(svf_workloads::workload("gap").expect("exists"));
+    let bzip2 = svf_bench::compile(svf_workloads::workload("bzip2").expect("exists"));
+
+    let mut svf_cfg = CpuConfig::wide16().with_ports(2, 2);
+    svf_cfg.stack_engine = StackEngine::svf_8kb();
+    let base_cfg = CpuConfig::wide16();
+    let sweep_base = CpuConfig::wide16().with_ports(2, 0);
+
+    let rows = [
+        measure("emulator/gap", "Minst/s", 1.0, 5, || {
+            let mut emu = Emulator::new(&gap);
+            emu.run(u64::MAX).expect("runs");
+            emu.steps()
+        }),
+        measure("pipeline-16wide/stack-kernel", "Mcyc/s", 1.5, 5, || {
+            simulate(&base_cfg, &kernel).cycles
+        }),
+        measure("pipeline-svf-2p2/stack-kernel", "Mcyc/s", 1.5, 5, || {
+            simulate(&svf_cfg, &kernel).cycles
+        }),
+        // A fig5-style sweep point: one workload under the paper's baseline
+        // and SVF configurations, exactly what the experiment drivers run
+        // thousands of times.
+        measure("sweep/fig5-point-bzip2", "Mcyc/s", 1.5, 3, || {
+            simulate(&sweep_base, &bzip2).cycles + simulate(&svf_cfg, &bzip2).cycles
+        }),
+    ];
+
+    let mut json = String::from("{\n  \"suite\": \"svf-throughput\",\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"unit\": \"{}\", \"rate\": {:.3}, \
+             \"work_per_run\": {}, \"runs\": {}}}{}\n",
+            r.name,
+            r.unit,
+            r.best_rate,
+            r.work_per_run,
+            r.runs,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("wrote {out}");
+}

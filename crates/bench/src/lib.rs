@@ -55,3 +55,39 @@ pub fn compile(w: &Workload) -> Program {
 pub fn simulate(cfg: &CpuConfig, program: &Program) -> SimStats {
     Simulator::new(cfg.clone()).run(program, u64::MAX)
 }
+
+/// The loop-heavy, spill-everything stack kernel used by the hot-path
+/// throughput benchmarks (`benches/hotpath.rs` and the `throughput` binary).
+/// Compiled without register promotion so its scalars live in the stack
+/// frame, maximizing stack traffic — the pattern the SVF targets.
+pub const STACK_KERNEL: &str = "
+int work(int n) {
+    int a = n; int b = n * 2; int c = 0;
+    for (int i = 0; i < 50; i = i + 1) {
+        c = c + a * b - i;
+        a = a + 1;
+        b = b - 1;
+    }
+    return c;
+}
+int main() {
+    int s = 0;
+    for (int i = 0; i < 400; i = i + 1) s = s + work(i);
+    print(s);
+    return 0;
+}";
+
+/// Compiles [`STACK_KERNEL`] with the naive (spill-everything) code
+/// generator.
+///
+/// # Panics
+///
+/// Panics if the kernel fails to compile.
+#[must_use]
+pub fn stack_kernel() -> Program {
+    svf_cc::compile_to_program_with(
+        STACK_KERNEL,
+        svf_cc::Options { regalloc: false, ..Default::default() },
+    )
+    .expect("stack kernel compiles")
+}

@@ -1,0 +1,179 @@
+//! A flat, linear-probed last-writer table: quad-word address → youngest
+//! in-flight store seq, split by addressing base (`$sp` vs. other).
+//!
+//! This replaces the two `HashMap<u64, u64>` alias maps that used to sit on
+//! the per-instruction dispatch path. Two properties make it cheap:
+//!
+//! * **One probe serves both classes.** The morph path needs the youngest
+//!   `$sp` store *and* the youngest non-`$sp` store to a quad-word; both
+//!   live in one entry, so dispatch does a single multiply-hash probe where
+//!   it used to do up to two SipHash lookups.
+//! * **Keys are never removed.** Consumers filter returned seqs against the
+//!   commit head (`seq >= head_seq`), so stale values are invisible and
+//!   probing needs no tombstones. [`AliasTable::retire`] only blanks a
+//!   slot's value when the committing store is still the youngest, which
+//!   keeps values tidy without touching the key set. The key population is
+//!   the set of distinct quad-words ever stored to — exactly the key
+//!   population the `HashMap`s converged to.
+
+/// "No store recorded" sentinel (also used by the pipeline as
+/// `NO_PRODUCER`).
+pub(crate) const NO_SEQ: u64 = u64::MAX;
+
+/// Empty-slot key sentinel. Quad-word indices are byte addresses divided by
+/// eight, so `u64::MAX` can never be a real key.
+const EMPTY_QW: u64 = u64::MAX;
+
+/// Fibonacci-hash multiplier (2^64 / φ): spreads the low bits of
+/// sequential stack addresses across the table.
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[derive(Debug, Clone, Copy)]
+struct AliasEntry {
+    qw: u64,
+    sp: u64,
+    other: u64,
+}
+
+const EMPTY: AliasEntry = AliasEntry { qw: EMPTY_QW, sp: NO_SEQ, other: NO_SEQ };
+
+/// The table. Capacity is a power of two and doubles past 50% load, so
+/// probe chains stay short.
+#[derive(Debug, Clone)]
+pub(crate) struct AliasTable {
+    slots: Box<[AliasEntry]>,
+    /// `64 - log2(capacity)`: the multiply-shift hash's right shift.
+    shift: u32,
+    len: usize,
+}
+
+impl AliasTable {
+    pub(crate) fn new() -> AliasTable {
+        AliasTable::with_pow2(2048)
+    }
+
+    fn with_pow2(cap: usize) -> AliasTable {
+        debug_assert!(cap.is_power_of_two());
+        AliasTable {
+            slots: vec![EMPTY; cap].into_boxed_slice(),
+            shift: 64 - cap.trailing_zeros(),
+            len: 0,
+        }
+    }
+
+    /// Index of `qw`'s entry, or of the empty slot where it would go.
+    #[inline]
+    fn find(&self, qw: u64) -> usize {
+        let mask = self.slots.len() - 1;
+        let mut i = (qw.wrapping_mul(HASH_MUL) >> self.shift) as usize;
+        loop {
+            let k = self.slots[i].qw;
+            if k == qw || k == EMPTY_QW {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// `(youngest $sp-store seq, youngest other-store seq)` recorded for
+    /// the quad-word; [`NO_SEQ`] where none was recorded. Values may be
+    /// stale (already committed) — callers filter against the commit head.
+    #[inline]
+    pub(crate) fn get(&self, qw: u64) -> (u64, u64) {
+        let e = &self.slots[self.find(qw)];
+        if e.qw == qw {
+            (e.sp, e.other)
+        } else {
+            (NO_SEQ, NO_SEQ)
+        }
+    }
+
+    /// Records `seq` as the youngest store to `qw` for its base class.
+    #[inline]
+    pub(crate) fn record(&mut self, qw: u64, seq: u64, is_sp: bool) {
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let i = self.find(qw);
+        let e = &mut self.slots[i];
+        if e.qw == EMPTY_QW {
+            e.qw = qw;
+            self.len += 1;
+        }
+        if is_sp {
+            e.sp = seq;
+        } else {
+            e.other = seq;
+        }
+    }
+
+    /// Blanks the record if `seq` is still the youngest (commit-time tidy;
+    /// semantically a no-op because consumers filter stale seqs anyway).
+    #[inline]
+    pub(crate) fn retire(&mut self, qw: u64, seq: u64, is_sp: bool) {
+        let e = &mut self.slots[self.find(qw)];
+        if e.qw != qw {
+            return;
+        }
+        if is_sp {
+            if e.sp == seq {
+                e.sp = NO_SEQ;
+            }
+        } else if e.other == seq {
+            e.other = NO_SEQ;
+        }
+    }
+
+    fn grow(&mut self) {
+        let mut bigger = AliasTable::with_pow2(self.slots.len() * 2);
+        for e in self.slots.iter().filter(|e| e.qw != EMPTY_QW) {
+            let i = bigger.find(e.qw);
+            bigger.slots[i] = *e;
+        }
+        bigger.len = self.len;
+        *self = bigger;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_get_retire_round_trip() {
+        let mut t = AliasTable::new();
+        assert_eq!(t.get(100), (NO_SEQ, NO_SEQ));
+        t.record(100, 7, true);
+        assert_eq!(t.get(100), (7, NO_SEQ));
+        t.record(100, 9, false);
+        assert_eq!(t.get(100), (7, 9));
+        t.record(100, 11, true);
+        assert_eq!(t.get(100), (11, 9), "younger $sp store replaces older");
+        t.retire(100, 7, true);
+        assert_eq!(t.get(100), (11, 9), "stale retire is ignored");
+        t.retire(100, 11, true);
+        assert_eq!(t.get(100), (NO_SEQ, 9));
+        t.retire(100, 9, false);
+        assert_eq!(t.get(100), (NO_SEQ, NO_SEQ));
+        t.retire(555, 1, false); // absent key: no-op
+    }
+
+    #[test]
+    fn survives_growth_and_collisions() {
+        let mut t = AliasTable::with_pow2(4);
+        // Far past the initial capacity, forcing several doublings and
+        // plenty of probe collisions on the way.
+        for qw in 0..10_000u64 {
+            t.record(qw, qw * 2, qw % 2 == 0);
+        }
+        for qw in 0..10_000u64 {
+            let (sp, other) = t.get(qw);
+            if qw % 2 == 0 {
+                assert_eq!((sp, other), (qw * 2, NO_SEQ), "qw {qw}");
+            } else {
+                assert_eq!((sp, other), (NO_SEQ, qw * 2), "qw {qw}");
+            }
+        }
+        assert_eq!(t.get(10_001), (NO_SEQ, NO_SEQ));
+    }
+}

@@ -6,14 +6,35 @@
 //! for structural hazards (widths, RUU/LSQ/IFQ occupancy, D-cache and
 //! SVF/stack-cache ports, FU counts), data dependencies (register, memory
 //! and SVF-slot producers), cache latencies and front-end stalls.
+//!
+//! # Hot-path layout
+//!
+//! The per-cycle loop is written for mechanical sympathy; simulated
+//! behaviour is pinned bit-identical by `tests/golden_stats.rs` at the
+//! workspace root:
+//!
+//! * Seq numbers are dense and monotone and the RUU window is bounded, so
+//!   all per-entry issue state lives in flat ring buffers indexed by
+//!   `seq & seq_mask` ([`Slot`] and the squash-watch lists) — no hashing
+//!   anywhere on the per-cycle path.
+//! * Readiness is one compare: `ready_at` is `UNISSUED` until issue and
+//!   the completion cycle after, so dependence checks never touch the wide
+//!   [`Retired`] records (those are cold until commit).
+//! * The issue stage scans only not-yet-issued entries (`pending`, kept in
+//!   age order by in-place compaction) instead of the whole window.
+//! * The per-quad-word last-writer table ([`AliasTable`]) answers
+//!   "youngest in-flight aliasing store" with one multiply-hash probe.
+//! * Per-cycle scratch (`scratch_squashes`, the watch lists) is hoisted
+//!   into reused buffers; steady-state cycles allocate nothing.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use svf::StackValueFile;
 use svf_emu::{Emulator, Retired};
 use svf_isa::{AluOp, Inst, Program, Reg};
 use svf_mem::{Hierarchy, StackCache};
 
+use crate::alias::{AliasTable, NO_SEQ};
 use crate::config::{CpuConfig, StackEngine};
 use crate::predictor::Predictor;
 use crate::stats::SimStats;
@@ -39,24 +60,55 @@ enum ExecKind {
     Free,
 }
 
-#[derive(Debug, Clone)]
-struct Entry {
-    ret: Retired,
-    kind: ExecKind,
-    /// Producer seqs this entry waits for (register + memory dependences).
-    deps: Vec<u64>,
+/// Issue-critical state of one in-flight entry, held in a flat ring
+/// indexed by `seq & seq_mask`. Everything the per-cycle issue scan reads
+/// is here, packed; the wide [`Retired`] record stays in the RUU deque and
+/// is only touched at dispatch and commit.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Cycle the entry's result is available: [`UNISSUED`] until issue,
+    /// then `issue_cycle + latency`. Committed seqs are never consulted
+    /// (the `seq < head_seq` fast path in [`Pipeline::entry_ready`] answers
+    /// first).
+    ready_at: u64,
+    /// Producer seqs this entry waits for (register + memory dependences);
+    /// no instruction reads more than two registers.
+    deps: [u64; 2],
+    /// If the youngest aliasing in-flight store should *forward* (register
+    /// or LSQ forwarding), its seq; [`NO_PRODUCER`] if none.
+    forward_from: u64,
     /// Base latency once issued.
     latency: u64,
-    /// If the youngest aliasing in-flight store should *forward* (register
-    /// or LSQ forwarding), its seq; issue waits for its data.
-    forward_from: Option<u64>,
-    issued: bool,
-    done_cycle: u64,
-    /// Occupies an LSQ slot.
-    in_lsq: bool,
-    /// Morphed SVF reference (fast path).
-    morphed: bool,
+    /// Memoized cycle at which every producer is complete, or
+    /// [`ELIGIBLE_UNKNOWN`] while some producer has not issued yet.
+    /// Producer completion times are fixed at their issue and committed
+    /// producers are complete by definition, so once computed this never
+    /// changes — resource-blocked entries recheck with one compare instead
+    /// of re-walking their dependences every cycle.
+    eligible_at: u64,
+    ndeps: u8,
+    kind: ExecKind,
+    /// A store going through a real queue entry (not morphed): issuing it
+    /// may reveal §3.2 collisions with already-issued morphed loads.
+    unmorphed_store: bool,
 }
+
+/// `ready_at` value of a dispatched-but-not-issued entry.
+const UNISSUED: u64 = u64::MAX;
+
+/// `eligible_at` value while some producer is still unissued.
+const ELIGIBLE_UNKNOWN: u64 = u64::MAX;
+
+const EMPTY_SLOT: Slot = Slot {
+    ready_at: UNISSUED,
+    deps: [0; 2],
+    forward_from: NO_PRODUCER,
+    latency: 0,
+    eligible_at: ELIGIBLE_UNKNOWN,
+    ndeps: 0,
+    kind: ExecKind::Alu,
+    unmorphed_store: false,
+};
 
 /// The cycle-level simulator. Construct with a [`CpuConfig`] and call
 /// [`Simulator::run`].
@@ -100,18 +152,43 @@ struct Pipeline<'a> {
     now: u64,
     next_seq: u64,
     head_seq: u64,
-    ruu: VecDeque<Entry>,
+    /// Cold per-entry data (the committed-instruction records), in seq
+    /// order; popped at commit.
+    ruu: VecDeque<Retired>,
+    /// Hot per-entry issue state, ring-indexed by `seq & seq_mask`.
+    slots: Box<[Slot]>,
+    /// Store seq → morphed loads that issued early against it (§3.2), ring-
+    /// indexed by `seq & seq_mask`; each list's capacity is reused forever.
+    watch: Box<[Vec<u64>]>,
+    /// Ring mask: `capacity - 1`, capacity the RUU window rounded up to a
+    /// power of two (so no two in-flight seqs alias).
+    seq_mask: u64,
+    /// Event-driven issue scheduler: unissued seqs whose producers are all
+    /// complete as of `now`, in age order. Only these are scanned each
+    /// cycle — dep-blocked entries sit in `waiters`/`wheel` instead.
+    ready: Vec<u64>,
+    /// Count of `ready` entries per [`ExecKind`] (index `kind as usize`):
+    /// lets the issue scan stop as soon as no remaining entry's resource
+    /// class has free units.
+    ready_kinds: [usize; 8],
+    /// Wakeup wheel: `wheel[t % len]` holds seqs whose `eligible_at == t`;
+    /// drained when `now` reaches `t`. Length is a power of two larger
+    /// than any producer latency (grown on demand).
+    wheel: Vec<Vec<u64>>,
+    /// Producer seq → consumers waiting for it to *issue* (only then is
+    /// their eligibility cycle computable), ring-indexed like `slots`.
+    waiters: Box<[Vec<u64>]>,
+    /// Reused merge buffer for wheel wakeups.
+    scratch: Vec<u64>,
+    /// Reused per-cycle squash-victim list.
+    scratch_squashes: Vec<u64>,
     lsq_count: usize,
     ifq: VecDeque<(u64, Retired)>, // (seq, record)
 
     /// Architectural register → seq of in-flight producer.
     reg_producer: [u64; 32],
-    /// Youngest in-flight `$sp`-based store per quad-word address.
-    sp_store_qw: HashMap<u64, u64>,
-    /// Youngest in-flight non-`$sp` store per quad-word address.
-    other_store_qw: HashMap<u64, u64>,
-    /// store seq → morphed loads that issued early against it (§3.2).
-    squash_watch: HashMap<u64, Vec<u64>>,
+    /// Youngest in-flight store per quad-word address, split `$sp`/other.
+    alias: AliasTable,
 
     /// Fetch may not run again before this cycle (mispredict/squash/I-miss).
     fetch_resume_at: u64,
@@ -142,6 +219,7 @@ impl<'a> Pipeline<'a> {
             StackEngine::StackCache(sc) => Some(StackCache::new(*sc)),
             _ => None,
         };
+        let ring = cfg.ruu_size.next_power_of_two().max(1);
         Pipeline {
             cfg,
             heap_base: emu.heap_base(),
@@ -156,12 +234,19 @@ impl<'a> Pipeline<'a> {
             next_seq: 0,
             head_seq: 0,
             ruu: VecDeque::with_capacity(cfg.ruu_size),
+            slots: vec![EMPTY_SLOT; ring].into_boxed_slice(),
+            watch: vec![Vec::new(); ring].into_boxed_slice(),
+            seq_mask: ring as u64 - 1,
+            ready: Vec::with_capacity(cfg.ruu_size),
+            ready_kinds: [0; 8],
+            wheel: vec![Vec::new(); 128],
+            waiters: vec![Vec::new(); ring].into_boxed_slice(),
+            scratch: Vec::with_capacity(cfg.ruu_size),
+            scratch_squashes: Vec::new(),
             lsq_count: 0,
             ifq: VecDeque::with_capacity(cfg.ifq_size),
             reg_producer: [NO_PRODUCER; 32],
-            sp_store_qw: HashMap::new(),
-            other_store_qw: HashMap::new(),
-            squash_watch: HashMap::new(),
+            alias: AliasTable::new(),
             fetch_resume_at: 0,
             fetch_blocked_on: None,
             decode_block_on: None,
@@ -195,7 +280,10 @@ impl<'a> Pipeline<'a> {
                 self.now - last_commit_cycle < 200_000,
                 "pipeline deadlock at cycle {} (head: {:?})",
                 self.now,
-                self.ruu.front().map(|e| (e.ret.pc, e.kind, e.issued, e.done_cycle, &e.deps))
+                self.ruu.front().map(|r| {
+                    let s = &self.slots[(self.head_seq & self.seq_mask) as usize];
+                    (r.pc, s.kind, s.ready_at, s.deps, s.ndeps)
+                })
             );
         }
         self.stats.cycles = self.now;
@@ -212,44 +300,40 @@ impl<'a> Pipeline<'a> {
     fn commit(&mut self) {
         let mut n = 0;
         while n < self.cfg.width {
-            let Some(front) = self.ruu.front() else { break };
-            if !front.issued || front.done_cycle > self.now {
+            if self.ruu.is_empty() {
                 break;
             }
-            let e = self.ruu.pop_front().expect("checked above");
-            if e.in_lsq {
+            let sidx = (self.head_seq & self.seq_mask) as usize;
+            // `UNISSUED` is `u64::MAX`, so one compare covers both "not
+            // issued" and "not done yet".
+            if self.slots[sidx].ready_at > self.now {
+                break;
+            }
+            let ret = self.ruu.pop_front().expect("checked above");
+            if let Some(m) = ret.mem {
                 self.lsq_count -= 1;
-                if let Some(m) = e.ret.mem {
-                    // Retire alias-map entries that still point at us.
-                    if m.is_store {
-                        let qw = m.addr / 8;
-                        let map = if m.base.is_sp() {
-                            &mut self.sp_store_qw
-                        } else {
-                            &mut self.other_store_qw
-                        };
-                        if map.get(&qw) == Some(&self.head_seq) {
-                            map.remove(&qw);
-                        }
-                    }
+                // Retire alias-table records that still point at us.
+                if m.is_store {
+                    self.alias.retire(m.addr / 8, self.head_seq, m.base.is_sp());
                 }
             }
-            self.squash_watch.remove(&self.head_seq);
+            self.watch[sidx].clear();
+            debug_assert!(self.waiters[sidx].is_empty(), "committed with waiters attached");
             // Clear the register producer table where we were the producer.
-            if let Some(d) = e.ret.inst.dest() {
-                let slot = &mut self.reg_producer[d.number() as usize];
-                if *slot == self.head_seq {
-                    *slot = NO_PRODUCER;
+            if let Some(d) = ret.inst.dest() {
+                let producer = &mut self.reg_producer[d.number() as usize];
+                if *producer == self.head_seq {
+                    *producer = NO_PRODUCER;
                 }
             }
             self.stats.committed += 1;
-            if let Some(m) = e.ret.mem {
+            if let Some(m) = ret.mem {
                 self.stats.mem_refs += 1;
                 if m.region(self.heap_base).is_stack() {
                     self.stats.stack_refs += 1;
                 }
             }
-            if e.ret.control.is_some() {
+            if ret.control.is_some() {
                 self.stats.branches += 1;
             }
             self.head_seq += 1;
@@ -259,56 +343,118 @@ impl<'a> Pipeline<'a> {
 
     // ---- issue / execute ----
 
+    #[inline]
     fn entry_ready(&self, seq: u64) -> bool {
-        if seq < self.head_seq {
-            return true; // committed, thus complete
+        // Committed seqs are complete; in-flight seqs answer from their
+        // ring slot (producers are always dispatched before consumers, so
+        // the slot is live).
+        seq < self.head_seq || {
+            debug_assert!(seq - self.head_seq < self.ruu.len() as u64);
+            self.slots[(seq & self.seq_mask) as usize].ready_at <= self.now
         }
-        match self.ruu.get((seq - self.head_seq) as usize) {
-            Some(e) => e.issued && e.done_cycle <= self.now,
-            None => true, // not yet dispatched cannot happen for producers
+    }
+
+    /// Completion cycle of a producer: `0` if committed (complete at or
+    /// before any cycle a consumer can ask about), [`UNISSUED`] if still
+    /// waiting to issue, otherwise its fixed done cycle.
+    #[inline]
+    fn producer_done(&self, seq: u64) -> u64 {
+        if seq < self.head_seq {
+            0
+        } else {
+            self.slots[(seq & self.seq_mask) as usize].ready_at
         }
     }
 
     fn issue(&mut self) {
+        let now = self.now;
+        // Wake entries whose eligibility cycle has arrived. Wakeups can be
+        // any age, so merge them (sorted) into the age-ordered ready list.
+        let widx = (now & (self.wheel.len() as u64 - 1)) as usize;
+        if !self.wheel[widx].is_empty() {
+            let mut bucket = std::mem::take(&mut self.wheel[widx]);
+            bucket.sort_unstable();
+            for &s in &bucket {
+                debug_assert_eq!(self.slots[(s & self.seq_mask) as usize].eligible_at, now);
+                self.ready_kinds[self.slots[(s & self.seq_mask) as usize].kind as usize] += 1;
+            }
+            self.scratch.clear();
+            let (mut a, mut b) = (0, 0);
+            while a < self.ready.len() && b < bucket.len() {
+                if self.ready[a] < bucket[b] {
+                    self.scratch.push(self.ready[a]);
+                    a += 1;
+                } else {
+                    self.scratch.push(bucket[b]);
+                    b += 1;
+                }
+            }
+            self.scratch.extend_from_slice(&self.ready[a..]);
+            self.scratch.extend_from_slice(&bucket[b..]);
+            std::mem::swap(&mut self.ready, &mut self.scratch);
+            bucket.clear();
+            self.wheel[widx] = bucket; // keep the bucket's capacity
+        }
+        if self.ready.is_empty() {
+            return; // nothing can issue; squashes/wakeups only follow issues
+        }
+
         let mut issue_slots = self.cfg.width;
         let mut alu = self.cfg.int_alus;
         let mut mult = self.cfg.int_mults;
         let mut dl1_ports = self.cfg.dl1_ports;
         let mut stack_ports = self.cfg.stack_ports;
-        let now = self.now;
         let head = self.head_seq;
 
-        let mut squashes: Vec<u64> = Vec::new();
-        for idx in 0..self.ruu.len() {
-            if issue_slots == 0 {
+        self.scratch_squashes.clear();
+        // Oldest-first over *ready* entries only, compacting survivors in
+        // place. `remaining` counts the not-yet-visited entries per kind so
+        // the scan can stop once no visitable entry has a free unit — the
+        // issue order and resource consumption match a full-window scan.
+        let mut ready = std::mem::take(&mut self.ready);
+        let mut remaining = self.ready_kinds;
+        let mut kept = 0;
+        let mut i = 0;
+        while i < ready.len() {
+            if issue_slots == 0
+                || !(remaining[ExecKind::Free as usize] > 0
+                    || (alu > 0 && remaining[ExecKind::Alu as usize] > 0)
+                    || (mult > 0
+                        && remaining[ExecKind::Mul as usize]
+                            + remaining[ExecKind::Div as usize]
+                            > 0)
+                    || (dl1_ports > 0
+                        && remaining[ExecKind::LoadDl1 as usize]
+                            + remaining[ExecKind::StoreDl1 as usize]
+                            > 0)
+                    || (stack_ports > 0
+                        && remaining[ExecKind::LoadStack as usize]
+                            + remaining[ExecKind::StoreStack as usize]
+                            > 0))
+            {
                 break;
             }
-            let seq = head + idx as u64;
-            // Check readiness with immutable borrows first.
-            {
-                let e = &self.ruu[idx];
-                if e.issued {
-                    continue;
-                }
-                let deps_ready = e.deps.iter().all(|&d| self.entry_ready(d))
-                    && e.forward_from.is_none_or(|d| self.entry_ready(d));
-                if !deps_ready {
-                    continue;
-                }
-                let have_resource = match e.kind {
-                    ExecKind::Alu => alu > 0,
-                    ExecKind::Mul | ExecKind::Div => mult > 0,
-                    ExecKind::LoadDl1 | ExecKind::StoreDl1 => dl1_ports > 0,
-                    ExecKind::LoadStack | ExecKind::StoreStack => stack_ports > 0,
-                    ExecKind::Free => true,
-                };
-                if !have_resource {
-                    continue;
-                }
+            let seq = ready[i];
+            i += 1;
+            let sidx = (seq & self.seq_mask) as usize;
+            let slot = self.slots[sidx];
+            debug_assert_eq!(slot.ready_at, UNISSUED);
+            debug_assert!(slot.eligible_at <= now);
+            remaining[slot.kind as usize] -= 1;
+            let have_resource = match slot.kind {
+                ExecKind::Alu => alu > 0,
+                ExecKind::Mul | ExecKind::Div => mult > 0,
+                ExecKind::LoadDl1 | ExecKind::StoreDl1 => dl1_ports > 0,
+                ExecKind::LoadStack | ExecKind::StoreStack => stack_ports > 0,
+                ExecKind::Free => true,
+            };
+            if !have_resource {
+                ready[kept] = seq;
+                kept += 1;
+                continue;
             }
             // Consume resources and issue.
-            let kind = self.ruu[idx].kind;
-            match kind {
+            match slot.kind {
                 ExecKind::Alu => alu -= 1,
                 ExecKind::Mul | ExecKind::Div => mult -= 1,
                 ExecKind::LoadDl1 | ExecKind::StoreDl1 => dl1_ports -= 1,
@@ -316,35 +462,113 @@ impl<'a> Pipeline<'a> {
                 ExecKind::Free => {}
             }
             issue_slots -= 1;
-            let e = &mut self.ruu[idx];
-            e.issued = true;
-            e.done_cycle = now + e.latency;
-            let is_store = e.ret.mem.is_some_and(|m| m.is_store);
-            let morphed = e.morphed;
-            if is_store && !morphed {
+            self.ready_kinds[slot.kind as usize] -= 1;
+            let done = now + slot.latency;
+            self.slots[sidx].ready_at = done;
+            // Our completion cycle is now fixed: consumers blocked on us
+            // can compute (or keep chasing) their eligibility.
+            if !self.waiters[sidx].is_empty() {
+                let mut ws = std::mem::take(&mut self.waiters[sidx]);
+                for &w in &ws {
+                    self.schedule(w);
+                }
+                ws.clear();
+                self.waiters[sidx] = ws; // keep the list's capacity
+            }
+            if slot.unmorphed_store && !self.watch[sidx].is_empty() {
                 // A non-sp store issuing late may reveal §3.2 collisions
                 // with morphed loads that already issued.
-                if let Some(victims) = self.squash_watch.remove(&seq) {
-                    for v in victims {
-                        if v >= head {
-                            let vidx = (v - head) as usize;
-                            if self.ruu.get(vidx).is_some_and(|l| l.issued) {
-                                squashes.push(v);
-                            }
-                        }
+                let mut victims = std::mem::take(&mut self.watch[sidx]);
+                for &v in &victims {
+                    if v >= head
+                        && v - head < self.ruu.len() as u64
+                        && self.slots[(v & self.seq_mask) as usize].ready_at != UNISSUED
+                    {
+                        self.scratch_squashes.push(v);
                     }
                 }
+                victims.clear();
+                self.watch[sidx] = victims; // keep the list's capacity
             }
             // Resolve a fetch block waiting on this branch.
             if self.fetch_blocked_on == Some(seq) {
                 self.fetch_blocked_on = None;
-                let resume = self.ruu[idx].done_cycle + self.cfg.redirect_penalty;
+                let resume = done + self.cfg.redirect_penalty;
                 self.fetch_resume_at = self.fetch_resume_at.max(resume);
             }
         }
-        for _victim in squashes {
+        // Width or resources exhausted: the rest stays ready.
+        while i < ready.len() {
+            ready[kept] = ready[i];
+            kept += 1;
+            i += 1;
+        }
+        ready.truncate(kept);
+        // `schedule` during the scan only targets future cycles (a producer
+        // finishing at `now + latency` can't ready anyone *this* cycle), so
+        // nothing was pushed onto the (taken) ready list behind our back.
+        debug_assert!(self.ready.is_empty());
+        self.ready = ready;
+        for _victim in &self.scratch_squashes {
             self.stats.svf_squashes += 1;
             self.fetch_resume_at = self.fetch_resume_at.max(now + self.cfg.squash_penalty);
+        }
+    }
+
+    /// Routes an unissued entry to the right scheduler structure: onto an
+    /// unissued producer's waiter list, into the wakeup wheel for a future
+    /// eligibility cycle, or straight into the ready list.
+    fn schedule(&mut self, seq: u64) {
+        let sidx = (seq & self.seq_mask) as usize;
+        let slot = self.slots[sidx];
+        let mut t = 0u64;
+        for &d in &slot.deps[..slot.ndeps as usize] {
+            let done = self.producer_done(d);
+            if done == UNISSUED {
+                self.waiters[(d & self.seq_mask) as usize].push(seq);
+                return;
+            }
+            t = t.max(done);
+        }
+        if slot.forward_from != NO_PRODUCER {
+            let done = self.producer_done(slot.forward_from);
+            if done == UNISSUED {
+                self.waiters[(slot.forward_from & self.seq_mask) as usize].push(seq);
+                return;
+            }
+            t = t.max(done);
+        }
+        self.slots[sidx].eligible_at = t;
+        if t <= self.now {
+            // Only reachable from dispatch (producers all complete): `seq`
+            // is the youngest in flight, so pushing keeps the age order.
+            debug_assert!(self.ready.last().is_none_or(|&r| r < seq));
+            self.ready.push(seq);
+            self.ready_kinds[slot.kind as usize] += 1;
+        } else {
+            let delta = t - self.now;
+            if delta >= self.wheel.len() as u64 {
+                self.grow_wheel(delta);
+            }
+            let widx = (t & (self.wheel.len() as u64 - 1)) as usize;
+            self.wheel[widx].push(seq);
+        }
+    }
+
+    /// Doubles the wheel until `delta` cycles ahead fit, re-bucketing the
+    /// queued entries by their stored eligibility cycle.
+    fn grow_wheel(&mut self, delta: u64) {
+        let mut len = self.wheel.len();
+        while delta >= len as u64 {
+            len *= 2;
+        }
+        let old = std::mem::replace(&mut self.wheel, vec![Vec::new(); len]);
+        for bucket in old {
+            for seq in bucket {
+                let t = self.slots[(seq & self.seq_mask) as usize].eligible_at;
+                debug_assert!(t > self.now && t - self.now < len as u64);
+                self.wheel[(t & (len as u64 - 1)) as usize].push(seq);
+            }
         }
     }
 
@@ -365,32 +589,36 @@ impl<'a> Pipeline<'a> {
                     break;
                 }
             }
-            let Some(&(seq, _)) = self.ifq.front() else { break };
-            let is_mem = self.ifq.front().expect("checked").1.mem.is_some();
-            if is_mem && self.lsq_count >= self.cfg.lsq_size {
+            let Some(&(seq, ret)) = self.ifq.front() else { break };
+            if ret.mem.is_some() && self.lsq_count >= self.cfg.lsq_size {
                 break;
             }
-            let (_, ret) = self.ifq.pop_front().expect("checked");
-            let entry = self.make_entry(seq, ret);
-            if entry.in_lsq {
+            self.ifq.pop_front();
+            let slot = self.build_slot(seq, &ret);
+            if ret.mem.is_some() {
                 self.lsq_count += 1;
             }
             // Rename: record ourselves as producer of our destination.
-            if let Some(d) = entry.ret.inst.dest() {
+            if let Some(d) = ret.inst.dest() {
                 self.reg_producer[d.number() as usize] = seq;
             }
-            if entry.ret.inst.writes_sp() && entry.ret.inst.sp_immediate_adjust().is_none() {
+            if ret.inst.writes_sp() && ret.inst.sp_immediate_adjust().is_none() {
                 self.decode_block_on = Some(seq);
             }
-            self.ruu.push_back(entry);
+            let sidx = (seq & self.seq_mask) as usize;
+            debug_assert!(self.watch[sidx].is_empty(), "watch ring slot was recycled dirty");
+            debug_assert!(self.waiters[sidx].is_empty(), "waiter ring slot was recycled dirty");
+            self.slots[sidx] = slot;
+            self.ruu.push_back(ret);
+            self.schedule(seq);
         }
     }
 
-    /// Builds the RUU entry: classifies the execution kind, steers memory
-    /// references to the right structure, computes latencies and collects
-    /// dependences.
+    /// Builds the hot-path slot for a dispatching instruction: classifies
+    /// the execution kind, steers memory references to the right structure,
+    /// computes latencies and collects dependences.
     #[allow(clippy::too_many_lines)]
-    fn make_entry(&mut self, seq: u64, ret: Retired) -> Entry {
+    fn build_slot(&mut self, seq: u64, ret: &Retired) -> Slot {
         // Speculative $sp tracking (§3.1): immediate adjustments update the
         // stack engine in decode, in program order.
         if let Some(sp) = ret.sp_update {
@@ -408,6 +636,18 @@ impl<'a> Pipeline<'a> {
         if let Some(m) = ret.mem {
             let is_stack = m.region(self.heap_base).is_stack();
             let qw = m.addr / 8;
+            // One alias-table probe serves every route below. Recorded seqs
+            // can be stale (already committed); filter against the commit
+            // head here, once.
+            let (sp_raw, other_raw) = self.alias.get(qw);
+            let sp_live = (sp_raw != NO_SEQ && sp_raw >= self.head_seq).then_some(sp_raw);
+            let other_live =
+                (other_raw != NO_SEQ && other_raw >= self.head_seq).then_some(other_raw);
+            // Youngest in-flight store (any base register) to the quad-word.
+            let youngest = match (sp_live, other_live) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (x, y) => x.or(y),
+            };
             enum Route {
                 Dl1,
                 Morph,
@@ -442,8 +682,7 @@ impl<'a> Pipeline<'a> {
                         kind = ExecKind::LoadDl1;
                         latency = lat;
                         // LSQ forwarding from the youngest aliasing store.
-                        let dep = self.youngest_store(qw);
-                        if let Some(d) = dep {
+                        if let Some(d) = youngest {
                             forward_from = Some(d);
                             latency = self.cfg.store_forward_latency;
                         }
@@ -473,21 +712,19 @@ impl<'a> Pipeline<'a> {
                         // Register-style forwarding from sp-based stores:
                         // the value is read from the physical register file
                         // through the RAT (§5.3.1), not through an SVF port.
-                        if let Some(d) = self.sp_store_qw.get(&qw).copied() {
-                            if d >= self.head_seq {
-                                forward_from = Some(d);
-                                kind = ExecKind::Free;
-                            }
+                        if let Some(d) = sp_live {
+                            forward_from = Some(d);
+                            kind = ExecKind::Free;
                         }
                         // §3.2: an older non-sp store to the same address
                         // that has not issued yet is a squash hazard.
-                        if let Some(d) = self.other_store_qw.get(&qw).copied() {
-                            if d >= self.head_seq {
-                                if self.no_squash {
-                                    forward_from = Some(forward_from.map_or(d, |f| f.max(d)));
-                                } else {
-                                    self.squash_watch.entry(d).or_default().push(seq);
-                                }
+                        if let Some(d) = other_live {
+                            if self.no_squash {
+                                forward_from = Some(forward_from.map_or(d, |f| f.max(d)));
+                            } else {
+                                // The store is in flight, so its watch-ring
+                                // slot is live.
+                                self.watch[(d & self.seq_mask) as usize].push(seq);
                             }
                         }
                     }
@@ -506,7 +743,7 @@ impl<'a> Pipeline<'a> {
                         kind = ExecKind::LoadStack;
                         latency = penalty
                             + if acc.filled { self.hier.data_access(m.addr, false) } else { 0 };
-                        if let Some(d) = self.youngest_store(qw) {
+                        if let Some(d) = youngest {
                             forward_from = Some(d);
                             latency = latency.max(self.cfg.store_forward_latency);
                         }
@@ -524,7 +761,7 @@ impl<'a> Pipeline<'a> {
                     } else {
                         kind = ExecKind::LoadStack;
                         latency = sc.hit_latency() + miss_extra;
-                        if let Some(d) = self.youngest_store(qw) {
+                        if let Some(d) = youngest {
                             forward_from = Some(d);
                             latency = latency.max(self.cfg.store_forward_latency);
                         }
@@ -541,18 +778,14 @@ impl<'a> Pipeline<'a> {
                         self.stats.svf_morphed_loads += 1;
                         kind = ExecKind::Free;
                         latency = 1;
-                        if let Some(d) = self.youngest_store(qw) {
-                            forward_from = Some(d);
-                        }
+                        forward_from = youngest;
                     }
                 }
             }
 
-            // Record this store in the alias maps.
+            // Record this store in the alias table.
             if m.is_store {
-                let map =
-                    if m.base.is_sp() { &mut self.sp_store_qw } else { &mut self.other_store_qw };
-                map.insert(qw, seq);
+                self.alias.record(qw, seq, m.base.is_sp());
             }
         } else {
             // Non-memory instruction.
@@ -573,38 +806,34 @@ impl<'a> Pipeline<'a> {
             };
         }
 
-        // Register dependences via the rename table.
-        let mut deps = Vec::with_capacity(2);
-        for src in ret.inst.srcs() {
+        // Register dependences via the rename table (no allocation: an
+        // instruction has at most two distinct non-$zero sources).
+        let mut deps = [0u64; 2];
+        let mut ndeps = 0u8;
+        for src in ret.inst.src_regs().into_iter().flatten() {
             if drop_sp_dep && src.is_sp() {
                 continue;
             }
             let p = self.reg_producer[src.number() as usize];
             if p != NO_PRODUCER && p >= self.head_seq {
-                deps.push(p);
+                deps[ndeps as usize] = p;
+                ndeps += 1;
             }
         }
 
-        Entry {
-            ret,
-            kind,
+        // The event-driven scheduler wakes consumers strictly after their
+        // producer's issue cycle; zero-latency producers would need
+        // same-cycle wakeup, which no modelled unit has.
+        debug_assert!(latency >= 1, "zero-latency execution is not modelled");
+        Slot {
+            ready_at: UNISSUED,
             deps,
+            forward_from: forward_from.unwrap_or(NO_PRODUCER),
             latency,
-            forward_from,
-            issued: false,
-            done_cycle: u64::MAX,
-            in_lsq: ret.mem.is_some(),
-            morphed,
-        }
-    }
-
-    /// Youngest in-flight store (any base register) to the quad-word.
-    fn youngest_store(&self, qw: u64) -> Option<u64> {
-        let a = self.sp_store_qw.get(&qw).copied().filter(|&s| s >= self.head_seq);
-        let b = self.other_store_qw.get(&qw).copied().filter(|&s| s >= self.head_seq);
-        match (a, b) {
-            (Some(x), Some(y)) => Some(x.max(y)),
-            (x, y) => x.or(y),
+            eligible_at: ELIGIBLE_UNKNOWN,
+            ndeps,
+            kind,
+            unmorphed_store: ret.mem.is_some_and(|m| m.is_store) && !morphed,
         }
     }
 

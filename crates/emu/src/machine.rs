@@ -172,8 +172,17 @@ impl Emulator {
     ///
     /// Returns an [`EmuError`] on bad PCs, misaligned accesses, or when the
     /// machine is already halted.
-    #[allow(clippy::too_many_lines)]
     pub fn step(&mut self) -> Result<Retired, EmuError> {
+        self.step_impl::<true>().map(|r| r.expect("recording step returns a record"))
+    }
+
+    /// The fetch-decode-execute core, monomorphized over whether a
+    /// [`Retired`] record is materialized. Functional-only callers
+    /// ([`Emulator::run`]) use `RECORD = false` and skip assembling the
+    /// per-instruction record entirely; the architectural effects are
+    /// identical either way.
+    #[allow(clippy::too_many_lines)]
+    fn step_impl<const RECORD: bool>(&mut self) -> Result<Option<Retired>, EmuError> {
         if self.halted {
             return Err(EmuError::Halted);
         }
@@ -224,8 +233,10 @@ impl Emulator {
                     MemOp::Stl => self.mem.write_u32(addr, self.reg(ra) as u32),
                     MemOp::Stb => self.mem.write_u8(addr, self.reg(ra) as u8),
                 }
-                mem_access =
-                    Some(MemAccess { addr, size, is_store: op.is_store(), base: rb });
+                if RECORD {
+                    mem_access =
+                        Some(MemAccess { addr, size, is_store: op.is_store(), base: rb });
+                }
             }
             Inst::Lda { high, ra, rb, disp } => {
                 let d = if high { i64::from(disp) << 16 } else { i64::from(disp) };
@@ -236,7 +247,9 @@ impl Emulator {
                 self.set_reg(ra, pc + 4);
                 let target = (pc + 4).wrapping_add((i64::from(disp) * 4) as u64);
                 next_pc = target;
-                control = Some(ControlFlow { taken: true, target });
+                if RECORD {
+                    control = Some(ControlFlow { taken: true, target });
+                }
             }
             Inst::CondBr { op, ra, disp } => {
                 let taken = op.taken(self.reg(ra));
@@ -244,7 +257,9 @@ impl Emulator {
                 if taken {
                     next_pc = target;
                 }
-                control = Some(ControlFlow { taken, target: next_pc });
+                if RECORD {
+                    control = Some(ControlFlow { taken, target: next_pc });
+                }
             }
             Inst::Op { op, ra, rb, rc } => {
                 let a = self.reg(ra);
@@ -258,20 +273,24 @@ impl Emulator {
                 let target = self.reg(rb) & !3;
                 self.set_reg(ra, pc + 4);
                 next_pc = target;
-                control = Some(ControlFlow { taken: true, target });
+                if RECORD {
+                    control = Some(ControlFlow { taken: true, target });
+                }
             }
         }
 
+        self.pc = next_pc;
+        self.steps += 1;
+        if !RECORD {
+            return Ok(None);
+        }
         let sp_after = self.reg(Reg::SP);
         let sp_update = (sp_after != sp_before || inst.writes_sp()).then(|| SpUpdate {
             old_sp: sp_before,
             new_sp: sp_after,
             immediate: inst.sp_immediate_adjust().is_some(),
         });
-
-        self.pc = next_pc;
-        self.steps += 1;
-        Ok(Retired { pc, inst, next_pc, mem: mem_access, control, sp_update, sp_before })
+        Ok(Some(Retired { pc, inst, next_pc, mem: mem_access, control, sp_update, sp_before }))
     }
 
     /// Runs until `halt` or until `max_steps` more instructions have
@@ -285,7 +304,7 @@ impl Emulator {
             if self.halted {
                 return Ok(RunOutcome::Halted);
             }
-            self.step()?;
+            self.step_impl::<false>()?;
         }
         Ok(if self.halted { RunOutcome::Halted } else { RunOutcome::StepLimit })
     }

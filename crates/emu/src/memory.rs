@@ -1,11 +1,27 @@
 //! Sparse functional memory.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 const PAGE_BITS: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
 
+/// Direct-mapped translation-cache entries (page number → arena slot).
+/// Working sets here are a handful of stack/data/text pages, so a small
+/// power-of-two cache all but eliminates `HashMap` probes on the
+/// load/store path.
+const TLB_WAYS: usize = 64;
+
+/// Tag of an empty TLB way. Page numbers are addresses shifted right by
+/// [`PAGE_BITS`], so `u64::MAX` can never be a real tag.
+const NO_PAGE: u64 = u64::MAX;
+
 /// A sparse, byte-addressable 64-bit memory backed by 4 KiB pages.
+///
+/// Pages live in an arena (`Vec` of boxed pages); a `HashMap` maps page
+/// numbers to arena slots, with a small direct-mapped translation cache in
+/// front of it. The cache uses interior mutability so that plain `&self`
+/// reads keep it warm too.
 ///
 /// Reads of never-written locations return zero, matching the zero-filled
 /// BSS/stack the OS would provide.
@@ -18,9 +34,21 @@ const PAGE_SIZE: usize = 1 << PAGE_BITS;
 /// assert_eq!(m.read_u64(0x4000_0000 - 8), 0xDEAD_BEEF);
 /// assert_eq!(m.read_u64(0x1234_5678), 0, "untouched memory reads zero");
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    index: HashMap<u64, u32>,
+    tlb: [Cell<(u64, u32)>; TLB_WAYS],
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory {
+            pages: Vec::new(),
+            index: HashMap::new(),
+            tlb: std::array::from_fn(|_| Cell::new((NO_PAGE, 0))),
+        }
+    }
 }
 
 impl Memory {
@@ -36,12 +64,37 @@ impl Memory {
         self.pages.len()
     }
 
+    /// Arena slot of `page_no`, if the page is resident.
+    #[inline]
+    fn lookup(&self, page_no: u64) -> Option<u32> {
+        let way = &self.tlb[(page_no as usize) & (TLB_WAYS - 1)];
+        let (tag, slot) = way.get();
+        if tag == page_no {
+            return Some(slot);
+        }
+        let slot = *self.index.get(&page_no)?;
+        way.set((page_no, slot));
+        Some(slot)
+    }
+
+    #[inline]
     fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
-        self.pages.get(&(addr >> PAGE_BITS)).map(|b| &**b)
+        self.lookup(addr >> PAGE_BITS).map(|slot| &*self.pages[slot as usize])
     }
 
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        let page_no = addr >> PAGE_BITS;
+        let slot = match self.lookup(page_no) {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.pages.len()).expect("fewer than 2^32 pages");
+                self.pages.push(Box::new([0u8; PAGE_SIZE]));
+                self.index.insert(page_no, slot);
+                self.tlb[(page_no as usize) & (TLB_WAYS - 1)].set((page_no, slot));
+                slot
+            }
+        };
+        &mut self.pages[slot as usize]
     }
 
     /// Reads one byte.
@@ -153,5 +206,24 @@ mod tests {
         for (i, &b) in data.iter().enumerate() {
             assert_eq!(m.read_u8(0x2000 - 128 + i as u64), b);
         }
+    }
+
+    #[test]
+    fn tlb_conflicting_pages_stay_coherent() {
+        let mut m = Memory::new();
+        // Two page numbers that map to the same direct-mapped way
+        // (differ by exactly TLB_WAYS pages), plus an unrelated page.
+        let a = 0x10_0000;
+        let b = a + (TLB_WAYS as u64) * PAGE_SIZE as u64;
+        m.write_u64(a, 1);
+        m.write_u64(b, 2);
+        for _ in 0..4 {
+            assert_eq!(m.read_u64(a), 1);
+            assert_eq!(m.read_u64(b), 2);
+        }
+        m.write_u64(a, 3);
+        assert_eq!(m.read_u64(b), 2);
+        assert_eq!(m.read_u64(a), 3);
+        assert_eq!(m.resident_pages(), 2);
     }
 }

@@ -60,19 +60,29 @@ impl Progress {
 
     fn line(&self, st: State) -> String {
         let elapsed = self.started.elapsed();
-        let mcyc_s = st.cycles as f64 / 1e6 / elapsed.as_secs_f64().max(1e-9);
-        let eta = if st.done == 0 || st.done >= self.total {
-            Duration::ZERO
+        // A first paint, or a fully-resumed run, can land here with
+        // effectively zero elapsed time; a rate against that denominator
+        // is meaningless garbage (formerly up to 1e15 "Mcyc/s"). Below a
+        // millisecond there is no signal — report zero.
+        let secs = elapsed.as_secs_f64();
+        let mcyc_s =
+            if secs < 1e-3 || st.cycles == 0 { 0.0 } else { st.cycles as f64 / 1e6 / secs };
+        // With no finished jobs there is no basis for an estimate: show
+        // "--" rather than a made-up "0s".
+        let eta = if st.done >= self.total {
+            Some(Duration::ZERO)
+        } else if st.done == 0 {
+            None
         } else {
-            elapsed.mul_f64((self.total - st.done) as f64 / st.done as f64)
+            Some(elapsed.mul_f64((self.total - st.done) as f64 / st.done as f64))
+        };
+        let eta_text = match eta {
+            Some(d) => format!("{:.0}s", d.as_secs_f64()),
+            None => "--".to_string(),
         };
         let mut line = format!(
-            "[{}] {}/{} jobs  {:.1} Mcyc/s  eta {:.0}s",
-            self.name,
-            st.done,
-            self.total,
-            mcyc_s,
-            eta.as_secs_f64()
+            "[{}] {}/{} jobs  {mcyc_s:.1} Mcyc/s  eta {eta_text}",
+            self.name, st.done, self.total,
         );
         if st.resumed > 0 {
             line.push_str(&format!("  ({} resumed)", st.resumed));
@@ -105,5 +115,31 @@ mod tests {
         let p = Progress::new("demo", 1, false);
         p.record(0, false, false);
         assert!(p.finish().contains("eta 0s"));
+    }
+
+    #[test]
+    fn no_finished_jobs_shows_unknown_eta_and_zero_rate() {
+        let p = Progress::new("demo", 2, false);
+        let line = p.finish();
+        assert!(line.contains("0/2 jobs"), "{line}");
+        assert!(line.contains("0.0 Mcyc/s"), "{line}");
+        assert!(line.contains("eta --"), "{line}");
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+    }
+
+    #[test]
+    fn instant_completion_reports_a_sane_rate() {
+        // Resumed jobs complete in microseconds; the rate must not explode
+        // against the near-zero elapsed time (it used to reach ~1e15).
+        let p = Progress::new("demo", 1, false);
+        p.record(5_000_000, true, false);
+        let line = p.finish();
+        let rate: f64 = line
+            .split(" Mcyc/s")
+            .next()
+            .and_then(|s| s.rsplit(' ').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("rate parses: {line}"));
+        assert!(rate.is_finite() && rate < 1e6, "absurd rate in {line}");
     }
 }

@@ -134,6 +134,48 @@ fn interrupted_runs_resume_from_the_run_dir() {
     fs::remove_dir_all(&root).ok();
 }
 
+#[test]
+fn csv_sinks_are_byte_identical_across_worker_counts() {
+    let root_serial = tmp_root("csv-j1");
+    let root_parallel = tmp_root("csv-j4");
+    fs::remove_dir_all(&root_serial).ok();
+    fs::remove_dir_all(&root_parallel).ok();
+    let exp = tiny_experiment("csv-determinism");
+
+    let _ = Harness::serial().with_out_dir(&root_serial).run(&exp);
+    let _ = Harness::parallel().with_workers(4).with_out_dir(&root_parallel).run(&exp);
+
+    let read_files = |root: &PathBuf| -> Vec<(String, Vec<u8>)> {
+        let dir = root.join("csv-determinism");
+        let mut files: Vec<(String, Vec<u8>)> = fs::read_dir(&dir)
+            .expect("run dir exists")
+            .map(|e| {
+                let e = e.expect("dir entry");
+                let name = e.file_name().into_string().expect("utf-8 file name");
+                let bytes = fs::read(e.path()).expect("result file reads");
+                (name, bytes)
+            })
+            .collect();
+        files.sort();
+        files
+    };
+    let serial_files = read_files(&root_serial);
+    let parallel_files = read_files(&root_parallel);
+
+    assert_eq!(serial_files.len(), exp.jobs().len(), "one CSV per job");
+    let names = |fs: &[(String, Vec<u8>)]| -> Vec<String> {
+        fs.iter().map(|(n, _)| n.clone()).collect()
+    };
+    assert_eq!(names(&serial_files), names(&parallel_files), "same file set");
+    for ((name, a), (_, b)) in serial_files.iter().zip(&parallel_files) {
+        assert!(!a.is_empty(), "{name}: result file is non-empty");
+        assert_eq!(a, b, "{name}: sink bytes must not depend on worker count");
+    }
+
+    fs::remove_dir_all(&root_serial).ok();
+    fs::remove_dir_all(&root_parallel).ok();
+}
+
 /// The ISSUE-level contract on real workloads: the full experiment matrix
 /// at `Scale::Test` gives identical per-job `cycles`/`committed` at 1 and 4
 /// workers. Timing-heavy, so release-only like the figure-shape tests.

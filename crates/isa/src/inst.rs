@@ -473,10 +473,23 @@ impl Inst {
     /// The architectural source registers (excluding `$zero`), deduplicated.
     #[must_use]
     pub fn srcs(&self) -> Vec<Reg> {
-        let mut out: Vec<Reg> = Vec::with_capacity(2);
+        self.src_regs().into_iter().flatten().collect()
+    }
+
+    /// [`Inst::srcs`] without the allocation: no instruction reads more than
+    /// two distinct registers, so the sources come back as a `None`-padded
+    /// pair. This is the form the cycle simulator's dispatch hot path uses.
+    #[must_use]
+    pub fn src_regs(&self) -> [Option<Reg>; 2] {
+        let mut out = [None, None];
         let mut push = |r: Reg| {
-            if !r.is_zero() && !out.contains(&r) {
-                out.push(r);
+            if !r.is_zero() && out[0] != Some(r) && out[1] != Some(r) {
+                if out[0].is_none() {
+                    out[0] = Some(r);
+                } else {
+                    debug_assert!(out[1].is_none(), "an instruction reads at most two registers");
+                    out[1] = Some(r);
+                }
             }
         };
         match *self {

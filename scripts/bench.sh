@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Simulation-throughput benchmark runner (PR 4).
+#
+# Builds the release tree, compiles the criterion benches (compile-check
+# only — the wall-clock numbers come from the dedicated binary below), and
+# runs the `throughput` binary, which writes machine-readable rates to
+# BENCH_pr4.json (override the path with $1).
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pr4.json}"
+
+cargo build --release
+cargo bench --workspace --no-run
+cargo run --release -p svf-bench --bin throughput -- "$out"
+
+echo "benchmark rates written to $out"

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Full local gate: release build, the complete test suite (release mode also
-# enables the timing-heavy figure-shape tests), and warning-free clippy.
+# enables the timing-heavy figure-shape tests), compile-checked benchmarks,
+# and warning-free clippy across every target (benches included).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
-cargo clippy --all-targets -- -D warnings
+cargo test --workspace -q
+cargo test --workspace --release -q
+cargo bench --workspace --no-run
+cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,91 @@
+//! Golden-statistics regression pin for the cycle-level simulator.
+//!
+//! Any hot-path rewrite of the pipeline, the memory hierarchy, or the
+//! functional emulator must leave *simulated behaviour* untouched: same
+//! cycles, same commits, same cache traffic, same squashes — bit-identical
+//! [`SimStats`] down to the last counter. These snapshots were taken from
+//! the pre-optimization simulator (PR 4) and pin that contract for three
+//! workloads under the three stack-engine configurations.
+//!
+//! If a change *intends* to alter simulated behaviour (a model fix, not an
+//! optimization), regenerate with:
+//!
+//! ```text
+//! cargo test --release --test golden_stats -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed rows below, noting the model change in the commit.
+
+use svf_cpu::{CpuConfig, SimStats, Simulator, StackEngine};
+use svf_workloads::Scale;
+
+/// The pinned (workload, config) matrix: three kernels spanning the key
+/// behaviours (shallow/loopy bzip2, call-heavy twolf, pointer-heavy gap).
+const WORKLOADS: &[&str] = &["bzip2", "twolf", "gap"];
+
+fn configs() -> Vec<(&'static str, CpuConfig)> {
+    let base = CpuConfig::wide16();
+    let mut sc = CpuConfig::wide16().with_ports(2, 2);
+    sc.stack_engine = StackEngine::stack_cache_8kb();
+    let mut svf = CpuConfig::wide16().with_ports(2, 2);
+    svf.stack_engine = StackEngine::svf_8kb();
+    vec![("base", base), ("stack-cache", sc), ("svf", svf)]
+}
+
+fn run(workload: &str, cfg: &CpuConfig) -> SimStats {
+    let program = svf_workloads::workload(workload)
+        .unwrap_or_else(|| panic!("workload {workload} exists"))
+        .compile(Scale::Test)
+        .expect("compiles");
+    Simulator::new(cfg.clone()).run(&program, u64::MAX)
+}
+
+/// `(workload, config, full CSV row)` snapshots, in [`svf_cpu::CSV_COLUMNS`]
+/// order. Taken at PR 4 from the pre-optimization simulator.
+const GOLDEN: &[(&str, &str, &str)] = &[
+    ("bzip2", "base", "42148,220954,49411,34019,21429,0,0,0,0,0,0,0,1824,0,10346997,256,2315830,49411,49034,377,0,1508,0,19151,19127,24,0,192,0,401,186,215,0,1720,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0"),
+    ("bzip2", "stack-cache", "39295,220954,49411,34019,21429,0,0,0,0,0,0,34019,1824,0,9615283,256,2134243,15392,15025,367,0,1468,0,19151,19127,24,0,192,0,401,186,215,0,1720,0,0,0,0,0,0,0,0,0,0,0,0,1,34019,34009,10,0,40,0"),
+    ("bzip2", "svf", "29851,220954,49411,34019,21429,0,24637,9382,0,0,0,0,1824,0,6884121,256,1433642,15392,15025,367,0,1468,0,19151,19127,24,0,192,0,391,183,208,0,1664,0,1,34019,33289,730,0,0,0,7070,730,0,0,0,0,0,0,0,0,0"),
+    ("twolf", "base", "90241,598696,140124,88323,46852,0,0,0,0,0,0,0,2280,0,22525418,256,5186407,140124,139728,396,0,1584,0,56832,56802,30,0,240,0,426,196,230,0,1840,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0"),
+    ("twolf", "stack-cache", "80908,598696,140124,88323,46852,0,0,0,0,0,0,88323,2280,0,20129489,256,4617350,51801,51416,385,0,1540,0,56832,56802,30,0,240,0,426,196,230,0,1840,0,0,0,0,0,0,0,0,0,0,0,0,1,88323,88312,11,0,44,0"),
+    ("twolf", "svf", "71374,598696,140124,88323,46852,0,42902,45421,0,0,0,0,2280,0,16970708,256,3863514,51801,51416,385,0,1540,0,56832,56802,30,0,240,0,415,192,223,0,1784,0,1,88323,63030,25293,0,0,0,98362,25293,0,0,0,0,0,0,0,0,0"),
+    ("gap", "base", "33623,246300,30518,12126,14231,0,0,0,0,0,0,0,1596,0,8186282,256,1038478,30518,30490,28,0,112,0,21207,21186,21,0,168,0,49,12,37,0,296,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0"),
+    ("gap", "stack-cache", "33622,246300,30518,12126,14231,0,0,0,0,0,0,12126,1596,0,8188629,256,1039600,18392,18373,19,0,76,0,21207,21186,21,0,168,0,49,12,37,0,296,0,0,0,0,0,0,0,0,0,0,0,0,1,12126,12117,9,0,36,0"),
+    ("gap", "svf", "33618,246300,30518,12126,14231,0,9016,3110,0,0,0,0,1596,0,8184880,256,1038218,18392,18373,19,0,76,0,21207,21186,21,0,168,0,40,9,31,0,248,0,1,12126,10049,2077,0,0,0,6226,2077,0,0,0,0,0,0,0,0,0"),
+];
+
+#[test]
+fn simstats_are_bit_identical_to_golden_snapshots() {
+    assert_eq!(GOLDEN.len(), WORKLOADS.len() * configs().len(), "snapshot matrix is complete");
+    for (workload, config, expected) in GOLDEN {
+        let cfg = configs()
+            .into_iter()
+            .find(|(label, _)| label == config)
+            .unwrap_or_else(|| panic!("config {config} exists"))
+            .1;
+        let actual = run(workload, &cfg);
+        let expected_stats = SimStats::from_csv_row(expected)
+            .unwrap_or_else(|e| panic!("{workload}/{config}: golden row malformed: {e}"));
+        assert_eq!(
+            actual, expected_stats,
+            "{workload}/{config}: simulated behaviour changed.\n\
+             expected: {expected}\n\
+             actual:   {}\n\
+             If this is an intended model change, regenerate via\n\
+             `cargo test --release --test golden_stats -- --ignored --nocapture`.",
+            actual.to_csv_row()
+        );
+    }
+}
+
+/// Regeneration helper: prints the GOLDEN table body for the matrix above.
+#[test]
+#[ignore = "regeneration helper, not a check"]
+fn print_golden_rows() {
+    for w in WORKLOADS {
+        for (label, cfg) in configs() {
+            let s = run(w, &cfg);
+            println!("    (\"{w}\", \"{label}\", \"{}\"),", s.to_csv_row());
+        }
+    }
+}

@@ -433,6 +433,7 @@ mod tests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
+        #[allow(clippy::erasing_op)] // deliberately-trivial arithmetic
         fn the_macro_itself_works(x in 0u32..10, (a, b) in (any::<bool>(), 1i16..4)) {
             prop_assert!(x < 10, "x = {x}");
             prop_assert_eq!(a as i16 * 0 + b, b);
