@@ -120,13 +120,7 @@ impl ProgramBuilder {
             .get("main")
             .map_or(TEXT_BASE, |&i| TEXT_BASE + 4 * i as u64);
         let heap_base = (DATA_BASE + self.data.len() as u64).div_ceil(4096) * 4096;
-        Ok(Program {
-            text,
-            data: self.data.clone(),
-            entry,
-            heap_base,
-            functions: self.functions.clone(),
-        })
+        Ok(Program::from_parts(text, self.data.clone(), entry, heap_base, self.functions.clone()))
     }
 }
 

@@ -494,13 +494,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         .ok_or_else(|| AsmError { line: 0, msg: "no `main` or `_start` label".into() })?;
 
     let heap_base = (DATA_BASE + data.len() as u64).div_ceil(4096) * 4096;
-    Ok(Program {
-        text: insts.iter().map(encode).collect(),
-        data,
-        entry,
-        heap_base,
-        functions,
-    })
+    Ok(Program::from_parts(insts.iter().map(encode).collect(), data, entry, heap_base, functions))
 }
 
 #[cfg(test)]

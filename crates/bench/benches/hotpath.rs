@@ -76,5 +76,29 @@ fn fig5_sweep_point(c: &mut Criterion) {
     });
 }
 
-criterion_group!(hotpath, pipeline_baseline, pipeline_svf, emulator_run, fig5_sweep_point);
+/// The flattened set-associative cache alone: shift/mask indexing,
+/// MRU-first probe, nibble-packed recency, miss/evict/writeback path.
+fn cache_probe(c: &mut Criterion) {
+    c.bench_function("hotpath/cache-probe", |b| {
+        b.iter(|| black_box(svf_bench::cache_probe(black_box(100_000))));
+    });
+}
+
+/// The flattened gshare predictor alone: pattern table, linear-probe BTB,
+/// ring return-address stack.
+fn predictor(c: &mut Criterion) {
+    c.bench_function("hotpath/predictor", |b| {
+        b.iter(|| black_box(svf_bench::predictor_churn(black_box(100_000))));
+    });
+}
+
+criterion_group!(
+    hotpath,
+    pipeline_baseline,
+    pipeline_svf,
+    emulator_run,
+    fig5_sweep_point,
+    cache_probe,
+    predictor
+);
 criterion_main!(hotpath);

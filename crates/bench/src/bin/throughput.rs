@@ -1,17 +1,27 @@
 //! Simulation-throughput tracker: measures the hot paths (functional
-//! emulation, cycle-level pipeline, a fig5-style sweep point) in real units
-//! (Minst/s, Mcyc/s) and writes a JSON report, so the performance
-//! trajectory of the simulator is tracked commit over commit.
+//! emulation, cycle-level pipeline, a fig5-style sweep point, and the
+//! cache/predictor microbenchmarks) in real units (Minst/s, Mcyc/s, …) and
+//! writes a JSON report, so the performance trajectory of the simulator is
+//! tracked commit over commit.
 //!
-//! Usage: `throughput [OUT.json]` (default `BENCH_pr4.json`; see
-//! `scripts/bench.sh`). Wall-clock sampling: each benchmark repeats until
-//! both a minimum time and a minimum repetition count are reached, then
-//! reports the *best* rate observed (least-noise estimate, the same
-//! convention perf-tracking suites use).
+//! Usage: `throughput [OUT.json] [--quick] [--compare BASE.json]`
+//! (default out `BENCH_pr5.json`; see `scripts/bench.sh`).
+//!
+//! * `--quick` — shorter sampling windows: a smoke gate for
+//!   `scripts/check.sh`, not a tracking-quality measurement.
+//! * `--compare BASE.json` — print per-benchmark deltas against a previous
+//!   report and **exit nonzero** if any benchmark present in both runs
+//!   regressed by more than 20%.
+//!
+//! Wall-clock sampling: each benchmark repeats until both a minimum time
+//! and a minimum repetition count are reached, then reports the *best*
+//! rate observed (least-noise estimate, the same convention perf-tracking
+//! suites use).
 
+use std::process::ExitCode;
 use std::time::Instant;
 
-use svf_bench::{simulate, stack_kernel};
+use svf_bench::{cache_probe, predictor_churn, simulate, stack_kernel};
 use svf_cpu::{CpuConfig, StackEngine};
 use svf_emu::Emulator;
 
@@ -51,8 +61,72 @@ fn measure(
     Row { name, unit, work_per_run, best_rate, runs }
 }
 
-fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr4.json".to_string());
+/// Extracts `(name, rate)` pairs from a report this binary wrote (the JSON
+/// is hand-rolled on the way out, so a scan is enough on the way back in).
+fn parse_rates(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("\"name\": \"") {
+        rest = &rest[i + 9..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_string();
+        let Some(j) = rest.find("\"rate\": ") else { break };
+        let tail = &rest[j + 8..];
+        let num_end =
+            tail.find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit()).unwrap_or(tail.len());
+        if let Ok(rate) = tail[..num_end].parse::<f64>() {
+            out.push((name, rate));
+        }
+        rest = tail;
+    }
+    out
+}
+
+/// Per-benchmark deltas vs. a baseline report. Returns the benchmarks
+/// (present in both) that regressed by more than 20%.
+fn compare(rows: &[Row], baseline_path: &str, baseline: &str) -> Vec<String> {
+    let base = parse_rates(baseline);
+    eprintln!("\ncomparison vs {baseline_path}:");
+    let mut regressions = Vec::new();
+    for r in rows {
+        match base.iter().find(|(n, _)| n == r.name) {
+            Some((_, b)) if *b > 0.0 => {
+                let ratio = r.best_rate / b;
+                eprintln!(
+                    "{:<34} {b:9.2} -> {:9.2} {:<8} ({ratio:5.2}x)",
+                    r.name, r.best_rate, r.unit
+                );
+                if ratio < 0.80 {
+                    regressions.push(format!("{} ({ratio:.2}x)", r.name));
+                }
+            }
+            _ => eprintln!("{:<34} {:>9} -> {:9.2} {:<8} (new)", r.name, "-", r.best_rate, r.unit),
+        }
+    }
+    regressions
+}
+
+fn main() -> ExitCode {
+    let mut out = "BENCH_pr5.json".to_string();
+    let mut quick = false;
+    let mut compare_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--compare" => {
+                compare_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--compare needs a BASE.json argument");
+                    std::process::exit(2);
+                }));
+            }
+            _ => out = a,
+        }
+    }
+    // Quick mode: one timed run per benchmark, no minimum window — a smoke
+    // gate (does it run, is it within 20% of terrible), not a measurement.
+    let scale = |secs: f64, runs: usize| if quick { (0.0, 1) } else { (secs, runs) };
+
     let kernel = stack_kernel();
     let gap = svf_bench::compile(svf_workloads::workload("gap").expect("exists"));
     let bzip2 = svf_bench::compile(svf_workloads::workload("bzip2").expect("exists"));
@@ -62,24 +136,32 @@ fn main() {
     let base_cfg = CpuConfig::wide16();
     let sweep_base = CpuConfig::wide16().with_ports(2, 0);
 
+    let (s1, r1) = scale(1.0, 5);
+    let (s2, r2) = scale(1.5, 5);
+    let (s3, r3) = scale(1.5, 3);
+    let (s4, r4) = scale(0.5, 5);
+    let micro_n: u64 = if quick { 200_000 } else { 2_000_000 };
     let rows = [
-        measure("emulator/gap", "Minst/s", 1.0, 5, || {
+        measure("emulator/gap", "Minst/s", s1, r1, || {
             let mut emu = Emulator::new(&gap);
             emu.run(u64::MAX).expect("runs");
             emu.steps()
         }),
-        measure("pipeline-16wide/stack-kernel", "Mcyc/s", 1.5, 5, || {
+        measure("pipeline-16wide/stack-kernel", "Mcyc/s", s2, r2, || {
             simulate(&base_cfg, &kernel).cycles
         }),
-        measure("pipeline-svf-2p2/stack-kernel", "Mcyc/s", 1.5, 5, || {
+        measure("pipeline-svf-2p2/stack-kernel", "Mcyc/s", s2, r2, || {
             simulate(&svf_cfg, &kernel).cycles
         }),
         // A fig5-style sweep point: one workload under the paper's baseline
         // and SVF configurations, exactly what the experiment drivers run
         // thousands of times.
-        measure("sweep/fig5-point-bzip2", "Mcyc/s", 1.5, 3, || {
+        measure("sweep/fig5-point-bzip2", "Mcyc/s", s3, r3, || {
             simulate(&sweep_base, &bzip2).cycles + simulate(&svf_cfg, &bzip2).cycles
         }),
+        // The flattened substructures alone.
+        measure("micro/cache-probe", "Macc/s", s4, r4, || cache_probe(micro_n)),
+        measure("micro/predictor", "Mbr/s", s4, r4, || predictor_churn(micro_n)),
     ];
 
     let mut json = String::from("{\n  \"suite\": \"svf-throughput\",\n  \"benchmarks\": [\n");
@@ -98,4 +180,17 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     eprintln!("wrote {out}");
+
+    if let Some(path) = compare_path {
+        let baseline = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let regressions = compare(&rows, &path, &baseline);
+        if !regressions.is_empty() {
+            eprintln!("\nREGRESSION (>20% below baseline): {}", regressions.join(", "));
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }

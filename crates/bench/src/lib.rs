@@ -91,3 +91,108 @@ pub fn stack_kernel() -> Program {
     )
     .expect("stack kernel compiles")
 }
+
+/// Deterministic splitmix64 step — the microbenchmarks' PRNG (fixed seeds,
+/// no dependencies, identical streams on every run).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Cache-probe microbenchmark: `n` accesses against the Table 2 DL1
+/// geometry — three quarters land in a hot 8 KB working set (the MRU-first
+/// probe path), the rest scatter across 16 MB (the miss / evict /
+/// dirty-writeback path). Returns `n` for rate math.
+///
+/// # Panics
+///
+/// Panics if the stream produced no hits or no writebacks (the mix is
+/// fixed, so both always occur — the assert keeps the work observable).
+#[must_use]
+pub fn cache_probe(n: u64) -> u64 {
+    let mut cache = svf_mem::Cache::new(svf_mem::CacheConfig::dl1_64k());
+    let mut x = 0x5EED_CAFE_F00Du64;
+    let mut hits = 0u64;
+    for _ in 0..n {
+        let r = splitmix64(&mut x);
+        let addr = if r & 3 != 0 { (r >> 8) & 0x1FF8 } else { (r >> 8) & 0xFF_FFF8 };
+        if cache.access(addr, r & 4 != 0).hit {
+            hits += 1;
+        }
+    }
+    assert!(hits > 0 && cache.stats().writebacks > 0, "mix exercises both paths");
+    n
+}
+
+/// Branch-predictor microbenchmark: `n` committed control-flow records
+/// through a 12-bit gshare — biased conditional branches (pattern table),
+/// call/return pairs (return-address stack), and indirect jumps over a
+/// spread of targets (BTB). Returns `n` for rate math.
+///
+/// # Panics
+///
+/// Panics if no prediction came back correct (the stream is strongly
+/// biased, so many always do — the assert keeps the work observable).
+#[must_use]
+pub fn predictor_churn(n: u64) -> u64 {
+    use svf_cpu::{Predictor, PredictorKind};
+    use svf_emu::{ControlFlow, Retired};
+    use svf_isa::{BrOp, CondOp, Inst, JmpKind, Reg};
+
+    fn record(pc: u64, inst: Inst, taken: bool, target: u64) -> Retired {
+        Retired {
+            pc,
+            inst,
+            next_pc: if taken { target } else { pc + 4 },
+            mem: None,
+            control: Some(ControlFlow { taken, target }),
+            sp_update: None,
+            sp_before: 0,
+        }
+    }
+
+    let mut p = Predictor::new(PredictorKind::Gshare { history_bits: 12 });
+    let mut x = 0xB12A_D0C5u64;
+    let mut correct = 0u64;
+    for i in 0..n {
+        let r = splitmix64(&mut x);
+        let ret = match i & 3 {
+            0 | 1 => {
+                // Conditional, biased 3:1 taken, over 256 branch sites.
+                let pc = 0x1000 + (r & 0xFF) * 4;
+                let taken = (r >> 16) & 3 != 0;
+                record(
+                    pc,
+                    Inst::CondBr { op: CondOp::Bne, ra: Reg::T0, disp: 10 },
+                    taken,
+                    if taken { pc + 40 } else { pc + 4 },
+                )
+            }
+            2 => {
+                // Direct call: pushes the return-address stack.
+                let pc = 0x2000 + (r & 0x3F) * 4;
+                record(pc, Inst::Br { op: BrOp::Bsr, ra: Reg::RA, disp: 64 }, true, pc + 260)
+            }
+            _ if r & 1 == 0 => {
+                // Return: pops the RAS (matched against the call above
+                // half the time, cold the other half).
+                let target = 0x2000 + ((r >> 8) & 0x3F) * 4 + 4;
+                record(0x3000, Inst::Jmp { kind: JmpKind::Ret, ra: Reg::ZERO, rb: Reg::RA }, true, target)
+            }
+            _ => {
+                // Indirect jump over 64 sites × a few targets each: BTB.
+                let pc = 0x4000 + ((r >> 4) & 0x3F) * 4;
+                let target = 0x8000 + ((r >> 12) & 0x3) * 0x100;
+                record(pc, Inst::Jmp { kind: JmpKind::Jmp, ra: Reg::ZERO, rb: Reg::T0 }, true, target)
+            }
+        };
+        if p.predict_and_update(&ret) {
+            correct += 1;
+        }
+    }
+    assert!(correct > 0, "biased stream must predict");
+    n
+}

@@ -72,3 +72,4 @@ mod thread_contract {
         send_and_unwind_safe::<Simulator>();
     }
 }
+

@@ -13,21 +13,24 @@
 //! behaviour is pinned bit-identical by `tests/golden_stats.rs` at the
 //! workspace root:
 //!
-//! * Seq numbers are dense and monotone and the RUU window is bounded, so
-//!   all per-entry issue state lives in flat ring buffers indexed by
-//!   `seq & seq_mask` ([`Slot`] and the squash-watch lists) — no hashing
-//!   anywhere on the per-cycle path.
+//! * Seq numbers are dense and monotone, so both machine queues are plain
+//!   integer ranges — `head_seq..ifq_head` is the RUU window and
+//!   `ifq_head..next_seq` the fetch queue — and all per-entry issue state
+//!   lives in flat ring buffers indexed by `seq & seq_mask` ([`Slot`] and
+//!   the squash-watch lists). No queue containers, no hashing.
+//! * The emulator writes each [`Retired`] record in place into a fetch
+//!   ring (`Emulator::step_record`); dispatch reads it exactly once and
+//!   packs everything commit needs into the [`Slot`] (`commit_flags` bits,
+//!   the touched quad-word, the destination register), so the wide records
+//!   are never copied and never touched again after dispatch.
 //! * Readiness is one compare: `ready_at` is `UNISSUED` until issue and
-//!   the completion cycle after, so dependence checks never touch the wide
-//!   [`Retired`] records (those are cold until commit).
-//! * The issue stage scans only not-yet-issued entries (`pending`, kept in
+//!   the completion cycle after.
+//! * The issue stage scans only not-yet-issued entries (`ready`, kept in
 //!   age order by in-place compaction) instead of the whole window.
 //! * The per-quad-word last-writer table ([`AliasTable`]) answers
 //!   "youngest in-flight aliasing store" with one multiply-hash probe.
 //! * Per-cycle scratch (`scratch_squashes`, the watch lists) is hoisted
 //!   into reused buffers; steady-state cycles allocate nothing.
-
-use std::collections::VecDeque;
 
 use svf::StackValueFile;
 use svf_emu::{Emulator, Retired};
@@ -62,8 +65,9 @@ enum ExecKind {
 
 /// Issue-critical state of one in-flight entry, held in a flat ring
 /// indexed by `seq & seq_mask`. Everything the per-cycle issue scan reads
-/// is here, packed; the wide [`Retired`] record stays in the RUU deque and
-/// is only touched at dispatch and commit.
+/// is here, packed — and so is the little that commit needs (the `commit_*`
+/// fields), so the wide [`Retired`] record is read exactly once, at
+/// dispatch, and never stored in the window at all.
 #[derive(Debug, Clone, Copy)]
 struct Slot {
     /// Cycle the entry's result is available: [`UNISSUED`] until issue,
@@ -86,11 +90,19 @@ struct Slot {
     /// changes — resource-blocked entries recheck with one compare instead
     /// of re-walking their dependences every cycle.
     eligible_at: u64,
+    /// Quad-word index of a store's access, for the commit-time alias
+    /// retire (only meaningful when [`CF_STORE`] is set).
+    commit_qw: u64,
     ndeps: u8,
     kind: ExecKind,
     /// A store going through a real queue entry (not morphed): issuing it
     /// may reveal §3.2 collisions with already-issued morphed loads.
     unmorphed_store: bool,
+    /// Commit-time facts, precomputed at dispatch (`CF_*` bits) so commit
+    /// never re-derives them from the wide [`Retired`] record.
+    commit_flags: u8,
+    /// Destination register number, or [`NO_DEST`].
+    commit_dest: u8,
 }
 
 /// `ready_at` value of a dispatched-but-not-issued entry.
@@ -99,16 +111,31 @@ const UNISSUED: u64 = u64::MAX;
 /// `eligible_at` value while some producer is still unissued.
 const ELIGIBLE_UNKNOWN: u64 = u64::MAX;
 
+/// `commit_flags` bits: memory reference / store / `$sp`-based access /
+/// stack-region access / control transfer.
+const CF_MEM: u8 = 1 << 0;
+const CF_STORE: u8 = 1 << 1;
+const CF_SP_BASE: u8 = 1 << 2;
+const CF_STACK: u8 = 1 << 3;
+const CF_CONTROL: u8 = 1 << 4;
+
+/// `commit_dest` value of an instruction with no destination register.
+const NO_DEST: u8 = u8::MAX;
+
 const EMPTY_SLOT: Slot = Slot {
     ready_at: UNISSUED,
     deps: [0; 2],
     forward_from: NO_PRODUCER,
     latency: 0,
     eligible_at: ELIGIBLE_UNKNOWN,
+    commit_qw: 0,
     ndeps: 0,
     kind: ExecKind::Alu,
     unmorphed_store: false,
+    commit_flags: 0,
+    commit_dest: NO_DEST,
 };
+
 
 /// The cycle-level simulator. Construct with a [`CpuConfig`] and call
 /// [`Simulator::run`].
@@ -152,9 +179,18 @@ struct Pipeline<'a> {
     now: u64,
     next_seq: u64,
     head_seq: u64,
-    /// Cold per-entry data (the committed-instruction records), in seq
-    /// order; popped at commit.
-    ruu: VecDeque<Retired>,
+    /// Seq of the next instruction to dispatch. Seqs are dense, so the
+    /// two queue occupancies are plain differences: `head_seq..ifq_head`
+    /// is the RUU window and `ifq_head..next_seq` the fetch queue —
+    /// neither needs a container.
+    ifq_head: u64,
+    /// Fetched-but-not-dispatched records, ring-indexed by
+    /// `seq & ifq_mask`: fetch writes at `next_seq`, dispatch reads at
+    /// `ifq_head`. The wide [`Retired`] record is read once here and
+    /// distilled into the [`Slot`]; nothing downstream touches it again.
+    fetched: Box<[Retired]>,
+    /// Ring mask for `fetched`: IFQ capacity rounded up to a power of two.
+    ifq_mask: u64,
     /// Hot per-entry issue state, ring-indexed by `seq & seq_mask`.
     slots: Box<[Slot]>,
     /// Store seq → morphed loads that issued early against it (§3.2), ring-
@@ -183,7 +219,6 @@ struct Pipeline<'a> {
     /// Reused per-cycle squash-victim list.
     scratch_squashes: Vec<u64>,
     lsq_count: usize,
-    ifq: VecDeque<(u64, Retired)>, // (seq, record)
 
     /// Architectural register → seq of in-flight producer.
     reg_producer: [u64; 32],
@@ -198,6 +233,9 @@ struct Pipeline<'a> {
     decode_block_on: Option<u64>,
     /// Last I-cache line fetched.
     last_fetch_line: u64,
+    /// `log2(il1.line_bytes)` — fetch runs once per instruction, so the
+    /// line split is a precomputed shift, not a division.
+    il1_line_shift: u32,
     /// Instruction stream exhausted (halt or budget).
     stream_done: bool,
     fetch_budget: u64,
@@ -220,6 +258,7 @@ impl<'a> Pipeline<'a> {
             _ => None,
         };
         let ring = cfg.ruu_size.next_power_of_two().max(1);
+        let ifq_ring = cfg.ifq_size.next_power_of_two().max(1);
         Pipeline {
             cfg,
             heap_base: emu.heap_base(),
@@ -233,7 +272,9 @@ impl<'a> Pipeline<'a> {
             now: 0,
             next_seq: 0,
             head_seq: 0,
-            ruu: VecDeque::with_capacity(cfg.ruu_size),
+            ifq_head: 0,
+            fetched: vec![Retired::PLACEHOLDER; ifq_ring].into_boxed_slice(),
+            ifq_mask: ifq_ring as u64 - 1,
             slots: vec![EMPTY_SLOT; ring].into_boxed_slice(),
             watch: vec![Vec::new(); ring].into_boxed_slice(),
             seq_mask: ring as u64 - 1,
@@ -244,13 +285,13 @@ impl<'a> Pipeline<'a> {
             scratch: Vec::with_capacity(cfg.ruu_size),
             scratch_squashes: Vec::new(),
             lsq_count: 0,
-            ifq: VecDeque::with_capacity(cfg.ifq_size),
             reg_producer: [NO_PRODUCER; 32],
             alias: AliasTable::new(),
             fetch_resume_at: 0,
             fetch_blocked_on: None,
             decode_block_on: None,
             last_fetch_line: u64::MAX,
+            il1_line_shift: cfg.hierarchy.il1.line_bytes.trailing_zeros(),
             stream_done: false,
             fetch_budget: 0,
         }
@@ -266,23 +307,24 @@ impl<'a> Pipeline<'a> {
             self.issue();
             self.dispatch();
             self.fetch();
-            let occ = self.ruu.len() as u64;
+            let occ = self.ifq_head - self.head_seq;
             self.stats.ruu_occupancy_sum += occ;
             self.stats.ruu_occupancy_max = self.stats.ruu_occupancy_max.max(occ);
             self.stats.lsq_occupancy_sum += self.lsq_count as u64;
             if self.stats.committed != committed_before {
                 last_commit_cycle = self.now;
             }
-            if self.stream_done && self.ruu.is_empty() && self.ifq.is_empty() {
-                break;
+            if self.stream_done && self.head_seq == self.next_seq {
+                break; // window and fetch queue both drained
             }
             assert!(
                 self.now - last_commit_cycle < 200_000,
-                "pipeline deadlock at cycle {} (head: {:?})",
+                "pipeline deadlock at cycle {} (head seq {}: {:?})",
                 self.now,
-                self.ruu.front().map(|r| {
+                self.head_seq,
+                (self.head_seq < self.ifq_head).then(|| {
                     let s = &self.slots[(self.head_seq & self.seq_mask) as usize];
-                    (r.pc, s.kind, s.ready_at, s.deps, s.ndeps)
+                    (s.kind, s.ready_at, s.deps, s.ndeps)
                 })
             );
         }
@@ -300,42 +342,41 @@ impl<'a> Pipeline<'a> {
     fn commit(&mut self) {
         let mut n = 0;
         while n < self.cfg.width {
-            if self.ruu.is_empty() {
-                break;
+            if self.head_seq == self.ifq_head {
+                break; // window empty
             }
             let sidx = (self.head_seq & self.seq_mask) as usize;
+            let slot = self.slots[sidx];
             // `UNISSUED` is `u64::MAX`, so one compare covers both "not
             // issued" and "not done yet".
-            if self.slots[sidx].ready_at > self.now {
+            if slot.ready_at > self.now {
                 break;
             }
-            let ret = self.ruu.pop_front().expect("checked above");
-            if let Some(m) = ret.mem {
-                self.lsq_count -= 1;
-                // Retire alias-table records that still point at us.
-                if m.is_store {
-                    self.alias.retire(m.addr / 8, self.head_seq, m.base.is_sp());
-                }
+            // Everything below runs off the `commit_*` facts distilled at
+            // dispatch; the wide `Retired` record is long gone.
+            let cf = slot.commit_flags;
+            self.lsq_count -= usize::from(cf & CF_MEM != 0);
+            if cf & CF_STORE != 0 {
+                // Retire alias-table records that still point at us, and
+                // drop any §3.2 watches parked on us (only stores collect
+                // either).
+                self.alias.retire(slot.commit_qw, self.head_seq, cf & CF_SP_BASE != 0);
+                self.watch[sidx].clear();
+            } else {
+                debug_assert!(self.watch[sidx].is_empty(), "watches on a non-store");
             }
-            self.watch[sidx].clear();
             debug_assert!(self.waiters[sidx].is_empty(), "committed with waiters attached");
             // Clear the register producer table where we were the producer.
-            if let Some(d) = ret.inst.dest() {
-                let producer = &mut self.reg_producer[d.number() as usize];
+            if slot.commit_dest != NO_DEST {
+                let producer = &mut self.reg_producer[slot.commit_dest as usize];
                 if *producer == self.head_seq {
                     *producer = NO_PRODUCER;
                 }
             }
             self.stats.committed += 1;
-            if let Some(m) = ret.mem {
-                self.stats.mem_refs += 1;
-                if m.region(self.heap_base).is_stack() {
-                    self.stats.stack_refs += 1;
-                }
-            }
-            if ret.control.is_some() {
-                self.stats.branches += 1;
-            }
+            self.stats.mem_refs += u64::from(cf & CF_MEM != 0);
+            self.stats.stack_refs += u64::from(cf & CF_STACK != 0);
+            self.stats.branches += u64::from(cf & CF_CONTROL != 0);
             self.head_seq += 1;
             n += 1;
         }
@@ -349,7 +390,7 @@ impl<'a> Pipeline<'a> {
         // ring slot (producers are always dispatched before consumers, so
         // the slot is live).
         seq < self.head_seq || {
-            debug_assert!(seq - self.head_seq < self.ruu.len() as u64);
+            debug_assert!(seq < self.ifq_head, "querying a not-yet-dispatched seq");
             self.slots[(seq & self.seq_mask) as usize].ready_at <= self.now
         }
     }
@@ -374,10 +415,8 @@ impl<'a> Pipeline<'a> {
         if !self.wheel[widx].is_empty() {
             let mut bucket = std::mem::take(&mut self.wheel[widx]);
             bucket.sort_unstable();
-            for &s in &bucket {
-                debug_assert_eq!(self.slots[(s & self.seq_mask) as usize].eligible_at, now);
-                self.ready_kinds[self.slots[(s & self.seq_mask) as usize].kind as usize] += 1;
-            }
+            // Merge and count per-kind readiness in the same pass over the
+            // woken entries.
             self.scratch.clear();
             let (mut a, mut b) = (0, 0);
             while a < self.ready.len() && b < bucket.len() {
@@ -385,12 +424,19 @@ impl<'a> Pipeline<'a> {
                     self.scratch.push(self.ready[a]);
                     a += 1;
                 } else {
-                    self.scratch.push(bucket[b]);
+                    let s = bucket[b];
+                    debug_assert_eq!(self.slots[(s & self.seq_mask) as usize].eligible_at, now);
+                    self.ready_kinds[self.slots[(s & self.seq_mask) as usize].kind as usize] += 1;
+                    self.scratch.push(s);
                     b += 1;
                 }
             }
             self.scratch.extend_from_slice(&self.ready[a..]);
-            self.scratch.extend_from_slice(&bucket[b..]);
+            for &s in &bucket[b..] {
+                debug_assert_eq!(self.slots[(s & self.seq_mask) as usize].eligible_at, now);
+                self.ready_kinds[self.slots[(s & self.seq_mask) as usize].kind as usize] += 1;
+                self.scratch.push(s);
+            }
             std::mem::swap(&mut self.ready, &mut self.scratch);
             bucket.clear();
             self.wheel[widx] = bucket; // keep the bucket's capacity
@@ -481,7 +527,7 @@ impl<'a> Pipeline<'a> {
                 let mut victims = std::mem::take(&mut self.watch[sidx]);
                 for &v in &victims {
                     if v >= head
-                        && v - head < self.ruu.len() as u64
+                        && v < self.ifq_head
                         && self.slots[(v & self.seq_mask) as usize].ready_at != UNISSUED
                     {
                         self.scratch_squashes.push(v);
@@ -497,13 +543,13 @@ impl<'a> Pipeline<'a> {
                 self.fetch_resume_at = self.fetch_resume_at.max(resume);
             }
         }
-        // Width or resources exhausted: the rest stays ready.
-        while i < ready.len() {
-            ready[kept] = ready[i];
-            kept += 1;
-            i += 1;
+        // Width or resources exhausted: the rest stays ready — one memmove,
+        // skipped entirely when nothing ahead of the tail issued.
+        let tail = ready.len() - i;
+        if kept != i {
+            ready.copy_within(i.., kept);
         }
-        ready.truncate(kept);
+        ready.truncate(kept + tail);
         // `schedule` during the scan only targets future cycles (a producer
         // finishing at `now + latency` can't ready anyone *this* cycle), so
         // nothing was pushed onto the (taken) ready list behind our back.
@@ -576,7 +622,7 @@ impl<'a> Pipeline<'a> {
 
     fn dispatch(&mut self) {
         for _ in 0..self.cfg.width {
-            if self.ruu.len() >= self.cfg.ruu_size {
+            if (self.ifq_head - self.head_seq) as usize >= self.cfg.ruu_size {
                 break;
             }
             // $sp interlock (§3.1): a non-immediate $sp writer blocks decode
@@ -589,11 +635,17 @@ impl<'a> Pipeline<'a> {
                     break;
                 }
             }
-            let Some(&(seq, ret)) = self.ifq.front() else { break };
+            if self.ifq_head == self.next_seq {
+                break; // fetch queue empty
+            }
+            // The one read of the wide record: everything issue and commit
+            // need is distilled into the slot below.
+            let ret = self.fetched[(self.ifq_head & self.ifq_mask) as usize];
             if ret.mem.is_some() && self.lsq_count >= self.cfg.lsq_size {
                 break;
             }
-            self.ifq.pop_front();
+            let seq = self.ifq_head;
+            self.ifq_head += 1;
             let slot = self.build_slot(seq, &ret);
             if ret.mem.is_some() {
                 self.lsq_count += 1;
@@ -609,7 +661,6 @@ impl<'a> Pipeline<'a> {
             debug_assert!(self.watch[sidx].is_empty(), "watch ring slot was recycled dirty");
             debug_assert!(self.waiters[sidx].is_empty(), "waiter ring slot was recycled dirty");
             self.slots[sidx] = slot;
-            self.ruu.push_back(ret);
             self.schedule(seq);
         }
     }
@@ -632,10 +683,17 @@ impl<'a> Pipeline<'a> {
         let mut kind;
         let mut latency;
         let mut drop_sp_dep = false;
+        let mut commit_flags = if ret.control.is_some() { CF_CONTROL } else { 0 };
+        let mut commit_qw = 0u64;
 
         if let Some(m) = ret.mem {
             let is_stack = m.region(self.heap_base).is_stack();
             let qw = m.addr / 8;
+            commit_flags |= CF_MEM
+                | if m.is_store { CF_STORE } else { 0 }
+                | if m.base.is_sp() { CF_SP_BASE } else { 0 }
+                | if is_stack { CF_STACK } else { 0 };
+            commit_qw = qw;
             // One alias-table probe serves every route below. Recorded seqs
             // can be stale (already committed); filter against the commit
             // head here, once.
@@ -831,9 +889,12 @@ impl<'a> Pipeline<'a> {
             forward_from: forward_from.unwrap_or(NO_PRODUCER),
             latency,
             eligible_at: ELIGIBLE_UNKNOWN,
+            commit_qw,
             ndeps,
             kind,
             unmorphed_store: ret.mem.is_some_and(|m| m.is_store) && !morphed,
+            commit_flags,
+            commit_dest: ret.inst.dest().map_or(NO_DEST, |d| d.number()),
         }
     }
 
@@ -848,32 +909,36 @@ impl<'a> Pipeline<'a> {
             return;
         }
         for _ in 0..self.cfg.width {
-            if self.ifq.len() >= self.cfg.ifq_size {
+            if (self.next_seq - self.ifq_head) as usize >= self.cfg.ifq_size {
                 break;
             }
             if self.emu.is_halted() || self.stats_fetched() >= self.fetch_budget {
                 self.stream_done = true;
                 break;
             }
-            let ret = match self.emu.step() {
-                Ok(r) => r,
-                Err(e) => panic!("functional fault during simulation: {e}"),
-            };
+            let seq = self.next_seq;
+            let fidx = (seq & self.ifq_mask) as usize;
+            // The record is written straight into its ring slot; the reads
+            // below go through the slot (disjoint field borrows).
+            if let Err(e) = self.emu.step_record(&mut self.fetched[fidx]) {
+                panic!("functional fault during simulation: {e}");
+            }
+            let pc = self.fetched[fidx].pc;
+            let control = self.fetched[fidx].control;
             // I-cache: charge once per line.
-            let line = ret.pc / self.cfg.hierarchy.il1.line_bytes;
+            let line = pc >> self.il1_line_shift;
             if line != self.last_fetch_line {
                 self.last_fetch_line = line;
-                let lat = self.hier.inst_fetch(ret.pc);
+                let lat = self.hier.inst_fetch(pc);
                 if lat > self.cfg.hierarchy.il1.hit_latency {
                     self.fetch_resume_at = self.now + lat;
                 }
             }
-            let seq = self.next_seq;
             self.next_seq += 1;
-            let is_control = ret.control.is_some();
-            let taken = ret.control.is_some_and(|c| c.taken);
-            let correct = if is_control { self.predictor.predict_and_update(&ret) } else { true };
-            self.ifq.push_back((seq, ret));
+            let is_control = control.is_some();
+            let taken = control.is_some_and(|c| c.taken);
+            let correct =
+                if is_control { self.predictor.predict_and_update(&self.fetched[fidx]) } else { true };
             if is_control && !correct {
                 self.stats.mispredicts += 1;
                 self.fetch_blocked_on = Some(seq);

@@ -1,6 +1,10 @@
 //! Branch predictors.
-
-use std::collections::HashMap;
+//!
+//! The gshare state is kept flat for the per-branch hot path: the BTB is a
+//! Fibonacci-hashed linear-probe table (same idiom as the pipeline's
+//! alias table) instead of a `HashMap`, and the return-address stack is a
+//! fixed ring instead of a `Vec` that shifted all entries on overflow.
+//! Both are exact-semantics replacements — predictions are identical.
 
 use svf_emu::Retired;
 use svf_isa::Inst;
@@ -11,6 +15,10 @@ use crate::config::PredictorKind;
 /// functional-first, the predictor is asked to *predict and immediately
 /// learn* each committed branch; the return value says whether fetch can
 /// continue down the (correct) path or must stall until the branch resolves.
+// One `Predictor` exists per pipeline and it is consulted on every control
+// instruction; keeping the gshare state inline (rather than boxed) saves a
+// pointer chase on that path at the cost of a large-but-singleton enum.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum Predictor {
     /// Never mispredicts.
@@ -40,16 +48,132 @@ impl Predictor {
     }
 }
 
-/// Gshare with 2-bit saturating counters, a direct-mapped BTB for indirect
-/// jumps, and a return-address stack for `ret`.
+/// Empty-slot key sentinel for the BTB: PCs live in the text segment, so
+/// `u64::MAX` can never be a real key.
+const BTB_EMPTY: u64 = u64::MAX;
+
+/// Fibonacci-hash multiplier (2^64 / φ): spreads the low bits of nearby
+/// branch PCs across the table.
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Flat open-addressed branch-target buffer with exact-map semantics:
+/// capacity is a power of two and doubles past 50% load, so probe chains
+/// stay short and no entry is ever lost (identical predictions to the
+/// `HashMap` this replaced).
+#[derive(Debug)]
+struct Btb {
+    /// `(pc, target)` pairs; `pc == BTB_EMPTY` marks a vacant slot.
+    slots: Box<[(u64, u64)]>,
+    /// `64 - log2(capacity)`: the multiply-shift hash's right shift.
+    shift: u32,
+    len: usize,
+}
+
+impl Btb {
+    fn new() -> Btb {
+        Btb::with_pow2(256)
+    }
+
+    fn with_pow2(cap: usize) -> Btb {
+        debug_assert!(cap.is_power_of_two());
+        Btb {
+            slots: vec![(BTB_EMPTY, 0); cap].into_boxed_slice(),
+            shift: 64 - cap.trailing_zeros(),
+            len: 0,
+        }
+    }
+
+    /// Index of `pc`'s entry, or of the empty slot where it would go.
+    #[inline]
+    fn find(&self, pc: u64) -> usize {
+        let mask = self.slots.len() - 1;
+        let mut i = (pc.wrapping_mul(HASH_MUL) >> self.shift) as usize;
+        loop {
+            let k = self.slots[i].0;
+            if k == pc || k == BTB_EMPTY {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// The recorded target for `pc`, if any.
+    #[inline]
+    fn get(&self, pc: u64) -> Option<u64> {
+        let (k, target) = self.slots[self.find(pc)];
+        (k == pc).then_some(target)
+    }
+
+    /// Records (or replaces) the target for `pc`.
+    #[inline]
+    fn insert(&mut self, pc: u64, target: u64) {
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let i = self.find(pc);
+        if self.slots[i].0 == BTB_EMPTY {
+            self.len += 1;
+        }
+        self.slots[i] = (pc, target);
+    }
+
+    fn grow(&mut self) {
+        let mut bigger = Btb::with_pow2(self.slots.len() * 2);
+        for &(pc, target) in self.slots.iter().filter(|s| s.0 != BTB_EMPTY) {
+            let i = bigger.find(pc);
+            bigger.slots[i] = (pc, target);
+        }
+        bigger.len = self.len;
+        *self = bigger;
+    }
+}
+
+/// Hardware-style return-address stack: a fixed ring that silently
+/// overwrites the oldest entry on overflow — what `Vec::remove(0)` +
+/// `push` modeled, without shifting every entry.
+#[derive(Debug)]
+struct Ras {
+    ring: [u64; Ras::CAP],
+    /// Ring position one past the most recent entry.
+    top: usize,
+    /// Live entries (≤ CAP).
+    len: usize,
+}
+
+impl Ras {
+    const CAP: usize = 32;
+
+    fn new() -> Ras {
+        Ras { ring: [0; Ras::CAP], top: 0, len: 0 }
+    }
+
+    #[inline]
+    fn push(&mut self, ret_addr: u64) {
+        self.ring[self.top] = ret_addr;
+        self.top = (self.top + 1) % Ras::CAP;
+        self.len = (self.len + 1).min(Ras::CAP);
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        self.top = (self.top + Ras::CAP - 1) % Ras::CAP;
+        Some(self.ring[self.top])
+    }
+}
+
+/// Gshare with 2-bit saturating counters, a BTB for indirect jumps, and a
+/// return-address stack for `ret`.
 #[derive(Debug)]
 pub struct Gshare {
     table: Vec<u8>,
     mask: u64,
     history: u64,
-    btb: HashMap<u64, u64>,
-    ras: Vec<u64>,
-    ras_cap: usize,
+    btb: Btb,
+    ras: Ras,
 }
 
 impl Gshare {
@@ -62,9 +186,8 @@ impl Gshare {
             table: vec![2; n], // weakly taken
             mask: (n as u64) - 1,
             history: 0,
-            btb: HashMap::new(),
-            ras: Vec::new(),
-            ras_cap: 32,
+            btb: Btb::new(),
+            ras: Ras::new(),
         }
     }
 
@@ -87,7 +210,7 @@ impl Gshare {
             Inst::Br { .. } => {
                 // Direct unconditional: target known at decode.
                 if r.inst.is_call() {
-                    self.push_ras(r.pc + 4);
+                    self.ras.push(r.pc + 4);
                 }
                 true
             }
@@ -96,22 +219,15 @@ impl Gshare {
                 predicted == Some(ctl.target)
             }
             Inst::Jmp { .. } => {
-                let predicted = self.btb.get(&r.pc).copied();
+                let predicted = self.btb.get(r.pc);
                 self.btb.insert(r.pc, ctl.target);
                 if r.inst.is_call() {
-                    self.push_ras(r.pc + 4);
+                    self.ras.push(r.pc + 4);
                 }
                 predicted == Some(ctl.target)
             }
             _ => true,
         }
-    }
-
-    fn push_ras(&mut self, ret_addr: u64) {
-        if self.ras.len() == self.ras_cap {
-            self.ras.remove(0);
-        }
-        self.ras.push(ret_addr);
     }
 }
 
@@ -193,6 +309,32 @@ mod tests {
         assert!(g.predict_and_update(&ret), "RAS should predict the return");
         // A second return with an empty RAS mispredicts.
         assert!(!g.predict_and_update(&ret));
+    }
+
+    #[test]
+    fn btb_survives_growth_and_collisions() {
+        let mut b = Btb::with_pow2(4);
+        for i in 0..1000u64 {
+            b.insert(0x1000 + i * 4, 0x2000 + i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(b.get(0x1000 + i * 4), Some(0x2000 + i), "pc {i}");
+        }
+        assert_eq!(b.get(0x9998), None);
+        b.insert(0x1000, 0xAAAA);
+        assert_eq!(b.get(0x1000), Some(0xAAAA), "replacement");
+    }
+
+    #[test]
+    fn ras_ring_overflow_drops_oldest() {
+        let mut r = Ras::new();
+        for i in 0..40u64 {
+            r.push(i);
+        }
+        for i in (8..40u64).rev() {
+            assert_eq!(r.pop(), Some(i));
+        }
+        assert_eq!(r.pop(), None, "entries 0..8 were overwritten");
     }
 
     #[test]

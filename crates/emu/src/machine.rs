@@ -3,7 +3,9 @@
 use std::error::Error;
 use std::fmt;
 
-use svf_isa::{decode, Inst, MemOp, Operand, Program, Reg, SysFunc, STACK_BASE, TEXT_BASE};
+use std::sync::Arc;
+
+use svf_isa::{Inst, MemOp, Operand, Program, Reg, SysFunc, STACK_BASE, TEXT_BASE};
 
 use crate::memory::Memory;
 use crate::retired::{ControlFlow, MemAccess, Retired, SpUpdate};
@@ -63,7 +65,7 @@ pub struct Emulator {
     regs: [u64; 32],
     pc: u64,
     mem: Memory,
-    decoded: Vec<Inst>,
+    decoded: Arc<[Inst]>,
     heap_base: u64,
     output: Vec<u8>,
     halted: bool,
@@ -71,8 +73,9 @@ pub struct Emulator {
 }
 
 impl Emulator {
-    /// Loads a program: text is pre-decoded, data copied in, `$sp` set to
-    /// [`STACK_BASE`], and the PC set to the entry point.
+    /// Loads a program: the shared [`Program::decoded`] image is taken by
+    /// reference count (no per-emulator re-decode), data copied in, `$sp`
+    /// set to [`STACK_BASE`], and the PC set to the entry point.
     ///
     /// # Panics
     ///
@@ -80,16 +83,7 @@ impl Emulator {
     /// (assembled programs never do).
     #[must_use]
     pub fn new(program: &Program) -> Emulator {
-        let decoded = program
-            .text
-            .iter()
-            .enumerate()
-            .map(|(i, &w)| {
-                decode(w).unwrap_or_else(|e| {
-                    panic!("undecodable word at text index {i}: {e}")
-                })
-            })
-            .collect();
+        let decoded = program.decoded();
         let mut mem = Memory::new();
         mem.load(program.data_base(), &program.data);
         let mut regs = [0u64; 32];
@@ -173,16 +167,32 @@ impl Emulator {
     /// Returns an [`EmuError`] on bad PCs, misaligned accesses, or when the
     /// machine is already halted.
     pub fn step(&mut self) -> Result<Retired, EmuError> {
-        self.step_impl::<true>().map(|r| r.expect("recording step returns a record"))
+        let mut out = Retired::PLACEHOLDER;
+        self.step_record(&mut out)?;
+        Ok(out)
+    }
+
+    /// Executes one instruction, writing the committed record into `out`
+    /// in place. This is [`Emulator::step`] without the by-value return of
+    /// the wide record — the cycle simulator calls it once per instruction,
+    /// targeting its fetch-queue ring slot directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EmuError`] on bad PCs, misaligned accesses, or when the
+    /// machine is already halted; `out` is untouched on error.
+    #[inline]
+    pub fn step_record(&mut self, out: &mut Retired) -> Result<(), EmuError> {
+        self.step_impl::<true>(out)
     }
 
     /// The fetch-decode-execute core, monomorphized over whether a
     /// [`Retired`] record is materialized. Functional-only callers
     /// ([`Emulator::run`]) use `RECORD = false` and skip assembling the
-    /// per-instruction record entirely; the architectural effects are
-    /// identical either way.
+    /// per-instruction record entirely (`out` is scratch); the
+    /// architectural effects are identical either way.
     #[allow(clippy::too_many_lines)]
-    fn step_impl<const RECORD: bool>(&mut self) -> Result<Option<Retired>, EmuError> {
+    fn step_impl<const RECORD: bool>(&mut self, out: &mut Retired) -> Result<(), EmuError> {
         if self.halted {
             return Err(EmuError::Halted);
         }
@@ -281,16 +291,16 @@ impl Emulator {
 
         self.pc = next_pc;
         self.steps += 1;
-        if !RECORD {
-            return Ok(None);
+        if RECORD {
+            let sp_after = self.reg(Reg::SP);
+            let sp_update = (sp_after != sp_before || inst.writes_sp()).then(|| SpUpdate {
+                old_sp: sp_before,
+                new_sp: sp_after,
+                immediate: inst.sp_immediate_adjust().is_some(),
+            });
+            *out = Retired { pc, inst, next_pc, mem: mem_access, control, sp_update, sp_before };
         }
-        let sp_after = self.reg(Reg::SP);
-        let sp_update = (sp_after != sp_before || inst.writes_sp()).then(|| SpUpdate {
-            old_sp: sp_before,
-            new_sp: sp_after,
-            immediate: inst.sp_immediate_adjust().is_some(),
-        });
-        Ok(Some(Retired { pc, inst, next_pc, mem: mem_access, control, sp_update, sp_before }))
+        Ok(())
     }
 
     /// Runs until `halt` or until `max_steps` more instructions have
@@ -300,11 +310,12 @@ impl Emulator {
     ///
     /// Propagates any [`EmuError`] from [`Emulator::step`].
     pub fn run(&mut self, max_steps: u64) -> Result<RunOutcome, EmuError> {
+        let mut scratch = Retired::PLACEHOLDER;
         for _ in 0..max_steps {
             if self.halted {
                 return Ok(RunOutcome::Halted);
             }
-            self.step_impl::<false>()?;
+            self.step_impl::<false>(&mut scratch)?;
         }
         Ok(if self.halted { RunOutcome::Halted } else { RunOutcome::StepLimit })
     }

@@ -2,7 +2,7 @@
 //! emulator and every downstream consumer (timing model, classifiers,
 //! traffic simulators).
 
-use svf_isa::{Inst, MemRegion, Reg};
+use svf_isa::{AluOp, Inst, MemRegion, Operand, Reg};
 
 /// How a memory reference addressed the stack — the paper's Figure 1
 /// categories. References outside the stack region are [`AccessMethod::Gpr`]
@@ -101,6 +101,24 @@ pub struct Retired {
 }
 
 impl Retired {
+    /// A valid record with arbitrary content: ring-buffer fill for
+    /// consumers that overwrite records in place (and the scratch target of
+    /// the record-free emulator step).
+    pub const PLACEHOLDER: Retired = Retired {
+        pc: 0,
+        inst: Inst::Op {
+            op: AluOp::Addq,
+            ra: Reg::ZERO,
+            rb: Operand::Reg(Reg::ZERO),
+            rc: Reg::ZERO,
+        },
+        next_pc: 0,
+        mem: None,
+        control: None,
+        sp_update: None,
+        sp_before: 0,
+    };
+
     /// Whether this retired instruction referenced the stack region.
     #[must_use]
     pub fn is_stack_ref(&self, heap_base: u64) -> bool {

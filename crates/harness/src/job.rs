@@ -7,9 +7,13 @@ use svf_cpu::{CpuConfig, SimStats, Simulator};
 use svf_isa::Program;
 use svf_workloads::{workload, Scale};
 
-/// How a job obtains its program. Jobs are self-contained — each one
-/// compiles its own program on the worker thread — so a failing or
-/// panicking compilation is isolated exactly like a diverging simulation.
+/// How a job obtains its program. Compilation is **memoized process-wide**
+/// (see [`crate::compile_count`]): the first job to need a spec compiles it
+/// on its worker thread and every other job sharing that spec — across
+/// configurations, workers, and experiments — reuses the same
+/// `Arc<Program>`. A failing or panicking compilation poisons only that
+/// spec's cache entry: every sharing job fails with the same message, and
+/// unrelated jobs are untouched, exactly like a diverging simulation.
 #[derive(Debug, Clone)]
 pub enum ProgramSpec {
     /// A registered benchmark kernel, optionally with a named input
@@ -70,7 +74,9 @@ impl ProgramSpec {
         }
     }
 
-    /// Compiles the program this spec describes.
+    /// Compiles the program this spec describes, unconditionally (no
+    /// memoization — [`Job::execute`] goes through the process-global cache
+    /// instead; use this for one-off compiles that must not be retained).
     ///
     /// # Errors
     ///
@@ -123,14 +129,16 @@ impl Job {
         format!("{:04}-{}-{}", self.id, slug(&self.program.label()), slug(&self.config_label))
     }
 
-    /// Compiles and simulates this job to completion.
+    /// Compiles (through the process-global memo cache) and simulates this
+    /// job to completion.
     ///
     /// # Errors
     ///
-    /// Propagates compilation errors as strings (simulation itself reports
+    /// Propagates compilation errors as strings — identical for every job
+    /// sharing the failing [`ProgramSpec`] (simulation itself reports
     /// divergence by panicking, which the harness catches).
     pub fn execute(&self) -> Result<SimStats, String> {
-        let program = self.program.compile()?;
+        let program = crate::memo::compile_shared(&self.program)?;
         Ok(Simulator::new(self.config.clone()).run(&program, u64::MAX))
     }
 }

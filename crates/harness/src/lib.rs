@@ -8,9 +8,15 @@
 //!    of [`Job`]s (`{program, config_label, config}` units, ids in
 //!    definition order).
 //! 2. **Execution** — a [`Harness`] drains the job list across
-//!    `std::thread` workers fed by a shared queue. Each job runs under
+//!    `std::thread` workers fed by a shared queue. Program compilation is
+//!    **memoized process-wide**: the first job needing a [`ProgramSpec`]
+//!    compiles it, every other job sharing the spec reuses the same
+//!    `Arc<Program>` — a C-config × W-workload matrix performs W
+//!    compilations, not C·W (see [`compile_count`]). Each job runs under
 //!    `catch_unwind`, so one diverging simulation reports as
-//!    [`JobOutcome::Failed`] instead of killing the run.
+//!    [`JobOutcome::Failed`] instead of killing the run; a failing or
+//!    panicking *compile* poisons only its cache entry, failing exactly
+//!    the jobs that share the spec, all with the same message.
 //! 3. **Reassembly** — results come back in job-id order, making parallel
 //!    output bit-identical to serial output (every simulation is itself
 //!    deterministic).
@@ -48,6 +54,7 @@
 
 mod experiment;
 mod job;
+mod memo;
 mod pool;
 mod progress;
 mod sink;
@@ -63,6 +70,7 @@ use svf_cpu::SimStats;
 
 pub use experiment::Experiment;
 pub use job::{Job, JobOutcome, JobReport, ProgramSpec};
+pub use memo::compile_count;
 pub use pool::parallel_map;
 pub use sink::RunDir;
 

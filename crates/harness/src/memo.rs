@@ -1,0 +1,138 @@
+//! Cross-job program memoization.
+//!
+//! A C-configuration × W-workload experiment matrix needs W distinct
+//! programs but defines C·W jobs; before this cache every job compiled its
+//! own program on the worker thread, so each workload was compiled C times.
+//! The cache is **process-global** (experiments within one CLI invocation
+//! share it) and keyed on full [`ProgramSpec`] identity, handing out
+//! [`Arc<Program>`] so the (also shared, see `Program::decoded`) image is
+//! built exactly once per distinct spec.
+//!
+//! # Failure isolation
+//!
+//! A failing or panicking compilation must fail **only the jobs that need
+//! that program** — not the worker pool. Each cache entry is an
+//! `Arc<OnceLock<Result<…>>>` cell: the winning thread compiles inside
+//! `get_or_init` with the panic caught and stored as the `Err` value
+//! (poisoned-entry semantics). Every sharer — concurrent or later — then
+//! observes the same `Err` with the same message, exactly as if it had
+//! compiled the spec itself, and the cache's own mutex is never poisoned.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use svf_isa::Program;
+use svf_workloads::Scale;
+
+use crate::job::ProgramSpec;
+use crate::pool::panic_message;
+
+/// Owned mirror of [`ProgramSpec`]'s identity, hashable for the cache map.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Workload { name: String, input: Option<String>, scale: Scale },
+    Source { label: String, source: String, regalloc: bool },
+}
+
+fn key(spec: &ProgramSpec) -> Key {
+    match spec {
+        ProgramSpec::Workload { name, input, scale } => {
+            Key::Workload { name: name.clone(), input: input.clone(), scale: *scale }
+        }
+        ProgramSpec::Source { label, source, regalloc } => {
+            Key::Source { label: label.clone(), source: source.clone(), regalloc: *regalloc }
+        }
+    }
+}
+
+/// One cache cell: settled exactly once, shared by every job with the spec.
+type Slot = Arc<OnceLock<Result<Arc<Program>, String>>>;
+
+static CACHE: OnceLock<Mutex<HashMap<Key, Slot>>> = OnceLock::new();
+
+/// Count of actual MiniC compilations performed through the cache — the
+/// test hook asserting that a C×W matrix compiles each workload once.
+static COMPILES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of compilations the memo cache has actually performed in this
+/// process (cache hits don't count). Observability/test hook: a
+/// C-configuration × W-workload matrix must advance this by exactly W.
+#[must_use]
+pub fn compile_count() -> u64 {
+    COMPILES.load(Ordering::Relaxed)
+}
+
+/// Compiles `spec` through the process-global cache.
+///
+/// The mutex guards only the slot lookup — compilation itself runs outside
+/// it, in the slot's `get_or_init`, so distinct specs compile in parallel
+/// and a panic cannot poison the map.
+///
+/// # Errors
+///
+/// Compiler errors and compile-time panics are returned as strings, stored
+/// in the entry, and repeated verbatim to every sharer of the spec.
+pub(crate) fn compile_shared(spec: &ProgramSpec) -> Result<Arc<Program>, String> {
+    let slot = {
+        let mut map = CACHE.get_or_init(Mutex::default).lock().expect("memo cache mutex");
+        Arc::clone(map.entry(key(spec)).or_default())
+    };
+    slot.get_or_init(|| {
+        COMPILES.fetch_add(1, Ordering::Relaxed);
+        match catch_unwind(AssertUnwindSafe(|| spec.compile())) {
+            Ok(Ok(program)) => Ok(Arc::new(program)),
+            Ok(Err(e)) => Err(e),
+            Err(payload) => Err(panic_message(payload.as_ref())),
+        }
+    })
+    .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Sources unique to this module: the cache is process-global and cargo
+    // runs test threads concurrently, so shared fixtures would make the
+    // compile-count assertions racy.
+
+    #[test]
+    fn same_spec_compiles_once_and_shares_the_image() {
+        let spec = ProgramSpec::source(
+            "memo-unit-share",
+            "int main() { print(41 + 1); return 0; }",
+        );
+        let before = compile_count();
+        let a = compile_shared(&spec).expect("compiles");
+        let b = compile_shared(&spec).expect("compiles");
+        assert!(Arc::ptr_eq(&a, &b), "one image, shared");
+        assert_eq!(compile_count() - before, 1, "second call was a cache hit");
+    }
+
+    #[test]
+    fn failed_compile_is_poisoned_not_retried() {
+        let spec = ProgramSpec::source("memo-unit-broken", "int main( {");
+        let before = compile_count();
+        let e1 = compile_shared(&spec).expect_err("must fail");
+        let e2 = compile_shared(&spec).expect_err("must fail again");
+        assert_eq!(e1, e2, "sharers observe the identical message");
+        assert_eq!(compile_count() - before, 1, "failure is cached, not retried");
+    }
+
+    #[test]
+    fn distinct_specs_get_distinct_entries() {
+        let a = compile_shared(&ProgramSpec::source(
+            "memo-unit-a",
+            "int main() { print(1); return 0; }",
+        ))
+        .expect("compiles");
+        let b = compile_shared(&ProgramSpec::source(
+            "memo-unit-b",
+            "int main() { print(2); return 0; }",
+        ))
+        .expect("compiles");
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+}

@@ -87,6 +87,31 @@ fn failing_job_is_isolated_from_siblings() {
 }
 
 #[test]
+fn shared_failing_spec_fails_every_sharing_job_identically() {
+    // One broken spec under three configurations: the memoized compile is
+    // attempted once, the poisoned entry fails all three sharers with the
+    // very same message, and the unrelated healthy job is untouched.
+    let broken = ProgramSpec::source("shared-broken", "int main( {");
+    let mut exp = Experiment::new("shared-failure");
+    for (label, cfg) in [
+        ("4-wide", CpuConfig::wide4()),
+        ("8-wide", CpuConfig::wide8()),
+        ("16-wide", CpuConfig::wide16()),
+    ] {
+        exp.push(broken.clone(), label, cfg);
+    }
+    exp.push(ProgramSpec::source("shared-healthy", TINY), "4-wide", CpuConfig::wide4());
+    let report = Harness::parallel().with_workers(4).run(&exp);
+    let msgs: Vec<&str> = report.jobs[..3]
+        .iter()
+        .map(|j| j.outcome.failure().unwrap_or_else(|| panic!("{} must fail", j.key)))
+        .collect();
+    assert!(msgs[0].contains("shared-broken"), "message names the program: {}", msgs[0]);
+    assert!(msgs.windows(2).all(|w| w[0] == w[1]), "identical message for every sharer: {msgs:?}");
+    assert!(report.jobs[3].outcome.stats().is_some(), "unrelated job completes");
+}
+
+#[test]
 fn panicking_simulation_reports_failed() {
     // A zero-width machine can never commit, so the pipeline's deadlock
     // assertion fires mid-simulation; the harness must catch the panic and

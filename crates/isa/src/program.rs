@@ -2,8 +2,10 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use crate::encoding::decode;
+use crate::inst::Inst;
 use crate::layout::{DATA_BASE, TEXT_BASE};
 
 /// A symbol-table entry: a label and the address it resolved to.
@@ -19,7 +21,7 @@ pub struct Symbol {
 ///
 /// Produced by the `svf-asm` assembler (usually from `svf-cc` output) and
 /// consumed by the `svf-emu` functional emulator.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Default)]
 pub struct Program {
     /// Encoded instruction words, laid out from [`TEXT_BASE`].
     pub text: Vec<u32>,
@@ -31,6 +33,34 @@ pub struct Program {
     pub heap_base: u64,
     /// Function symbols (sorted by address) for profiling and disassembly.
     pub functions: BTreeMap<u64, String>,
+    /// Lazily-initialized shared decode of `text` — see [`Program::decoded`].
+    decoded: OnceLock<Arc<[Inst]>>,
+}
+
+impl Clone for Program {
+    fn clone(&self) -> Program {
+        // The decode cache is not carried over: a clone's pub fields may
+        // still be mutated (the assembler builds images incrementally), and
+        // the cache is only valid for frozen text.
+        Program {
+            text: self.text.clone(),
+            data: self.data.clone(),
+            entry: self.entry,
+            heap_base: self.heap_base,
+            functions: self.functions.clone(),
+            decoded: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Program) -> bool {
+        self.text == other.text
+            && self.data == other.data
+            && self.entry == other.entry
+            && self.heap_base == other.heap_base
+            && self.functions == other.functions
+    }
 }
 
 impl Program {
@@ -38,6 +68,45 @@ impl Program {
     #[must_use]
     pub fn new() -> Program {
         Program { entry: TEXT_BASE, heap_base: DATA_BASE, ..Program::default() }
+    }
+
+    /// Builds a linked image from its parts (the assembler's exit point).
+    #[must_use]
+    pub fn from_parts(
+        text: Vec<u32>,
+        data: Vec<u8>,
+        entry: u64,
+        heap_base: u64,
+        functions: BTreeMap<u64, String>,
+    ) -> Program {
+        Program { text, data, entry, heap_base, functions, decoded: OnceLock::new() }
+    }
+
+    /// The decoded text segment: decoded **once per program image** on first
+    /// use and shared (`Arc`) by every consumer — the functional emulator,
+    /// the pipeline front-end, the disassembler-driven tools. Index `i`
+    /// holds the instruction at `TEXT_BASE + 4*i`.
+    ///
+    /// The text must be frozen before the first call; mutating `text`
+    /// afterwards leaves the cache stale (assembled images are never
+    /// mutated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the text contains an undecodable word (assembled programs
+    /// never do).
+    #[must_use]
+    pub fn decoded(&self) -> Arc<[Inst]> {
+        Arc::clone(self.decoded.get_or_init(|| {
+            self.text
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| {
+                    decode(w)
+                        .unwrap_or_else(|e| panic!("undecodable word at text index {i}: {e}"))
+                })
+                .collect()
+        }))
     }
 
     /// Base address of the text segment.
@@ -146,5 +215,18 @@ mod tests {
     #[test]
     fn display_nonempty() {
         assert!(!Program::new().to_string().is_empty());
+    }
+
+    #[test]
+    fn decoded_is_shared_and_cleared_on_clone() {
+        let mut p = Program::new();
+        p.text.push(encode(&Inst::Sys { func: SysFunc::Halt }));
+        let d1 = p.decoded();
+        let d2 = p.decoded();
+        assert!(Arc::ptr_eq(&d1, &d2), "decoded once per image");
+        assert_eq!(&*d1, &[Inst::Sys { func: SysFunc::Halt }]);
+        let c = p.clone();
+        assert_eq!(c, p, "decode cache is invisible to equality");
+        assert!(!Arc::ptr_eq(&d1, &c.decoded()), "clone re-decodes");
     }
 }

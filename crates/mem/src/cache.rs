@@ -1,4 +1,26 @@
 //! Set-associative write-back cache model.
+//!
+//! # Hot-path layout
+//!
+//! The model sits on the simulator's per-instruction path (one to three
+//! probes per committed memory reference), so its state is flat and its
+//! per-access arithmetic is shift/mask only:
+//!
+//! * All lines live in **one contiguous boxed slice**, set-major
+//!   (`lines[set * assoc + way]`) — no per-set `Vec`, no pointer chasing.
+//! * Set index and tag come from **precomputed shifts/masks** (the
+//!   geometry is asserted power-of-two at construction), not division.
+//! * Recency is a **per-set nibble-packed way ordering** (`order[set]`,
+//!   MRU in the low nibble). A hit moves one nibble to the front; a miss
+//!   reads the LRU way from the top nibble — no stamped scan over the
+//!   ways, and the probe itself walks ways MRU-first, so loops and other
+//!   high-locality streams usually match on the first compare.
+//!
+//! The replacement decisions, [`AccessOutcome`]s and [`TrafficStats`] are
+//! bit-identical to the naive stamped `Vec<Vec<Line>>` model this replaced:
+//! `tests/golden_stats.rs` (workspace root) pins whole-simulation counters
+//! and `tests/cache_model.rs` (this crate) checks it against a retained
+//! naive reference over arbitrary access streams and geometries.
 
 use crate::stats::TrafficStats;
 
@@ -48,12 +70,13 @@ impl CacheConfig {
     }
 }
 
+/// One way of one set. Validity is positional: ways `0..valid_count[set]`
+/// are valid (fills allocate ways in index order and only `flush`
+/// invalidates, so the valid ways of a set are always a prefix).
 #[derive(Debug, Clone, Copy, Default)]
 struct Line {
     tag: u64,
-    valid: bool,
     dirty: bool,
-    lru: u64, // last-use stamp
 }
 
 /// Result of a cache probe.
@@ -65,13 +88,36 @@ pub struct AccessOutcome {
     pub writeback: bool,
 }
 
+/// Removes the nibble at `pos` from the packed way order and reinserts
+/// `way` at the front (the MRU position). Nibbles above `pos` keep their
+/// place; nibbles below shift up by one.
+#[inline]
+fn move_to_front(order: u64, pos: u32, way: u64) -> u64 {
+    let below = (1u64 << (4 * pos)) - 1;
+    (order & !(below | (0xF << (4 * pos)))) | ((order & below) << 4) | way
+}
+
 /// A set-associative, write-back, write-allocate cache with true-LRU
 /// replacement. Tags only (no data — the functional emulator owns values).
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
-    stamp: u64,
+    /// All lines, set-major: `lines[set * assoc + way]`.
+    lines: Box<[Line]>,
+    /// Per-set recency: way indices packed one nibble each, MRU in the low
+    /// nibble, covering the set's `valid_count` valid ways.
+    order: Box<[u64]>,
+    /// Per-set count of valid ways (valid ways are the prefix `0..count`).
+    valid_count: Box<[u8]>,
+    /// `log2(line_bytes)`.
+    line_shift: u32,
+    /// `num_sets - 1`.
+    set_mask: u64,
+    /// `log2(num_sets)`.
+    set_shift: u32,
+    assoc: u32,
+    /// Quad-words per line, precomputed.
+    line_qw: u64,
     stats: TrafficStats,
 }
 
@@ -81,16 +127,30 @@ impl Cache {
     /// # Panics
     ///
     /// Panics if the geometry is not a power-of-two layout with at least one
-    /// set.
+    /// set, or if the associativity is outside `1..=16` (the packed
+    /// recency ordering holds one nibble per way).
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Cache {
         let sets = cfg.num_sets();
         assert!(sets > 0 && sets.is_power_of_two(), "bad cache geometry for {}", cfg.name);
         assert!(cfg.line_bytes >= 8 && cfg.line_bytes.is_power_of_two());
+        assert!(
+            (1..=16).contains(&cfg.assoc),
+            "associativity {} outside 1..=16 for {}",
+            cfg.assoc,
+            cfg.name
+        );
         Cache {
-            sets: vec![vec![Line::default(); cfg.assoc as usize]; sets as usize],
+            lines: vec![Line::default(); (sets * u64::from(cfg.assoc)) as usize]
+                .into_boxed_slice(),
+            order: vec![0u64; sets as usize].into_boxed_slice(),
+            valid_count: vec![0u8; sets as usize].into_boxed_slice(),
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+            set_shift: sets.trailing_zeros(),
+            assoc: cfg.assoc,
+            line_qw: cfg.line_bytes / 8,
             cfg,
-            stamp: 0,
             stats: TrafficStats::default(),
         }
     }
@@ -116,43 +176,62 @@ impl Cache {
     /// Quad-words per line (fill/writeback granularity).
     #[must_use]
     pub fn line_qw(&self) -> u64 {
-        self.cfg.line_bytes / 8
+        self.line_qw
     }
 
-    fn index_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.cfg.line_bytes;
-        let sets = self.sets.len() as u64;
-        ((line % sets) as usize, line / sets)
+    #[inline]
+    fn set_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        ((line & self.set_mask) as usize, line >> self.set_shift)
     }
 
     /// Probes the cache, allocating on miss (write-allocate for stores).
     ///
     /// On a miss the LRU way is evicted; if dirty, the writeback is counted
     /// (`qw_out += line_qw`), and the fill is counted (`qw_in += line_qw`).
+    #[inline]
     pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
-        self.stamp += 1;
         self.stats.accesses += 1;
-        let (set_idx, tag) = self.index_tag(addr);
-        let line_qw = self.line_qw();
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.lru = self.stamp;
-            line.dirty |= is_write;
-            self.stats.hits += 1;
-            return AccessOutcome { hit: true, writeback: false };
+        let (set, tag) = self.set_tag(addr);
+        let base = set * self.assoc as usize;
+        let order = self.order[set];
+        let nvalid = u32::from(self.valid_count[set]);
+        // Probe MRU-first: the vast majority of hits match the low nibble.
+        let mut o = order;
+        for pos in 0..nvalid {
+            let way = (o & 0xF) as usize;
+            o >>= 4;
+            let line = &mut self.lines[base + way];
+            if line.tag == tag {
+                line.dirty |= is_write;
+                if pos != 0 {
+                    self.order[set] = move_to_front(order, pos, way as u64);
+                }
+                self.stats.hits += 1;
+                return AccessOutcome { hit: true, writeback: false };
+            }
         }
         self.stats.misses += 1;
-        let victim = set
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
-            .expect("associativity >= 1");
-        let writeback = victim.valid && victim.dirty;
-        if writeback {
-            self.stats.writebacks += 1;
-            self.stats.qw_out += line_qw;
-        }
-        *victim = Line { tag, valid: true, dirty: is_write, lru: self.stamp };
-        self.stats.qw_in += line_qw;
+        let (way, writeback) = if nvalid < self.assoc {
+            // Fill a fresh way (index order keeps valid ways a prefix) and
+            // push it onto the front of the recency order.
+            self.valid_count[set] = (nvalid + 1) as u8;
+            self.order[set] = (order << 4) | u64::from(nvalid);
+            (nvalid as usize, false)
+        } else {
+            // Evict the LRU way: the top live nibble of the packed order.
+            let lru_pos = self.assoc - 1;
+            let way = ((order >> (4 * lru_pos)) & 0xF) as usize;
+            let dirty = self.lines[base + way].dirty;
+            if dirty {
+                self.stats.writebacks += 1;
+                self.stats.qw_out += self.line_qw;
+            }
+            self.order[set] = move_to_front(order, lru_pos, way as u64);
+            (way, dirty)
+        };
+        self.lines[base + way] = Line { tag, dirty: is_write };
+        self.stats.qw_in += self.line_qw;
         AccessOutcome { hit: false, writeback }
     }
 
@@ -160,8 +239,9 @@ impl Cache {
     /// diagnostics).
     #[must_use]
     pub fn contains(&self, addr: u64) -> bool {
-        let (set_idx, tag) = self.index_tag(addr);
-        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+        let (set, tag) = self.set_tag(addr);
+        let base = set * self.assoc as usize;
+        self.lines[base..base + self.valid_count[set] as usize].iter().any(|l| l.tag == tag)
     }
 
     /// Writes back and invalidates everything (context switch), returning
@@ -169,15 +249,18 @@ impl Cache {
     /// A conventional cache must write whole dirty lines.
     pub fn flush(&mut self) -> u64 {
         let mut bytes = 0;
-        for set in &mut self.sets {
-            for line in set.iter_mut() {
-                if line.valid && line.dirty {
+        for set in 0..self.order.len() {
+            let base = set * self.assoc as usize;
+            for line in &mut self.lines[base..base + self.valid_count[set] as usize] {
+                if line.dirty {
                     bytes += self.cfg.line_bytes;
                     self.stats.writebacks += 1;
-                    self.stats.qw_out += self.cfg.line_bytes / 8;
+                    self.stats.qw_out += self.line_qw;
                 }
                 *line = Line::default();
             }
+            self.order[set] = 0;
+            self.valid_count[set] = 0;
         }
         bytes
     }
@@ -286,5 +369,32 @@ mod tests {
         c.access(0x100, false);
         assert!(!c.contains(0x00));
         assert!(c.contains(0x80) && c.contains(0x100));
+    }
+
+    #[test]
+    fn full_associativity_order_rotates() {
+        // A fully-nibble-packed 16-way set: touch all ways, then re-touch
+        // them in reverse and check every eviction hits the true LRU.
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 16 * 32,
+            assoc: 16,
+            line_bytes: 32,
+            hit_latency: 1,
+            name: "assoc16",
+        });
+        for i in 0..16u64 {
+            assert!(!c.access(i * 32, false).hit);
+        }
+        for i in (0..16u64).rev() {
+            assert!(c.access(i * 32, false).hit, "way {i} still resident");
+        }
+        // LRU is now line 15 (touched first in the reverse pass ordering:
+        // 15 was re-touched first, so the LRU is the *most recently* warmed
+        // order's tail — line 15).
+        assert!(!c.access(16 * 32, false).hit);
+        assert!(!c.contains(15 * 32), "true LRU evicted");
+        for i in 0..15u64 {
+            assert!(c.contains(i * 32), "line {i} survives");
+        }
     }
 }

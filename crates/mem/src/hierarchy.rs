@@ -53,6 +53,7 @@ impl Hierarchy {
     }
 
     /// Latency of an instruction fetch.
+    #[inline]
     pub fn inst_fetch(&mut self, addr: u64) -> u64 {
         let out = self.il1.access(addr, false);
         if out.hit {
@@ -63,6 +64,7 @@ impl Hierarchy {
     }
 
     /// Latency of a data access through the L1 (loads and stores).
+    #[inline]
     pub fn data_access(&mut self, addr: u64, is_write: bool) -> u64 {
         let out = self.dl1.access(addr, is_write);
         if out.hit {
@@ -74,6 +76,7 @@ impl Hierarchy {
 
     /// Latency of an access that bypasses the L1 and goes straight to the L2
     /// (stack-cache misses, per the paper's §5.3.2 traffic model).
+    #[inline]
     pub fn l2_access(&mut self, addr: u64, is_write: bool) -> u64 {
         let out = self.l2.access(addr, is_write);
         if out.hit {

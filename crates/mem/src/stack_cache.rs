@@ -51,10 +51,22 @@ struct Line {
 }
 
 /// The direct-mapped decoupled stack cache.
+///
+/// Like [`crate::Cache`], the state is one contiguous boxed slice and the
+/// index/tag split is precomputed shift/mask — this sits on the simulator's
+/// per-stack-reference hot path.
 #[derive(Debug, Clone)]
 pub struct StackCache {
     cfg: StackCacheConfig,
-    lines: Vec<Line>,
+    lines: Box<[Line]>,
+    /// `log2(line_bytes)`.
+    line_shift: u32,
+    /// `num_lines - 1`.
+    index_mask: u64,
+    /// `log2(num_lines)`.
+    index_shift: u32,
+    /// Quad-words per line, precomputed.
+    line_qw: u64,
     stats: TrafficStats,
 }
 
@@ -69,7 +81,15 @@ impl StackCache {
         let n = cfg.size_bytes / cfg.line_bytes;
         assert!(n > 0 && n.is_power_of_two(), "bad stack cache geometry");
         assert!(cfg.line_bytes >= 8 && cfg.line_bytes.is_power_of_two());
-        StackCache { cfg, lines: vec![Line::default(); n as usize], stats: TrafficStats::default() }
+        StackCache {
+            lines: vec![Line::default(); n as usize].into_boxed_slice(),
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            index_mask: n - 1,
+            index_shift: n.trailing_zeros(),
+            line_qw: cfg.line_bytes / 8,
+            cfg,
+            stats: TrafficStats::default(),
+        }
     }
 
     /// The configuration.
@@ -93,21 +113,22 @@ impl StackCache {
     /// Quad-words per line.
     #[must_use]
     pub fn line_qw(&self) -> u64 {
-        self.cfg.line_bytes / 8
+        self.line_qw
     }
 
+    #[inline]
     fn index_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.cfg.line_bytes;
-        let n = self.lines.len() as u64;
-        ((line % n) as usize, line / n)
+        let line = addr >> self.line_shift;
+        ((line & self.index_mask) as usize, line >> self.index_shift)
     }
 
     /// Presents a stack reference. Returns whether it hit; misses fill the
     /// line (counting `qw_in`), write misses included, and dirty victims are
     /// written back (counting `qw_out`).
+    #[inline]
     pub fn access(&mut self, addr: u64, is_write: bool) -> bool {
         self.stats.accesses += 1;
-        let line_qw = self.line_qw();
+        let line_qw = self.line_qw;
         let (idx, tag) = self.index_tag(addr);
         let line = &mut self.lines[idx];
         if line.valid && line.tag == tag {
@@ -140,11 +161,11 @@ impl StackCache {
     /// dirty bit is per line.
     pub fn flush(&mut self) -> u64 {
         let mut bytes = 0;
-        for line in &mut self.lines {
+        for line in self.lines.iter_mut() {
             if line.valid && line.dirty {
                 bytes += self.cfg.line_bytes;
                 self.stats.writebacks += 1;
-                self.stats.qw_out += self.cfg.line_bytes / 8;
+                self.stats.qw_out += self.line_qw;
             }
             *line = Line::default();
         }

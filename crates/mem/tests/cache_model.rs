@@ -5,21 +5,38 @@
 use proptest::prelude::*;
 use svf_mem::{Cache, CacheConfig, StackCache, StackCacheConfig};
 
-/// Naive reference: per-set vectors ordered most-recently-used first.
+/// Naive reference: per-set `Vec<Vec<_>>` ordered most-recently-used first —
+/// the structure the production [`Cache`] used before it was flattened, kept
+/// here as the oracle the flat shift/mask + packed-recency model must match.
 struct RefCache {
     sets: Vec<Vec<(u64, bool)>>, // (tag, dirty), MRU first
     assoc: usize,
     line: u64,
+    accesses: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
     qw_in: u64,
     qw_out: u64,
 }
 
 impl RefCache {
     fn new(sets: usize, assoc: usize, line: u64) -> RefCache {
-        RefCache { sets: vec![Vec::new(); sets], assoc, line, qw_in: 0, qw_out: 0 }
+        RefCache {
+            sets: vec![Vec::new(); sets],
+            assoc,
+            line,
+            accesses: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+            qw_in: 0,
+            qw_out: 0,
+        }
     }
 
     fn access(&mut self, addr: u64, write: bool) -> (bool, bool) {
+        self.accesses += 1;
         let line_no = addr / self.line;
         let set = (line_no % self.sets.len() as u64) as usize;
         let tag = line_no / self.sets.len() as u64;
@@ -27,13 +44,16 @@ impl RefCache {
         if let Some(pos) = s.iter().position(|&(t, _)| t == tag) {
             let (t, d) = s.remove(pos);
             s.insert(0, (t, d || write));
+            self.hits += 1;
             return (true, false);
         }
+        self.misses += 1;
         let mut wb = false;
         if s.len() == self.assoc {
             let (_, dirty) = s.pop().expect("full set");
             if dirty {
                 wb = true;
+                self.writebacks += 1;
                 self.qw_out += self.line / 8;
             }
         }
@@ -82,6 +102,46 @@ proptest! {
         }
         prop_assert_eq!(dut.stats().qw_in, model.qw_in);
         prop_assert_eq!(dut.stats().qw_out, model.qw_out);
+    }
+
+    #[test]
+    fn cache_matches_reference_on_arbitrary_geometry(
+        sets_log2 in 0u32..4,
+        assoc in 1u32..17,
+        line_log2 in 3u64..7,
+        ops in proptest::collection::vec((0u64..48, any::<bool>()), 1..400)
+    ) {
+        // Geometry drawn from the full supported envelope: 1–8 sets,
+        // 1–16 ways (the packed recency order is one nibble per way, so
+        // assoc 16 exercises the fully-populated u64), 8–64B lines. The
+        // whole TrafficStats must match the naive model, counter for
+        // counter, not just per-access outcomes.
+        let sets = 1u64 << sets_log2;
+        let line = 1u64 << line_log2;
+        let cfg = CacheConfig {
+            size_bytes: sets * u64::from(assoc) * line,
+            assoc,
+            line_bytes: line,
+            hit_latency: 1,
+            name: "geom",
+        };
+        let mut dut = Cache::new(cfg);
+        let mut model = RefCache::new(sets as usize, assoc as usize, line);
+        for (i, (line_no, write)) in ops.into_iter().enumerate() {
+            let addr = line_no * line + (line_no % (line / 8)) * 8 + (line_no % 8);
+            let out = dut.access(addr, write);
+            let (hit, wb) = model.access(addr, write);
+            prop_assert_eq!(out.hit, hit, "hit/miss diverged at op {} line {}", i, line_no);
+            prop_assert_eq!(out.writeback, wb, "writeback diverged at op {} line {}", i, line_no);
+            prop_assert_eq!(dut.contains(addr), true, "just-accessed line resident");
+        }
+        let s = dut.stats();
+        prop_assert_eq!(s.accesses, model.accesses);
+        prop_assert_eq!(s.hits, model.hits);
+        prop_assert_eq!(s.misses, model.misses);
+        prop_assert_eq!(s.writebacks, model.writebacks);
+        prop_assert_eq!(s.qw_in, model.qw_in);
+        prop_assert_eq!(s.qw_out, model.qw_out);
     }
 
     #[test]

@@ -1,19 +1,21 @@
 #!/usr/bin/env bash
-# Simulation-throughput benchmark runner (PR 4).
+# Simulation-throughput benchmark runner (PR 4, extended in PR 5).
 #
 # Builds the release tree, compiles the criterion benches (compile-check
 # only — the wall-clock numbers come from the dedicated binary below), and
 # runs the `throughput` binary, which writes machine-readable rates to
-# BENCH_pr4.json (override the path with $1).
+# BENCH_pr5.json (override the path with the first non-flag argument).
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [output.json] [--quick] [--compare BASE.json]
+#
+#   --quick              smoke-gate sampling (one run per benchmark); used
+#                        by scripts/check.sh
+#   --compare BASE.json  print per-benchmark deltas vs a previous report
+#                        and exit nonzero if any benchmark present in both
+#                        regressed by more than 20%
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr4.json}"
-
 cargo build --release
 cargo bench --workspace --no-run
-cargo run --release -p svf-bench --bin throughput -- "$out"
-
-echo "benchmark rates written to $out"
+cargo run --release -p svf-bench --bin throughput -- "$@"

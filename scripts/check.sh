@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full local gate: release build, the complete test suite (release mode also
 # enables the timing-heavy figure-shape tests), compile-checked benchmarks,
-# and warning-free clippy across every target (benches included).
+# a quick throughput smoke gate against the committed baseline, and
+# warning-free clippy across every target (benches included).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,4 +10,12 @@ cargo build --release
 cargo test --workspace -q
 cargo test --workspace --release -q
 cargo bench --workspace --no-run
+# Throughput smoke gate: one quick run per benchmark, compared against the
+# committed baseline. Quick sampling is noisy, so this catches collapses
+# (the binary flags >20% drops), not small drifts — scripts/bench.sh does
+# the tracking-quality measurement. The report goes to a scratch file so
+# the committed BENCH_pr5.json only changes when bench.sh is run on purpose.
+smoke_out="$(mktemp /tmp/svf-bench-smoke.XXXXXX.json)"
+trap 'rm -f "$smoke_out"' EXIT
+cargo run --release -p svf-bench --bin throughput -- "$smoke_out" --quick --compare BENCH_pr5.json
 cargo clippy --workspace --all-targets -- -D warnings

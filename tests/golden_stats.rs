@@ -4,8 +4,11 @@
 //! functional emulator must leave *simulated behaviour* untouched: same
 //! cycles, same commits, same cache traffic, same squashes — bit-identical
 //! [`SimStats`] down to the last counter. These snapshots were taken from
-//! the pre-optimization simulator (PR 4) and pin that contract for three
-//! workloads under the three stack-engine configurations.
+//! the pre-optimization simulator (PR 4, extended with the memory-sensitive
+//! rows ahead of the PR 5 cache-model rewrite) and pin that contract for
+//! three workloads under the three stack-engine configurations plus three
+//! cache-geometry variants (doubled DL1, undersized DL1, two-line stack
+//! cache).
 //!
 //! If a change *intends* to alter simulated behaviour (a model fix, not an
 //! optimization), regenerate with:
@@ -29,7 +32,32 @@ fn configs() -> Vec<(&'static str, CpuConfig)> {
     sc.stack_engine = StackEngine::stack_cache_8kb();
     let mut svf = CpuConfig::wide16().with_ports(2, 2);
     svf.stack_engine = StackEngine::svf_8kb();
-    vec![("base", base), ("stack-cache", sc), ("svf", svf)]
+    // Memory-sensitive configurations pinning the cache model itself:
+    // Figure 6's doubled data L1 (a different set count, so a different
+    // index/tag split), an undersized 4 KB data L1 (dense conflict misses,
+    // LRU evictions and dirty writebacks through the L2), and a two-line
+    // stack cache (every frame walk conflicts, exercising the
+    // direct-mapped fill/writeback path).
+    let mut dl1x2 = CpuConfig::wide16();
+    dl1x2.hierarchy.dl1 = svf_mem::CacheConfig::dl1_128k();
+    let mut dl1s = CpuConfig::wide16();
+    dl1s.hierarchy.dl1 = svf_mem::CacheConfig {
+        size_bytes: 4 << 10,
+        assoc: 4,
+        line_bytes: 32,
+        hit_latency: 3,
+        name: "DL1s",
+    };
+    let mut sc64 = CpuConfig::wide16().with_ports(2, 2);
+    sc64.stack_engine = StackEngine::StackCache(svf_mem::StackCacheConfig::with_size(64));
+    vec![
+        ("base", base),
+        ("stack-cache", sc),
+        ("svf", svf),
+        ("base-dl1x2", dl1x2),
+        ("base-dl1-4k", dl1s),
+        ("stack-cache-64b", sc64),
+    ]
 }
 
 fn run(workload: &str, cfg: &CpuConfig) -> SimStats {
@@ -46,12 +74,21 @@ const GOLDEN: &[(&str, &str, &str)] = &[
     ("bzip2", "base", "42148,220954,49411,34019,21429,0,0,0,0,0,0,0,1824,0,10346997,256,2315830,49411,49034,377,0,1508,0,19151,19127,24,0,192,0,401,186,215,0,1720,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0"),
     ("bzip2", "stack-cache", "39295,220954,49411,34019,21429,0,0,0,0,0,0,34019,1824,0,9615283,256,2134243,15392,15025,367,0,1468,0,19151,19127,24,0,192,0,401,186,215,0,1720,0,0,0,0,0,0,0,0,0,0,0,0,1,34019,34009,10,0,40,0"),
     ("bzip2", "svf", "29851,220954,49411,34019,21429,0,24637,9382,0,0,0,0,1824,0,6884121,256,1433642,15392,15025,367,0,1468,0,19151,19127,24,0,192,0,391,183,208,0,1664,0,1,34019,33289,730,0,0,0,7070,730,0,0,0,0,0,0,0,0,0"),
+    ("bzip2", "base-dl1x2", "42148,220954,49411,34019,21429,0,0,0,0,0,0,0,1824,0,10346997,256,2315830,49411,49034,377,0,1508,0,19151,19127,24,0,192,0,401,186,215,0,1720,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0"),
+    ("bzip2", "base-dl1-4k", "42195,220954,49411,34019,21429,0,0,0,0,0,0,0,1824,0,10360489,256,2321304,49411,48498,913,380,3652,1520,19151,19127,24,0,192,0,1317,1102,215,0,1720,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0"),
+    ("bzip2", "stack-cache-64b", "39295,220954,49411,34019,21429,0,0,0,0,0,0,34019,1824,0,9615744,256,2134387,15392,15025,367,0,1468,0,19151,19127,24,0,192,0,1817,1602,215,0,1720,0,0,0,0,0,0,0,0,0,0,0,0,1,34019,32593,1426,1418,5704,5672"),
     ("twolf", "base", "90241,598696,140124,88323,46852,0,0,0,0,0,0,0,2280,0,22525418,256,5186407,140124,139728,396,0,1584,0,56832,56802,30,0,240,0,426,196,230,0,1840,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0"),
     ("twolf", "stack-cache", "80908,598696,140124,88323,46852,0,0,0,0,0,0,88323,2280,0,20129489,256,4617350,51801,51416,385,0,1540,0,56832,56802,30,0,240,0,426,196,230,0,1840,0,0,0,0,0,0,0,0,0,0,0,0,1,88323,88312,11,0,44,0"),
     ("twolf", "svf", "71374,598696,140124,88323,46852,0,42902,45421,0,0,0,0,2280,0,16970708,256,3863514,51801,51416,385,0,1540,0,56832,56802,30,0,240,0,415,192,223,0,1784,0,1,88323,63030,25293,0,0,0,98362,25293,0,0,0,0,0,0,0,0,0"),
+    ("twolf", "base-dl1x2", "90241,598696,140124,88323,46852,0,0,0,0,0,0,0,2280,0,22525418,256,5186407,140124,139728,396,0,1584,0,56832,56802,30,0,240,0,426,196,230,0,1840,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0"),
+    ("twolf", "base-dl1-4k", "117509,598696,140124,88323,46852,0,0,0,0,0,0,0,2280,0,29523171,256,6893286,140124,121449,18675,1005,74700,4020,56832,56802,30,0,240,0,19710,19480,230,0,1840,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0"),
+    ("twolf", "stack-cache-64b", "145840,598696,140124,88323,46852,0,0,0,0,0,0,88323,2280,0,36799687,256,8532333,51801,51416,385,0,1540,0,56832,56802,30,0,240,0,17430,17200,230,0,1840,0,0,0,0,0,0,0,0,0,0,0,0,1,88323,71308,17015,15643,68060,62572"),
     ("gap", "base", "33623,246300,30518,12126,14231,0,0,0,0,0,0,0,1596,0,8186282,256,1038478,30518,30490,28,0,112,0,21207,21186,21,0,168,0,49,12,37,0,296,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0"),
     ("gap", "stack-cache", "33622,246300,30518,12126,14231,0,0,0,0,0,0,12126,1596,0,8188629,256,1039600,18392,18373,19,0,76,0,21207,21186,21,0,168,0,49,12,37,0,296,0,0,0,0,0,0,0,0,0,0,0,0,1,12126,12117,9,0,36,0"),
     ("gap", "svf", "33618,246300,30518,12126,14231,0,9016,3110,0,0,0,0,1596,0,8184880,256,1038218,18392,18373,19,0,76,0,21207,21186,21,0,168,0,40,9,31,0,248,0,1,12126,10049,2077,0,0,0,6226,2077,0,0,0,0,0,0,0,0,0"),
+    ("gap", "base-dl1x2", "33623,246300,30518,12126,14231,0,0,0,0,0,0,0,1596,0,8186282,256,1038478,30518,30490,28,0,112,0,21207,21186,21,0,168,0,49,12,37,0,296,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0"),
+    ("gap", "base-dl1-4k", "33623,246300,30518,12126,14231,0,0,0,0,0,0,0,1596,0,8186282,256,1038478,30518,30490,28,0,112,0,21207,21186,21,0,168,0,49,12,37,0,296,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0"),
+    ("gap", "stack-cache-64b", "33637,246300,30518,12126,14231,0,0,0,0,0,0,12126,1596,0,8190340,256,1040328,18392,18373,19,0,76,0,21207,21186,21,0,168,0,1085,1048,37,0,296,0,0,0,0,0,0,0,0,0,0,0,0,1,12126,11081,1045,1040,4180,4160"),
 ];
 
 #[test]
