@@ -76,6 +76,27 @@ fn fig5_sweep_point(c: &mut Criterion) {
     });
 }
 
+/// Lockstep fan-out (PR 6): one shared functional stream feeding 1/2/4/8
+/// timing models over the stack kernel. Scaling short of linear time is
+/// the amortization win — functional execution, fact extraction, and the
+/// rename/alias chains are paid once per stream instead of once per model.
+fn lockstep_fanout(c: &mut Criterion) {
+    let program = stack_kernel();
+    let pool = svf_bench::sweep_configs();
+    let mut group = c.benchmark_group("hotpath/lockstep-fanout");
+    for n in [1usize, 2, 4, 8] {
+        let configs: Vec<CpuConfig> =
+            (0..n).map(|i| pool[i % pool.len()].clone()).collect();
+        group.bench_function(format!("{n}-models"), |b| {
+            b.iter(|| {
+                let stats = svf_cpu::run_lockstep(&configs, &program, u64::MAX);
+                black_box(stats.iter().map(|s| s.cycles).sum::<u64>())
+            });
+        });
+    }
+    group.finish();
+}
+
 /// The flattened set-associative cache alone: shift/mask indexing,
 /// MRU-first probe, nibble-packed recency, miss/evict/writeback path.
 fn cache_probe(c: &mut Criterion) {
@@ -98,6 +119,7 @@ criterion_group!(
     pipeline_svf,
     emulator_run,
     fig5_sweep_point,
+    lockstep_fanout,
     cache_probe,
     predictor
 );

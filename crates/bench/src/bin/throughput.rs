@@ -5,13 +5,20 @@
 //! tracked commit over commit.
 //!
 //! Usage: `throughput [OUT.json] [--quick] [--compare BASE.json]`
-//! (default out `BENCH_pr5.json`; see `scripts/bench.sh`).
+//! (default out `BENCH_pr6.json`; see `scripts/bench.sh`).
 //!
 //! * `--quick` — shorter sampling windows: a smoke gate for
-//!   `scripts/check.sh`, not a tracking-quality measurement.
+//!   `scripts/check.sh`, not a tracking-quality measurement. Its
+//!   regression floor is 50% (collapse detection) instead of the tracking
+//!   run's 20%, because short samples on a shared box routinely swing
+//!   20–30% machine-wide.
 //! * `--compare BASE.json` — print per-benchmark deltas against a previous
 //!   report and **exit nonzero** if any benchmark present in both runs
-//!   regressed by more than 20%.
+//!   regressed by more than 20%. Benchmarks missing from the baseline are
+//!   reported as *new* and never fail the gate, so a report can add
+//!   benchmarks (the lockstep sweep here) against an older baseline. The
+//!   baseline is read before the output file is written, so comparing a
+//!   run against its own output path sees the previous run's rates.
 //!
 //! Wall-clock sampling: each benchmark repeats until both a minimum time
 //! and a minimum repetition count are reached, then reports the *best*
@@ -61,53 +68,40 @@ fn measure(
     Row { name, unit, work_per_run, best_rate, runs }
 }
 
-/// Extracts `(name, rate)` pairs from a report this binary wrote (the JSON
-/// is hand-rolled on the way out, so a scan is enough on the way back in).
-fn parse_rates(json: &str) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    let mut rest = json;
-    while let Some(i) = rest.find("\"name\": \"") {
-        rest = &rest[i + 9..];
-        let Some(end) = rest.find('"') else { break };
-        let name = rest[..end].to_string();
-        let Some(j) = rest.find("\"rate\": ") else { break };
-        let tail = &rest[j + 8..];
-        let num_end =
-            tail.find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit()).unwrap_or(tail.len());
-        if let Ok(rate) = tail[..num_end].parse::<f64>() {
-            out.push((name, rate));
-        }
-        rest = tail;
-    }
-    out
-}
-
-/// Per-benchmark deltas vs. a baseline report. Returns the benchmarks
-/// (present in both) that regressed by more than 20%.
-fn compare(rows: &[Row], baseline_path: &str, baseline: &str) -> Vec<String> {
-    let base = parse_rates(baseline);
+/// Per-benchmark deltas vs. a baseline report (parsing and ratio rules
+/// live in `svf_bench`, unit-tested there). Returns the benchmarks
+/// (present in both) that fell below `floor` (0.80 for tracking runs;
+/// 0.50 in `--quick` mode, whose short samples on a shared box see
+/// 20–30% machine-wide swings — the smoke gate catches collapses, the
+/// tracking run catches drifts).
+fn compare(rows: &[Row], baseline_path: &str, baseline: &str, floor: f64) -> Vec<String> {
+    let base = svf_bench::parse_rates(baseline);
     eprintln!("\ncomparison vs {baseline_path}:");
     let mut regressions = Vec::new();
     for r in rows {
-        match base.iter().find(|(n, _)| n == r.name) {
-            Some((_, b)) if *b > 0.0 => {
-                let ratio = r.best_rate / b;
+        match svf_bench::rate_ratio(&base, r.name, r.best_rate) {
+            Some(ratio) => {
                 eprintln!(
-                    "{:<34} {b:9.2} -> {:9.2} {:<8} ({ratio:5.2}x)",
-                    r.name, r.best_rate, r.unit
+                    "{:<34} {:9.2} -> {:9.2} {:<8} ({ratio:5.2}x)",
+                    r.name,
+                    r.best_rate / ratio,
+                    r.best_rate,
+                    r.unit
                 );
-                if ratio < 0.80 {
+                if ratio < floor {
                     regressions.push(format!("{} ({ratio:.2}x)", r.name));
                 }
             }
-            _ => eprintln!("{:<34} {:>9} -> {:9.2} {:<8} (new)", r.name, "-", r.best_rate, r.unit),
+            None => {
+                eprintln!("{:<34} {:>9} -> {:9.2} {:<8} (new)", r.name, "-", r.best_rate, r.unit);
+            }
         }
     }
     regressions
 }
 
 fn main() -> ExitCode {
-    let mut out = "BENCH_pr5.json".to_string();
+    let mut out = "BENCH_pr6.json".to_string();
     let mut quick = false;
     let mut compare_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -123,9 +117,24 @@ fn main() -> ExitCode {
             _ => out = a,
         }
     }
-    // Quick mode: one timed run per benchmark, no minimum window — a smoke
-    // gate (does it run, is it within 20% of terrible), not a measurement.
-    let scale = |secs: f64, runs: usize| if quick { (0.0, 1) } else { (secs, runs) };
+    // Read the baseline up front: comparing against the output path (a
+    // natural thing to do run-over-run) must see the *previous* run's
+    // rates, not the file this run is about to write.
+    let baseline = compare_path.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        (path.clone(), text)
+    });
+    // Quick mode: a handful of timed runs per benchmark, no minimum
+    // window — a smoke gate (does it run, is it within 20% of terrible),
+    // not a measurement. Best-of-5 rather than a single run: the pipeline
+    // benchmarks speed up noticeably over their first few repetitions
+    // (page-cache/allocator/hugepage warm-up), and the tracked baselines
+    // are best-of-N, so a one-shot sample regularly lands >20% low on a
+    // healthy build.
+    let scale = |secs: f64, runs: usize| if quick { (0.0, 5) } else { (secs, runs) };
 
     let kernel = stack_kernel();
     let gap = svf_bench::compile(svf_workloads::workload("gap").expect("exists"));
@@ -135,6 +144,7 @@ fn main() -> ExitCode {
     svf_cfg.stack_engine = StackEngine::svf_8kb();
     let base_cfg = CpuConfig::wide16();
     let sweep_base = CpuConfig::wide16().with_ports(2, 0);
+    let sweep = svf_bench::sweep_configs();
 
     let (s1, r1) = scale(1.0, 5);
     let (s2, r2) = scale(1.5, 5);
@@ -159,6 +169,17 @@ fn main() -> ExitCode {
         measure("sweep/fig5-point-bzip2", "Mcyc/s", s3, r3, || {
             simulate(&sweep_base, &bzip2).cycles + simulate(&svf_cfg, &bzip2).cycles
         }),
+        // The PR 6 headline pair: the six-configuration golden sweep over
+        // one workload, first as six independent simulations (six
+        // functional re-executions), then batched over one shared record
+        // stream. The simulated work is identical, so the rate gap is the
+        // lockstep speedup.
+        measure("sweep/6cfg-bzip2-per-config", "Mcyc/s", s3, r3, || {
+            sweep.iter().map(|cfg| simulate(cfg, &bzip2).cycles).sum()
+        }),
+        measure("sweep/6cfg-bzip2-lockstep", "Mcyc/s", s3, r3, || {
+            svf_cpu::run_lockstep(&sweep, &bzip2, u64::MAX).iter().map(|s| s.cycles).sum()
+        }),
         // The flattened substructures alone.
         measure("micro/cache-probe", "Macc/s", s4, r4, || cache_probe(micro_n)),
         measure("micro/predictor", "Mbr/s", s4, r4, || predictor_churn(micro_n)),
@@ -181,14 +202,15 @@ fn main() -> ExitCode {
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     eprintln!("wrote {out}");
 
-    if let Some(path) = compare_path {
-        let baseline = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("cannot read baseline {path}: {e}");
-            std::process::exit(2);
-        });
-        let regressions = compare(&rows, &path, &baseline);
+    if let Some((path, baseline)) = baseline {
+        let floor = if quick { 0.50 } else { 0.80 };
+        let regressions = compare(&rows, &path, &baseline, floor);
         if !regressions.is_empty() {
-            eprintln!("\nREGRESSION (>20% below baseline): {}", regressions.join(", "));
+            eprintln!(
+                "\nREGRESSION (>{:.0}% below baseline): {}",
+                100.0 * (1.0 - floor),
+                regressions.join(", ")
+            );
             return ExitCode::FAILURE;
         }
     }

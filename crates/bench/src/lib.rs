@@ -92,6 +92,68 @@ pub fn stack_kernel() -> Program {
     .expect("stack kernel compiles")
 }
 
+/// The six-configuration sweep pinned by the golden-statistics matrix
+/// (`tests/golden_stats.rs`): three stack-engine variants and three
+/// cache-geometry variants. The lockstep benchmarks run all six against
+/// one shared functional stream; the per-config benchmarks run them
+/// separately — same simulated work either way, so the rates compare.
+#[must_use]
+pub fn sweep_configs() -> Vec<CpuConfig> {
+    use svf_cpu::StackEngine;
+    let mut sc = CpuConfig::wide16().with_ports(2, 2);
+    sc.stack_engine = StackEngine::stack_cache_8kb();
+    let mut svf = CpuConfig::wide16().with_ports(2, 2);
+    svf.stack_engine = StackEngine::svf_8kb();
+    let mut dl1x2 = CpuConfig::wide16();
+    dl1x2.hierarchy.dl1 = svf_mem::CacheConfig::dl1_128k();
+    let mut dl1s = CpuConfig::wide16();
+    dl1s.hierarchy.dl1 = svf_mem::CacheConfig {
+        size_bytes: 4 << 10,
+        assoc: 4,
+        line_bytes: 32,
+        hit_latency: 3,
+        name: "DL1s",
+    };
+    let mut sc64 = CpuConfig::wide16().with_ports(2, 2);
+    sc64.stack_engine = StackEngine::StackCache(svf_mem::StackCacheConfig::with_size(64));
+    vec![CpuConfig::wide16(), sc, svf, dl1x2, dl1s, sc64]
+}
+
+/// Extracts `(name, rate)` pairs from a report the `throughput` binary
+/// wrote (the JSON is hand-rolled on the way out, so a scan is enough on
+/// the way back in).
+#[must_use]
+pub fn parse_rates(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("\"name\": \"") {
+        rest = &rest[i + 9..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_string();
+        let Some(j) = rest.find("\"rate\": ") else { break };
+        let tail = &rest[j + 8..];
+        let num_end =
+            tail.find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit()).unwrap_or(tail.len());
+        if let Ok(rate) = tail[..num_end].parse::<f64>() {
+            out.push((name, rate));
+        }
+        rest = tail;
+    }
+    out
+}
+
+/// `current / baseline` rate ratio for one benchmark, or `None` when the
+/// baseline report has no (positive) measurement under that name — the
+/// benchmark is *new*, which must never count as a regression: it is how
+/// a report adds benchmarks without invalidating every older baseline.
+#[must_use]
+pub fn rate_ratio(baseline: &[(String, f64)], name: &str, rate: f64) -> Option<f64> {
+    match baseline.iter().find(|(n, _)| n == name) {
+        Some((_, b)) if *b > 0.0 => Some(rate / b),
+        _ => None,
+    }
+}
+
 /// Deterministic splitmix64 step — the microbenchmarks' PRNG (fixed seeds,
 /// no dependencies, identical streams on every run).
 fn splitmix64(state: &mut u64) -> u64 {
@@ -195,4 +257,58 @@ pub fn predictor_churn(n: u64) -> u64 {
     }
     assert!(correct > 0, "biased stream must predict");
     n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = r#"{
+  "suite": "svf-throughput",
+  "benchmarks": [
+    {"name": "emulator/gap", "unit": "Minst/s", "rate": 290.433, "work_per_run": 1, "runs": 5},
+    {"name": "sweep/fig5-point-bzip2", "unit": "Mcyc/s", "rate": 2.021, "work_per_run": 1, "runs": 3}
+  ]
+}"#;
+
+    #[test]
+    fn parse_rates_round_trips_the_report_format() {
+        let rates = parse_rates(REPORT);
+        assert_eq!(
+            rates,
+            vec![
+                ("emulator/gap".to_string(), 290.433),
+                ("sweep/fig5-point-bzip2".to_string(), 2.021),
+            ]
+        );
+        assert!(parse_rates("{}").is_empty(), "empty report parses to nothing");
+        assert!(parse_rates("not json at all").is_empty());
+    }
+
+    #[test]
+    fn rate_ratio_flags_regressions_but_not_new_benchmarks() {
+        let base = parse_rates(REPORT);
+        let ratio = rate_ratio(&base, "emulator/gap", 232.0).expect("present in baseline");
+        assert!(ratio < 0.80, "20%+ drop is below the gate: {ratio}");
+        let ok = rate_ratio(&base, "emulator/gap", 300.0).expect("present in baseline");
+        assert!(ok > 1.0);
+        assert_eq!(
+            rate_ratio(&base, "sweep/6cfg-bzip2-lockstep", 5.0),
+            None,
+            "a benchmark absent from the baseline is new, never a regression"
+        );
+        let zeroed = vec![("z".to_string(), 0.0)];
+        assert_eq!(rate_ratio(&zeroed, "z", 1.0), None, "zero baseline cannot ratio");
+    }
+
+    #[test]
+    fn sweep_configs_match_the_golden_matrix_shape() {
+        let configs = sweep_configs();
+        assert_eq!(configs.len(), 6, "three engines x three geometries");
+        // The lockstep driver requires every config's in-flight window to
+        // fit the shared record ring with room for the producer.
+        for cfg in &configs {
+            assert!(cfg.ifq_size + cfg.width < 1024);
+        }
+    }
 }

@@ -8,13 +8,14 @@
 //!   `$sp` store *and* the youngest non-`$sp` store to a quad-word; both
 //!   live in one entry, so dispatch does a single multiply-hash probe where
 //!   it used to do up to two SipHash lookups.
-//! * **Keys are never removed.** Consumers filter returned seqs against the
-//!   commit head (`seq >= head_seq`), so stale values are invisible and
-//!   probing needs no tombstones. [`AliasTable::retire`] only blanks a
-//!   slot's value when the committing store is still the youngest, which
-//!   keeps values tidy without touching the key set. The key population is
-//!   the set of distinct quad-words ever stored to — exactly the key
-//!   population the `HashMap`s converged to.
+//! * **Keys (and values) are never removed.** Consumers filter returned
+//!   seqs against their commit head (`seq >= head_seq`), so stale values
+//!   are invisible and probing needs no tombstones. That same filter is
+//!   what makes the table a pure function of the record stream: the
+//!   lockstep facts builder maintains it once per stream and every timing
+//!   model shares the answers. The key population is the set of distinct
+//!   quad-words ever stored to — exactly the key population the old
+//!   per-pipeline `HashMap`s converged to.
 
 /// "No store recorded" sentinel (also used by the pipeline as
 /// `NO_PRODUCER`).
@@ -107,23 +108,6 @@ impl AliasTable {
         }
     }
 
-    /// Blanks the record if `seq` is still the youngest (commit-time tidy;
-    /// semantically a no-op because consumers filter stale seqs anyway).
-    #[inline]
-    pub(crate) fn retire(&mut self, qw: u64, seq: u64, is_sp: bool) {
-        let e = &mut self.slots[self.find(qw)];
-        if e.qw != qw {
-            return;
-        }
-        if is_sp {
-            if e.sp == seq {
-                e.sp = NO_SEQ;
-            }
-        } else if e.other == seq {
-            e.other = NO_SEQ;
-        }
-    }
-
     fn grow(&mut self) {
         let mut bigger = AliasTable::with_pow2(self.slots.len() * 2);
         for e in self.slots.iter().filter(|e| e.qw != EMPTY_QW) {
@@ -140,7 +124,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn record_get_retire_round_trip() {
+    fn record_get_round_trip() {
         let mut t = AliasTable::new();
         assert_eq!(t.get(100), (NO_SEQ, NO_SEQ));
         t.record(100, 7, true);
@@ -149,13 +133,7 @@ mod tests {
         assert_eq!(t.get(100), (7, 9));
         t.record(100, 11, true);
         assert_eq!(t.get(100), (11, 9), "younger $sp store replaces older");
-        t.retire(100, 7, true);
-        assert_eq!(t.get(100), (11, 9), "stale retire is ignored");
-        t.retire(100, 11, true);
-        assert_eq!(t.get(100), (NO_SEQ, 9));
-        t.retire(100, 9, false);
-        assert_eq!(t.get(100), (NO_SEQ, NO_SEQ));
-        t.retire(555, 1, false); // absent key: no-op
+        assert_eq!(t.get(555), (NO_SEQ, NO_SEQ), "absent key");
     }
 
     #[test]

@@ -49,11 +49,13 @@
 
 mod alias;
 mod config;
+mod lockstep;
 mod pipeline;
 mod predictor;
 mod stats;
 
 pub use config::{CpuConfig, PredictorKind, StackEngine};
+pub use lockstep::{run_lockstep, run_lockstep_trace};
 pub use pipeline::Simulator;
 pub use predictor::{Gshare, Predictor};
 pub use stats::{SimStats, CSV_COLUMNS};

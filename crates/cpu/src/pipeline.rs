@@ -1,11 +1,15 @@
 //! The out-of-order pipeline model.
 //!
-//! Functional-first, execution-driven: the emulator produces the committed
-//! instruction stream and this model replays it through fetch → decode/
-//! dispatch (with SVF morphing) → issue/execute → commit, charging cycles
-//! for structural hazards (widths, RUU/LSQ/IFQ occupancy, D-cache and
-//! SVF/stack-cache ports, FU counts), data dependencies (register, memory
-//! and SVF-slot producers), cache latencies and front-end stalls.
+//! Functional-first, execution-driven: a shared functional pass (see
+//! [`crate::lockstep`]) produces the committed instruction stream plus the
+//! config-independent per-record [`Facts`], and this model replays it
+//! through fetch → decode/dispatch (with SVF morphing) → issue/execute →
+//! commit, charging cycles for structural hazards (widths, RUU/LSQ/IFQ
+//! occupancy, D-cache and SVF/stack-cache ports, FU counts), data
+//! dependencies (register, memory and SVF-slot producers), cache latencies
+//! and front-end stalls. Any number of [`Pipeline`]s can advance over the
+//! same stream window in lockstep — that is how multi-config sweeps share
+//! one functional execution.
 //!
 //! # Hot-path layout
 //!
@@ -18,27 +22,28 @@
 //!   `ifq_head..next_seq` the fetch queue — and all per-entry issue state
 //!   lives in flat ring buffers indexed by `seq & seq_mask` ([`Slot`] and
 //!   the squash-watch lists). No queue containers, no hashing.
-//! * The emulator writes each [`Retired`] record in place into a fetch
-//!   ring (`Emulator::step_record`); dispatch reads it exactly once and
-//!   packs everything commit needs into the [`Slot`] (`commit_flags` bits,
-//!   the touched quad-word, the destination register), so the wide records
-//!   are never copied and never touched again after dispatch.
+//! * Dispatch runs off the precomputed [`Facts`] (decoded registers,
+//!   dependence chains, aliasing store chains, memory classification); the
+//!   wide `Retired` record is touched only for the rare `sp_update`
+//!   payload and to train a non-trivial predictor. Everything commit needs
+//!   is packed into the [`Slot`] at dispatch.
 //! * Readiness is one compare: `ready_at` is `UNISSUED` until issue and
 //!   the completion cycle after.
 //! * The issue stage scans only not-yet-issued entries (`ready`, kept in
 //!   age order by in-place compaction) instead of the whole window.
-//! * The per-quad-word last-writer table ([`AliasTable`]) answers
-//!   "youngest in-flight aliasing store" with one multiply-hash probe.
 //! * Per-cycle scratch (`scratch_squashes`, the watch lists) is hoisted
 //!   into reused buffers; steady-state cycles allocate nothing.
 
 use svf::StackValueFile;
-use svf_emu::{Emulator, Retired};
-use svf_isa::{AluOp, Inst, Program, Reg};
+use svf_isa::Program;
 use svf_mem::{Hierarchy, StackCache};
 
-use crate::alias::{AliasTable, NO_SEQ};
+use crate::alias::NO_SEQ;
 use crate::config::{CpuConfig, StackEngine};
+use crate::lockstep::{
+    Facts, Window, COMMIT_FLAG_MASK, F_CONTROL, F_MEM, F_SP_BASE, F_SP_INTERLOCK, F_SP_UPDATE,
+    F_STACK, F_STORE, F_TAKEN, NO_PRODUCER,
+};
 use crate::predictor::Predictor;
 use crate::stats::SimStats;
 
@@ -65,9 +70,9 @@ enum ExecKind {
 
 /// Issue-critical state of one in-flight entry, held in a flat ring
 /// indexed by `seq & seq_mask`. Everything the per-cycle issue scan reads
-/// is here, packed — and so is the little that commit needs (the `commit_*`
-/// fields), so the wide [`Retired`] record is read exactly once, at
-/// dispatch, and never stored in the window at all.
+/// is here, packed — and so is the little that commit needs
+/// (`commit_flags`), so neither the wide record nor the shared facts are
+/// touched after dispatch.
 #[derive(Debug, Clone, Copy)]
 struct Slot {
     /// Cycle the entry's result is available: [`UNISSUED`] until issue,
@@ -90,19 +95,14 @@ struct Slot {
     /// changes — resource-blocked entries recheck with one compare instead
     /// of re-walking their dependences every cycle.
     eligible_at: u64,
-    /// Quad-word index of a store's access, for the commit-time alias
-    /// retire (only meaningful when [`CF_STORE`] is set).
-    commit_qw: u64,
     ndeps: u8,
     kind: ExecKind,
     /// A store going through a real queue entry (not morphed): issuing it
     /// may reveal §3.2 collisions with already-issued morphed loads.
     unmorphed_store: bool,
-    /// Commit-time facts, precomputed at dispatch (`CF_*` bits) so commit
-    /// never re-derives them from the wide [`Retired`] record.
+    /// Commit-time facts (the low [`Facts`] flag bits, see
+    /// [`COMMIT_FLAG_MASK`]) so commit never re-derives them.
     commit_flags: u8,
-    /// Destination register number, or [`NO_DEST`].
-    commit_dest: u8,
 }
 
 /// `ready_at` value of a dispatched-but-not-issued entry.
@@ -111,34 +111,21 @@ const UNISSUED: u64 = u64::MAX;
 /// `eligible_at` value while some producer is still unissued.
 const ELIGIBLE_UNKNOWN: u64 = u64::MAX;
 
-/// `commit_flags` bits: memory reference / store / `$sp`-based access /
-/// stack-region access / control transfer.
-const CF_MEM: u8 = 1 << 0;
-const CF_STORE: u8 = 1 << 1;
-const CF_SP_BASE: u8 = 1 << 2;
-const CF_STACK: u8 = 1 << 3;
-const CF_CONTROL: u8 = 1 << 4;
-
-/// `commit_dest` value of an instruction with no destination register.
-const NO_DEST: u8 = u8::MAX;
-
 const EMPTY_SLOT: Slot = Slot {
     ready_at: UNISSUED,
     deps: [0; 2],
     forward_from: NO_PRODUCER,
     latency: 0,
     eligible_at: ELIGIBLE_UNKNOWN,
-    commit_qw: 0,
     ndeps: 0,
     kind: ExecKind::Alu,
     unmorphed_store: false,
     commit_flags: 0,
-    commit_dest: NO_DEST,
 };
 
-
 /// The cycle-level simulator. Construct with a [`CpuConfig`] and call
-/// [`Simulator::run`].
+/// [`Simulator::run`]. To sweep several configurations over one shared
+/// functional execution, see [`crate::run_lockstep`].
 #[derive(Debug, Clone)]
 pub struct Simulator {
     cfg: CpuConfig,
@@ -161,14 +148,17 @@ impl Simulator {
     /// deadlocks (which would be a simulator bug).
     #[must_use]
     pub fn run(&self, program: &Program, max_insts: u64) -> SimStats {
-        Pipeline::new(&self.cfg, program).run(max_insts)
+        let mut out =
+            crate::lockstep::run_lockstep(std::slice::from_ref(&self.cfg), program, max_insts);
+        out.pop().expect("one config in, one result out")
     }
 }
 
-struct Pipeline<'a> {
+/// One timing model advancing over a shared record stream. Owned and
+/// driven by the lockstep driver in [`crate::lockstep`]; a single-config
+/// [`Simulator::run`] is just a one-pipeline lockstep.
+pub(crate) struct Pipeline<'a> {
     cfg: &'a CpuConfig,
-    emu: Emulator,
-    heap_base: u64,
     hier: Hierarchy,
     svf: Option<StackValueFile>,
     no_squash: bool,
@@ -184,13 +174,6 @@ struct Pipeline<'a> {
     /// is the RUU window and `ifq_head..next_seq` the fetch queue —
     /// neither needs a container.
     ifq_head: u64,
-    /// Fetched-but-not-dispatched records, ring-indexed by
-    /// `seq & ifq_mask`: fetch writes at `next_seq`, dispatch reads at
-    /// `ifq_head`. The wide [`Retired`] record is read once here and
-    /// distilled into the [`Slot`]; nothing downstream touches it again.
-    fetched: Box<[Retired]>,
-    /// Ring mask for `fetched`: IFQ capacity rounded up to a power of two.
-    ifq_mask: u64,
     /// Hot per-entry issue state, ring-indexed by `seq & seq_mask`.
     slots: Box<[Slot]>,
     /// Store seq → morphed loads that issued early against it (§3.2), ring-
@@ -220,11 +203,6 @@ struct Pipeline<'a> {
     scratch_squashes: Vec<u64>,
     lsq_count: usize,
 
-    /// Architectural register → seq of in-flight producer.
-    reg_producer: [u64; 32],
-    /// Youngest in-flight store per quad-word address, split `$sp`/other.
-    alias: AliasTable,
-
     /// Fetch may not run again before this cycle (mispredict/squash/I-miss).
     fetch_resume_at: u64,
     /// Fetch is waiting for this branch to resolve.
@@ -238,15 +216,15 @@ struct Pipeline<'a> {
     il1_line_shift: u32,
     /// Instruction stream exhausted (halt or budget).
     stream_done: bool,
-    fetch_budget: u64,
+    /// The pipeline has drained: window empty, stream ended.
+    finished: bool,
+    /// Cycle of the most recent commit (deadlock detection across
+    /// lockstep pauses).
+    last_commit_cycle: u64,
 }
 
-const NO_PRODUCER: u64 = u64::MAX;
-
 impl<'a> Pipeline<'a> {
-    fn new(cfg: &'a CpuConfig, program: &Program) -> Pipeline<'a> {
-        let emu = Emulator::new(program);
-        let initial_sp = emu.reg(Reg::SP);
+    pub(crate) fn new(cfg: &'a CpuConfig, initial_sp: u64) -> Pipeline<'a> {
         let (svf, no_squash) = match &cfg.stack_engine {
             StackEngine::Svf { cfg: svf_cfg, no_squash } => {
                 (Some(StackValueFile::new(*svf_cfg, initial_sp)), *no_squash)
@@ -258,11 +236,8 @@ impl<'a> Pipeline<'a> {
             _ => None,
         };
         let ring = cfg.ruu_size.next_power_of_two().max(1);
-        let ifq_ring = cfg.ifq_size.next_power_of_two().max(1);
         Pipeline {
             cfg,
-            heap_base: emu.heap_base(),
-            emu,
             hier: Hierarchy::new(cfg.hierarchy.clone()),
             svf,
             no_squash,
@@ -273,8 +248,6 @@ impl<'a> Pipeline<'a> {
             next_seq: 0,
             head_seq: 0,
             ifq_head: 0,
-            fetched: vec![Retired::PLACEHOLDER; ifq_ring].into_boxed_slice(),
-            ifq_mask: ifq_ring as u64 - 1,
             slots: vec![EMPTY_SLOT; ring].into_boxed_slice(),
             watch: vec![Vec::new(); ring].into_boxed_slice(),
             seq_mask: ring as u64 - 1,
@@ -285,40 +258,62 @@ impl<'a> Pipeline<'a> {
             scratch: Vec::with_capacity(cfg.ruu_size),
             scratch_squashes: Vec::new(),
             lsq_count: 0,
-            reg_producer: [NO_PRODUCER; 32],
-            alias: AliasTable::new(),
             fetch_resume_at: 0,
             fetch_blocked_on: None,
             decode_block_on: None,
             last_fetch_line: u64::MAX,
             il1_line_shift: cfg.hierarchy.il1.line_bytes.trailing_zeros(),
             stream_done: false,
-            fetch_budget: 0,
+            finished: false,
+            last_commit_cycle: 0,
         }
     }
 
-    fn run(mut self, max_insts: u64) -> SimStats {
-        self.fetch_budget = max_insts;
-        let mut last_commit_cycle = 0u64;
+    /// Oldest record this pipeline may still read: dispatch consumes at
+    /// `ifq_head` and everything older lives on only in [`Slot`]s. The
+    /// lockstep driver uses the minimum across pipelines as the window's
+    /// retention point.
+    pub(crate) fn ifq_head(&self) -> u64 {
+        self.ifq_head
+    }
+
+    /// Simulates cycles against the shared stream window until either the
+    /// pipeline drains (returns `true`) or it needs records the window
+    /// does not hold yet (returns `false`; call again after a refill).
+    ///
+    /// Pausing between cycles is timing-invisible: a cycle only runs when
+    /// the window holds a full fetch group (or the stream has ended), and
+    /// fetch consumes at most `width` records per cycle — so no per-cycle
+    /// decision can observe how the stream was chunked, and the result is
+    /// bit-identical to an unpaused run.
+    pub(crate) fn advance(&mut self, win: &Window) -> bool {
+        if self.finished {
+            return true;
+        }
+        let width = self.cfg.width as u64;
         loop {
+            if !(win.done() || win.hi() - self.next_seq >= width) {
+                return false;
+            }
             self.now += 1;
             let committed_before = self.stats.committed;
             self.commit();
             self.issue();
-            self.dispatch();
-            self.fetch();
+            self.dispatch(win);
+            self.fetch(win);
             let occ = self.ifq_head - self.head_seq;
             self.stats.ruu_occupancy_sum += occ;
             self.stats.ruu_occupancy_max = self.stats.ruu_occupancy_max.max(occ);
             self.stats.lsq_occupancy_sum += self.lsq_count as u64;
             if self.stats.committed != committed_before {
-                last_commit_cycle = self.now;
+                self.last_commit_cycle = self.now;
             }
             if self.stream_done && self.head_seq == self.next_seq {
-                break; // window and fetch queue both drained
+                self.finished = true; // window and fetch queue both drained
+                return true;
             }
             assert!(
-                self.now - last_commit_cycle < 200_000,
+                self.now - self.last_commit_cycle < 200_000,
                 "pipeline deadlock at cycle {} (head seq {}: {:?})",
                 self.now,
                 self.head_seq,
@@ -328,6 +323,11 @@ impl<'a> Pipeline<'a> {
                 })
             );
         }
+    }
+
+    /// Finalizes the statistics of a drained pipeline.
+    pub(crate) fn finish(mut self) -> SimStats {
+        debug_assert!(self.finished, "finish() before the pipeline drained");
         self.stats.cycles = self.now;
         self.stats.dl1 = self.hier.dl1().stats();
         self.stats.il1 = self.hier.il1().stats();
@@ -352,31 +352,22 @@ impl<'a> Pipeline<'a> {
             if slot.ready_at > self.now {
                 break;
             }
-            // Everything below runs off the `commit_*` facts distilled at
+            // Everything below runs off the `commit_flags` distilled at
             // dispatch; the wide `Retired` record is long gone.
             let cf = slot.commit_flags;
-            self.lsq_count -= usize::from(cf & CF_MEM != 0);
-            if cf & CF_STORE != 0 {
-                // Retire alias-table records that still point at us, and
-                // drop any §3.2 watches parked on us (only stores collect
-                // either).
-                self.alias.retire(slot.commit_qw, self.head_seq, cf & CF_SP_BASE != 0);
+            self.lsq_count -= usize::from(cf & F_MEM != 0);
+            if cf & F_STORE != 0 {
+                // Drop any §3.2 watches parked on us (only stores collect
+                // them).
                 self.watch[sidx].clear();
             } else {
                 debug_assert!(self.watch[sidx].is_empty(), "watches on a non-store");
             }
             debug_assert!(self.waiters[sidx].is_empty(), "committed with waiters attached");
-            // Clear the register producer table where we were the producer.
-            if slot.commit_dest != NO_DEST {
-                let producer = &mut self.reg_producer[slot.commit_dest as usize];
-                if *producer == self.head_seq {
-                    *producer = NO_PRODUCER;
-                }
-            }
             self.stats.committed += 1;
-            self.stats.mem_refs += u64::from(cf & CF_MEM != 0);
-            self.stats.stack_refs += u64::from(cf & CF_STACK != 0);
-            self.stats.branches += u64::from(cf & CF_CONTROL != 0);
+            self.stats.mem_refs += u64::from(cf & F_MEM != 0);
+            self.stats.stack_refs += u64::from(cf & F_STACK != 0);
+            self.stats.branches += u64::from(cf & F_CONTROL != 0);
             self.head_seq += 1;
             n += 1;
         }
@@ -620,7 +611,7 @@ impl<'a> Pipeline<'a> {
 
     // ---- dispatch (decode + rename + stack-engine steering) ----
 
-    fn dispatch(&mut self) {
+    fn dispatch(&mut self, win: &Window) {
         for _ in 0..self.cfg.width {
             if (self.ifq_head - self.head_seq) as usize >= self.cfg.ruu_size {
                 break;
@@ -638,23 +629,17 @@ impl<'a> Pipeline<'a> {
             if self.ifq_head == self.next_seq {
                 break; // fetch queue empty
             }
-            // The one read of the wide record: everything issue and commit
-            // need is distilled into the slot below.
-            let ret = self.fetched[(self.ifq_head & self.ifq_mask) as usize];
-            if ret.mem.is_some() && self.lsq_count >= self.cfg.lsq_size {
+            // Everything issue and commit need comes from the shared facts;
+            // the wide record is only consulted for `sp_update` payloads.
+            let f = win.fact(self.ifq_head);
+            if f.flags & F_MEM != 0 && self.lsq_count >= self.cfg.lsq_size {
                 break;
             }
             let seq = self.ifq_head;
             self.ifq_head += 1;
-            let slot = self.build_slot(seq, &ret);
-            if ret.mem.is_some() {
-                self.lsq_count += 1;
-            }
-            // Rename: record ourselves as producer of our destination.
-            if let Some(d) = ret.inst.dest() {
-                self.reg_producer[d.number() as usize] = seq;
-            }
-            if ret.inst.writes_sp() && ret.inst.sp_immediate_adjust().is_none() {
+            let slot = self.build_slot(seq, f, win);
+            self.lsq_count += usize::from(f.flags & F_MEM != 0);
+            if f.flags & F_SP_INTERLOCK != 0 {
                 self.decode_block_on = Some(seq);
             }
             let sidx = (seq & self.seq_mask) as usize;
@@ -667,13 +652,16 @@ impl<'a> Pipeline<'a> {
 
     /// Builds the hot-path slot for a dispatching instruction: classifies
     /// the execution kind, steers memory references to the right structure,
-    /// computes latencies and collects dependences.
+    /// computes latencies and collects dependences — all off the shared
+    /// [`Facts`].
     #[allow(clippy::too_many_lines)]
-    fn build_slot(&mut self, seq: u64, ret: &Retired) -> Slot {
+    fn build_slot(&mut self, seq: u64, f: &Facts, win: &Window) -> Slot {
         // Speculative $sp tracking (§3.1): immediate adjustments update the
-        // stack engine in decode, in program order.
-        if let Some(sp) = ret.sp_update {
+        // stack engine in decode, in program order. The payload lives in
+        // the wide record (rare enough not to bloat the facts).
+        if f.flags & F_SP_UPDATE != 0 {
             if let Some(svf) = self.svf.as_mut() {
+                let sp = win.record(seq).sp_update.expect("F_SP_UPDATE implies a payload");
                 svf.on_sp_update(sp.old_sp, sp.new_sp);
             }
         }
@@ -683,24 +671,18 @@ impl<'a> Pipeline<'a> {
         let mut kind;
         let mut latency;
         let mut drop_sp_dep = false;
-        let mut commit_flags = if ret.control.is_some() { CF_CONTROL } else { 0 };
-        let mut commit_qw = 0u64;
 
-        if let Some(m) = ret.mem {
-            let is_stack = m.region(self.heap_base).is_stack();
-            let qw = m.addr / 8;
-            commit_flags |= CF_MEM
-                | if m.is_store { CF_STORE } else { 0 }
-                | if m.base.is_sp() { CF_SP_BASE } else { 0 }
-                | if is_stack { CF_STACK } else { 0 };
-            commit_qw = qw;
-            // One alias-table probe serves every route below. Recorded seqs
-            // can be stale (already committed); filter against the commit
-            // head here, once.
-            let (sp_raw, other_raw) = self.alias.get(qw);
-            let sp_live = (sp_raw != NO_SEQ && sp_raw >= self.head_seq).then_some(sp_raw);
+        if f.flags & F_MEM != 0 {
+            let is_stack = f.flags & F_STACK != 0;
+            let is_store = f.flags & F_STORE != 0;
+            let sp_base = f.flags & F_SP_BASE != 0;
+            let addr = f.addr;
+            // The youngest-earlier-store chains are precomputed on the
+            // stream; only the liveness filter against our own commit head
+            // is per-config.
+            let sp_live = (f.prev_sp != NO_SEQ && f.prev_sp >= self.head_seq).then_some(f.prev_sp);
             let other_live =
-                (other_raw != NO_SEQ && other_raw >= self.head_seq).then_some(other_raw);
+                (f.prev_other != NO_SEQ && f.prev_other >= self.head_seq).then_some(f.prev_other);
             // Youngest in-flight store (any base register) to the quad-word.
             let youngest = match (sp_live, other_live) {
                 (Some(x), Some(y)) => Some(x.max(y)),
@@ -718,10 +700,10 @@ impl<'a> Pipeline<'a> {
                 (StackEngine::StackCache(_), true) => Route::StackCache,
                 (StackEngine::Svf { .. }, true) => {
                     let svf = self.svf.as_ref().expect("svf engine");
-                    if !svf.in_range(m.addr) {
+                    if !svf.in_range(addr) {
                         self.stats.svf_out_of_window += 1;
                         Route::Dl1
-                    } else if m.base.is_sp() {
+                    } else if sp_base {
                         Route::Morph
                     } else {
                         Route::Reroute
@@ -732,8 +714,8 @@ impl<'a> Pipeline<'a> {
 
             match route {
                 Route::Dl1 => {
-                    let lat = self.hier.data_access(m.addr, m.is_store);
-                    if m.is_store {
+                    let lat = self.hier.data_access(addr, is_store);
+                    if is_store {
                         kind = ExecKind::StoreDl1;
                         latency = 1;
                     } else {
@@ -745,7 +727,7 @@ impl<'a> Pipeline<'a> {
                             latency = self.cfg.store_forward_latency;
                         }
                     }
-                    if self.cfg.no_addr_calc_for_stack && m.base.is_sp() && is_stack {
+                    if self.cfg.no_addr_calc_for_stack && sp_base && is_stack {
                         drop_sp_dep = true;
                     }
                 }
@@ -753,20 +735,22 @@ impl<'a> Pipeline<'a> {
                     morphed = true;
                     drop_sp_dep = true; // early address resolution in decode
                     let svf = self.svf.as_mut().expect("svf engine");
-                    if m.is_store {
+                    if is_store {
                         self.stats.svf_morphed_stores += 1;
-                        let acc = svf.store(m.addr, m.size).expect("in range");
+                        let acc = svf.store(addr, f.size).expect("in range");
                         // Morphed stores are plain register writes in the
                         // pipeline; the SVF array is updated at commit off
                         // the critical path (§3.2: "the morphed references
                         // are committed to the SVF"), so no read-port use.
                         kind = ExecKind::Free;
-                        latency = 1 + if acc.filled { self.hier.data_access(m.addr, false) } else { 0 };
+                        latency =
+                            1 + if acc.filled { self.hier.data_access(addr, false) } else { 0 };
                     } else {
                         self.stats.svf_morphed_loads += 1;
-                        let acc = svf.load(m.addr, m.size).expect("in range");
+                        let acc = svf.load(addr, f.size).expect("in range");
                         kind = ExecKind::LoadStack;
-                        latency = 1 + if acc.filled { self.hier.data_access(m.addr, false) } else { 0 };
+                        latency =
+                            1 + if acc.filled { self.hier.data_access(addr, false) } else { 0 };
                         // Register-style forwarding from sp-based stores:
                         // the value is read from the physical register file
                         // through the RAT (§5.3.1), not through an SVF port.
@@ -791,16 +775,16 @@ impl<'a> Pipeline<'a> {
                     self.stats.svf_rerouted += 1;
                     let svf = self.svf.as_mut().expect("svf engine");
                     let penalty = 2; // address calc + late bounds check (§3)
-                    if m.is_store {
-                        let acc = svf.store(m.addr, m.size).expect("in range");
+                    if is_store {
+                        let acc = svf.store(addr, f.size).expect("in range");
                         kind = ExecKind::StoreStack;
                         latency =
-                            1 + if acc.filled { self.hier.data_access(m.addr, false) } else { 0 };
+                            1 + if acc.filled { self.hier.data_access(addr, false) } else { 0 };
                     } else {
-                        let acc = svf.load(m.addr, m.size).expect("in range");
+                        let acc = svf.load(addr, f.size).expect("in range");
                         kind = ExecKind::LoadStack;
                         latency = penalty
-                            + if acc.filled { self.hier.data_access(m.addr, false) } else { 0 };
+                            + if acc.filled { self.hier.data_access(addr, false) } else { 0 };
                         if let Some(d) = youngest {
                             forward_from = Some(d);
                             latency = latency.max(self.cfg.store_forward_latency);
@@ -810,10 +794,9 @@ impl<'a> Pipeline<'a> {
                 Route::StackCache => {
                     self.stats.stack_cache_refs += 1;
                     let sc = self.stack_cache.as_mut().expect("stack cache engine");
-                    let hit = sc.access(m.addr, m.is_store);
-                    let miss_extra =
-                        if hit { 0 } else { self.hier.l2_access(m.addr, m.is_store) };
-                    if m.is_store {
+                    let hit = sc.access(addr, is_store);
+                    let miss_extra = if hit { 0 } else { self.hier.l2_access(addr, is_store) };
+                    if is_store {
                         kind = ExecKind::StoreStack;
                         latency = 1 + miss_extra;
                     } else {
@@ -827,8 +810,8 @@ impl<'a> Pipeline<'a> {
                 }
                 Route::IdealMorph => {
                     morphed = true;
-                    drop_sp_dep = m.base.is_sp();
-                    if m.is_store {
+                    drop_sp_dep = sp_base;
+                    if is_store {
                         self.stats.svf_morphed_stores += 1;
                         kind = ExecKind::Free;
                         latency = 1;
@@ -840,21 +823,11 @@ impl<'a> Pipeline<'a> {
                     }
                 }
             }
-
-            // Record this store in the alias table.
-            if m.is_store {
-                self.alias.record(qw, seq, m.base.is_sp());
-            }
         } else {
             // Non-memory instruction.
-            kind = match ret.inst {
-                Inst::Op { op, .. } if op.is_mul_class() => {
-                    if op == AluOp::Mulq {
-                        ExecKind::Mul
-                    } else {
-                        ExecKind::Div
-                    }
-                }
+            kind = match f.kind {
+                1 => ExecKind::Mul,
+                2 => ExecKind::Div,
                 _ => ExecKind::Alu,
             };
             latency = match kind {
@@ -864,16 +837,17 @@ impl<'a> Pipeline<'a> {
             };
         }
 
-        // Register dependences via the rename table (no allocation: an
-        // instruction has at most two distinct non-$zero sources).
+        // Register dependences off the precomputed youngest-earlier-writer
+        // chains; the liveness filter against our commit head (and the SVF's
+        // dropped $sp dependence) is the only per-config part.
         let mut deps = [0u64; 2];
         let mut ndeps = 0u8;
-        for src in ret.inst.src_regs().into_iter().flatten() {
-            if drop_sp_dep && src.is_sp() {
+        for i in 0..f.ndeps as usize {
+            if drop_sp_dep && f.dep_sp & (1 << i) != 0 {
                 continue;
             }
-            let p = self.reg_producer[src.number() as usize];
-            if p != NO_PRODUCER && p >= self.head_seq {
+            let p = f.deps[i];
+            if p >= self.head_seq {
                 deps[ndeps as usize] = p;
                 ndeps += 1;
             }
@@ -889,18 +863,16 @@ impl<'a> Pipeline<'a> {
             forward_from: forward_from.unwrap_or(NO_PRODUCER),
             latency,
             eligible_at: ELIGIBLE_UNKNOWN,
-            commit_qw,
             ndeps,
             kind,
-            unmorphed_store: ret.mem.is_some_and(|m| m.is_store) && !morphed,
-            commit_flags,
-            commit_dest: ret.inst.dest().map_or(NO_DEST, |d| d.number()),
+            unmorphed_store: f.flags & F_STORE != 0 && !morphed,
+            commit_flags: f.flags & COMMIT_FLAG_MASK,
         }
     }
 
     // ---- fetch ----
 
-    fn fetch(&mut self) {
+    fn fetch(&mut self, win: &Window) {
         if self.stream_done {
             return;
         }
@@ -912,33 +884,30 @@ impl<'a> Pipeline<'a> {
             if (self.next_seq - self.ifq_head) as usize >= self.cfg.ifq_size {
                 break;
             }
-            if self.emu.is_halted() || self.stats_fetched() >= self.fetch_budget {
+            if self.next_seq == win.hi() {
+                // The stream encodes both halt and the instruction budget
+                // as its end; `advance` guarantees a cycle never starts
+                // without a full fetch group unless the stream is done.
+                debug_assert!(win.done(), "cycle ran without a full fetch group");
                 self.stream_done = true;
                 break;
             }
             let seq = self.next_seq;
-            let fidx = (seq & self.ifq_mask) as usize;
-            // The record is written straight into its ring slot; the reads
-            // below go through the slot (disjoint field borrows).
-            if let Err(e) = self.emu.step_record(&mut self.fetched[fidx]) {
-                panic!("functional fault during simulation: {e}");
-            }
-            let pc = self.fetched[fidx].pc;
-            let control = self.fetched[fidx].control;
+            let f = win.fact(seq);
             // I-cache: charge once per line.
-            let line = pc >> self.il1_line_shift;
+            let line = f.pc >> self.il1_line_shift;
             if line != self.last_fetch_line {
                 self.last_fetch_line = line;
-                let lat = self.hier.inst_fetch(pc);
+                let lat = self.hier.inst_fetch(f.pc);
                 if lat > self.cfg.hierarchy.il1.hit_latency {
                     self.fetch_resume_at = self.now + lat;
                 }
             }
             self.next_seq += 1;
-            let is_control = control.is_some();
-            let taken = control.is_some_and(|c| c.taken);
+            let is_control = f.flags & F_CONTROL != 0;
+            let taken = f.flags & F_TAKEN != 0;
             let correct =
-                if is_control { self.predictor.predict_and_update(&self.fetched[fidx]) } else { true };
+                if is_control { self.predictor.predict_and_update(win.record(seq)) } else { true };
             if is_control && !correct {
                 self.stats.mispredicts += 1;
                 self.fetch_blocked_on = Some(seq);
@@ -949,16 +918,13 @@ impl<'a> Pipeline<'a> {
             }
         }
     }
-
-    fn stats_fetched(&self) -> u64 {
-        self.next_seq
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::PredictorKind;
+    use svf_emu::Emulator;
 
     fn compile(src: &str) -> Program {
         svf_cc::compile_to_program(src).expect("compiles")

@@ -37,9 +37,11 @@
 mod machine;
 mod memory;
 mod retired;
+mod stream;
 mod trace;
 
 pub use machine::{EmuError, Emulator, RunOutcome};
 pub use memory::Memory;
 pub use retired::{AccessMethod, ControlFlow, MemAccess, Retired, SpUpdate};
-pub use trace::{TraceReader, TraceWriter};
+pub use stream::{LiveSource, RecordRing, RecordSource, StreamError, TraceSource};
+pub use trace::{TraceError, TraceReader, TraceWriter};

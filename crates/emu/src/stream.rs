@@ -1,0 +1,355 @@
+//! One functional stream, many consumers: the shared committed-record
+//! plumbing behind lockstep timing sweeps.
+//!
+//! A [`RecordSource`] produces [`Retired`] records one at a time — either
+//! live from an [`Emulator`] ([`LiveSource`]) or replayed from a captured
+//! binary trace ([`TraceSource`]). A [`RecordRing`] buffers the stream into
+//! a bounded, seq-indexed window so any number of timing models can walk
+//! the same records without the producer re-executing per consumer: the
+//! ring is filled once per window, consumers read records by sequence
+//! number, and [`RecordRing::fill`] never overwrites a record an attached
+//! consumer still needs (the caller passes the oldest live seq).
+
+use std::io::Read;
+use std::ops::Range;
+
+use svf_isa::{Program, Reg};
+
+use crate::machine::{EmuError, Emulator};
+use crate::retired::Retired;
+use crate::trace::{TraceError, TraceReader};
+
+/// Why a record stream stopped early.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The live emulator faulted (a functional bug in the program).
+    Emu(EmuError),
+    /// The trace being replayed is truncated or corrupt.
+    Trace(TraceError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Emu(e) => write!(f, "{e}"),
+            StreamError::Trace(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<EmuError> for StreamError {
+    fn from(e: EmuError) -> StreamError {
+        StreamError::Emu(e)
+    }
+}
+
+impl From<TraceError> for StreamError {
+    fn from(e: TraceError) -> StreamError {
+        StreamError::Trace(e)
+    }
+}
+
+/// A producer of committed-instruction records, consumed through a
+/// [`RecordRing`]. The two context accessors expose what timing models
+/// need before the first record arrives.
+pub trait RecordSource {
+    /// The program's heap base (memory-region classification).
+    fn heap_base(&self) -> u64;
+
+    /// `$sp` before the first record (sizes the SVF window).
+    fn initial_sp(&self) -> u64;
+
+    /// Writes the next record into `out`; `Ok(false)` at a clean end of
+    /// stream (after which it is never called again).
+    ///
+    /// # Errors
+    ///
+    /// Functional faults / trace corruption, via [`StreamError`].
+    fn next_record(&mut self, out: &mut Retired) -> Result<bool, StreamError>;
+}
+
+/// Live functional execution as a record source: the emulator runs the
+/// program once, however many timing models consume the stream.
+#[derive(Debug)]
+pub struct LiveSource {
+    emu: Emulator,
+    initial_sp: u64,
+}
+
+impl LiveSource {
+    /// Loads `program` into a fresh emulator.
+    #[must_use]
+    pub fn new(program: &Program) -> LiveSource {
+        let emu = Emulator::new(program);
+        let initial_sp = emu.reg(Reg::SP);
+        LiveSource { emu, initial_sp }
+    }
+
+    /// The emulator, for post-run inspection (program output, step count).
+    #[must_use]
+    pub fn emulator(&self) -> &Emulator {
+        &self.emu
+    }
+}
+
+impl RecordSource for LiveSource {
+    fn heap_base(&self) -> u64 {
+        self.emu.heap_base()
+    }
+
+    fn initial_sp(&self) -> u64 {
+        self.initial_sp
+    }
+
+    fn next_record(&mut self, out: &mut Retired) -> Result<bool, StreamError> {
+        if self.emu.is_halted() {
+            return Ok(false);
+        }
+        self.emu.step_record(out)?;
+        Ok(true)
+    }
+}
+
+/// A captured binary trace as a record source: replaying a trace through
+/// the timing model is bit-identical to the live run it captured.
+#[derive(Debug)]
+pub struct TraceSource<R: Read> {
+    reader: TraceReader<R>,
+}
+
+impl<R: Read> TraceSource<R> {
+    /// Wraps an open trace reader.
+    #[must_use]
+    pub fn new(reader: TraceReader<R>) -> TraceSource<R> {
+        TraceSource { reader }
+    }
+
+    /// Opens a trace from any byte stream (validates the header).
+    ///
+    /// # Errors
+    ///
+    /// Propagates header validation failures ([`TraceError`]).
+    pub fn open(input: R) -> Result<TraceSource<R>, TraceError> {
+        Ok(TraceSource { reader: TraceReader::new(input)? })
+    }
+}
+
+impl<R: Read> RecordSource for TraceSource<R> {
+    fn heap_base(&self) -> u64 {
+        self.reader.heap_base
+    }
+
+    fn initial_sp(&self) -> u64 {
+        self.reader.initial_sp
+    }
+
+    fn next_record(&mut self, out: &mut Retired) -> Result<bool, StreamError> {
+        match self.reader.next_record()? {
+            Some(r) => {
+                *out = r;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+}
+
+/// A bounded, seq-indexed window over a record stream. Records live at
+/// `seq & mask()`; the window covers `[oldest live seq, hi())`, where the
+/// caller of [`RecordRing::fill`] defines "oldest live" — the producer
+/// writes each record exactly once and consumers read it in place.
+#[derive(Debug)]
+pub struct RecordRing {
+    records: Box<[Retired]>,
+    mask: u64,
+    hi: u64,
+    limit: u64,
+    done: bool,
+}
+
+impl RecordRing {
+    /// A ring holding `capacity` records (rounded up to a power of two)
+    /// that will produce at most `limit` records in total — the stream's
+    /// instruction budget.
+    #[must_use]
+    pub fn new(capacity: usize, limit: u64) -> RecordRing {
+        let cap = capacity.next_power_of_two().max(1);
+        RecordRing {
+            records: vec![Retired::PLACEHOLDER; cap].into_boxed_slice(),
+            mask: cap as u64 - 1,
+            hi: 0,
+            limit,
+            done: false,
+        }
+    }
+
+    /// Produced records: sequence numbers `0..hi()` have been written
+    /// (those at least `hi() - capacity` are still resident).
+    #[must_use]
+    pub fn hi(&self) -> u64 {
+        self.hi
+    }
+
+    /// Whether the stream ended (source exhausted or budget reached).
+    #[must_use]
+    pub fn done(&self) -> bool {
+        self.done
+    }
+
+    /// Ring index mask (`capacity - 1`).
+    #[must_use]
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// The record at `seq`, which must still be resident.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, seq: u64) -> &Retired {
+        debug_assert!(seq < self.hi && self.hi - seq <= self.mask + 1, "seq {seq} not resident");
+        &self.records[(seq & self.mask) as usize]
+    }
+
+    /// Pulls records from `src` until the ring is full (relative to
+    /// `keep_from`, the oldest seq any consumer still needs), the budget is
+    /// exhausted, or the source ends. Returns the newly produced seq range
+    /// so callers can post-process exactly the fresh records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's [`StreamError`]; records produced before the
+    /// failure remain readable.
+    pub fn fill<S: RecordSource + ?Sized>(
+        &mut self,
+        src: &mut S,
+        keep_from: u64,
+    ) -> Result<Range<u64>, StreamError> {
+        debug_assert!(keep_from <= self.hi, "cannot retain records never produced");
+        let lo = self.hi;
+        let room = keep_from.saturating_add(self.mask + 1);
+        while !self.done && self.hi < room {
+            if self.hi >= self.limit {
+                self.done = true;
+                break;
+            }
+            let idx = (self.hi & self.mask) as usize;
+            if src.next_record(&mut self.records[idx])? {
+                self.hi += 1;
+            } else {
+                self.done = true;
+            }
+        }
+        Ok(lo..self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svf_asm::assemble;
+    use svf_isa::STACK_BASE;
+
+    const KERNEL: &str = "
+main:
+    lda $sp, -16($sp)
+    li $t0, 5
+.loop:
+    stq $t0, 0($sp)
+    subq $t0, 1, $t0
+    bne $t0, .loop
+    lda $sp, 16($sp)
+    halt";
+
+    fn reference_stream(p: &Program) -> Vec<Retired> {
+        let mut emu = Emulator::new(p);
+        let mut out = Vec::new();
+        while !emu.is_halted() {
+            out.push(emu.step().expect("runs"));
+        }
+        out
+    }
+
+    #[test]
+    fn live_source_reproduces_the_emulator_stream() {
+        let p = assemble(KERNEL).expect("assembles");
+        let want = reference_stream(&p);
+        let mut src = LiveSource::new(&p);
+        assert_eq!(src.initial_sp(), STACK_BASE);
+        assert_eq!(src.heap_base(), p.heap_base);
+        let mut got = Vec::new();
+        let mut r = Retired::PLACEHOLDER;
+        while src.next_record(&mut r).expect("steps") {
+            got.push(r);
+        }
+        assert_eq!(got, want);
+        assert!(!src.next_record(&mut r).expect("idempotent end"), "stays ended");
+    }
+
+    #[test]
+    fn ring_windows_respect_retention_and_budget() {
+        let p = assemble(KERNEL).expect("assembles");
+        let want = reference_stream(&p);
+        assert!(want.len() > 8, "kernel long enough to wrap a tiny ring");
+        let mut src = LiveSource::new(&p);
+        let mut ring = RecordRing::new(4, u64::MAX);
+        let first = ring.fill(&mut src, 0).expect("fills");
+        assert_eq!(first, 0..4, "ring fills to capacity");
+        assert!(!ring.done());
+        // Nothing released: another fill is a no-op.
+        assert_eq!(ring.fill(&mut src, 0).expect("fills"), 4..4);
+        // Walk the stream window by window, checking every record.
+        let mut next = 0u64;
+        loop {
+            while next < ring.hi() {
+                assert_eq!(ring.get(next), &want[next as usize], "record {next}");
+                next += 1;
+            }
+            if ring.done() {
+                break;
+            }
+            let fresh = ring.fill(&mut src, next).expect("fills");
+            assert!(!fresh.is_empty() || ring.done(), "fill must make progress");
+        }
+        assert_eq!(next as usize, want.len());
+    }
+
+    #[test]
+    fn budget_caps_the_stream() {
+        let p = assemble(KERNEL).expect("assembles");
+        let mut src = LiveSource::new(&p);
+        let mut ring = RecordRing::new(64, 7);
+        let got = ring.fill(&mut src, 0).expect("fills");
+        assert_eq!(got, 0..7);
+        assert!(ring.done(), "budget exhaustion ends the stream");
+    }
+
+    #[test]
+    fn trace_source_round_trips_through_the_ring() {
+        let p = assemble(KERNEL).expect("assembles");
+        let want = reference_stream(&p);
+        let mut w = crate::TraceWriter::new(Vec::new(), p.entry, p.heap_base, STACK_BASE)
+            .expect("header");
+        for r in &want {
+            w.push(r).expect("writes");
+        }
+        let bytes = w.finish().expect("finish");
+        let mut src = TraceSource::open(bytes.as_slice()).expect("opens");
+        assert_eq!(src.heap_base(), p.heap_base);
+        assert_eq!(src.initial_sp(), STACK_BASE);
+        let mut ring = RecordRing::new(8, u64::MAX);
+        let mut next = 0u64;
+        loop {
+            ring.fill(&mut src, next).expect("fills");
+            while next < ring.hi() {
+                assert_eq!(ring.get(next), &want[next as usize], "record {next}");
+                next += 1;
+            }
+            if ring.done() {
+                break;
+            }
+        }
+        assert_eq!(next as usize, want.len());
+    }
+}

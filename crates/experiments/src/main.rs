@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! svf-experiments <experiment> [--scale test|small|full] [--csv DIR]
-//!                              [--jobs N] [--out DIR]
+//!                              [--jobs N] [--out DIR] [--no-lockstep]
 //! experiments: fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig9 table1 table2
 //!              table3 table4 ablation-* partial-word all
-//! --csv DIR  additionally writes each result table as DIR/<id>[.n].csv
-//! --jobs N   simulate N jobs in parallel (default: all hardware threads)
-//! --out DIR  per-job result sink: DIR/<experiment>/<job>.csv; jobs whose
-//!            result file exists are resumed instead of re-simulated
+//! --csv DIR      additionally writes each result table as DIR/<id>[.n].csv
+//! --jobs N       simulate N jobs in parallel (default: all hardware threads)
+//! --out DIR      per-job result sink: DIR/<experiment>/<job>.csv; jobs whose
+//!                result file exists are resumed instead of re-simulated
+//! --no-lockstep  simulate each job against its own emulator instead of
+//!                batching jobs that share a program over one functional
+//!                stream (bit-identical either way; for A/B timing)
 //! ```
 
 use std::time::Instant;
@@ -41,7 +44,7 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: svf-experiments <experiment> [--scale test|small|full] [--csv DIR] [--jobs N] [--out DIR]\n\
+        "usage: svf-experiments <experiment> [--scale test|small|full] [--csv DIR] [--jobs N] [--out DIR] [--no-lockstep]\n\
          experiments: {}",
         EXPERIMENTS.join(" ")
     );
@@ -65,9 +68,11 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut out_dir: Option<String> = None;
+    let mut lockstep = true;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--no-lockstep" => lockstep = false,
             "--scale" => {
                 scale = match required_value(&mut it, "--scale").as_str() {
                     "test" => Scale::Test,
@@ -103,7 +108,8 @@ fn main() {
 
     // Every figure/table driver routes its simulations through the global
     // harness, so `--jobs`/`--out` are installed exactly once, here.
-    let mut harness = svf_harness::Harness::parallel().with_progress(true);
+    let mut harness =
+        svf_harness::Harness::parallel().with_progress(true).with_lockstep(lockstep);
     if let Some(n) = jobs {
         harness = harness.with_workers(n);
     }

@@ -12,11 +12,17 @@
 //!    **memoized process-wide**: the first job needing a [`ProgramSpec`]
 //!    compiles it, every other job sharing the spec reuses the same
 //!    `Arc<Program>` — a C-config × W-workload matrix performs W
-//!    compilations, not C·W (see [`compile_count`]). Each job runs under
-//!    `catch_unwind`, so one diverging simulation reports as
-//!    [`JobOutcome::Failed`] instead of killing the run; a failing or
-//!    panicking *compile* poisons only its cache entry, failing exactly
-//!    the jobs that share the spec, all with the same message.
+//!    compilations, not C·W (see [`compile_count`]). With **lockstep
+//!    batching** (the default, see [`Harness::with_lockstep`]) the
+//!    *functional execution* is shared the same way: jobs with the same
+//!    spec form one scheduling group driven by [`svf_cpu::run_lockstep`],
+//!    so the emulator runs once per program instead of once per job, with
+//!    bit-identical results. Work runs under `catch_unwind`, so one
+//!    diverging simulation reports as [`JobOutcome::Failed`] instead of
+//!    killing the run (a panicking lockstep group re-runs its jobs
+//!    individually, isolating the diverging one); a failing or panicking
+//!    *compile* poisons only its cache entry, failing exactly the jobs
+//!    that share the spec, all with the same message.
 //! 3. **Reassembly** — results come back in job-id order, making parallel
 //!    output bit-identical to serial output (every simulation is itself
 //!    deterministic).
@@ -59,6 +65,8 @@ mod pool;
 mod progress;
 mod sink;
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -76,12 +84,14 @@ pub use sink::RunDir;
 
 use progress::Progress;
 
-/// Execution policy: how many workers, where results go, whether to narrate.
+/// Execution policy: how many workers, where results go, whether to narrate,
+/// whether jobs sharing a program ride one functional stream.
 #[derive(Debug, Clone)]
 pub struct Harness {
     workers: usize,
     out_dir: Option<PathBuf>,
     progress: bool,
+    lockstep: bool,
 }
 
 impl Default for Harness {
@@ -95,7 +105,7 @@ impl Harness {
     #[must_use]
     pub fn parallel() -> Harness {
         let workers = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        Harness { workers, out_dir: None, progress: false }
+        Harness { workers, out_dir: None, progress: false, lockstep: true }
     }
 
     /// A single worker (the job queue still runs, panic isolation included).
@@ -126,6 +136,19 @@ impl Harness {
         self
     }
 
+    /// Enables or disables lockstep batching (on by default): jobs sharing
+    /// a [`ProgramSpec`] are scheduled as one group riding a single
+    /// functional execution of the program ([`svf_cpu::run_lockstep`]),
+    /// instead of each job re-running the emulator. Results are
+    /// bit-identical either way (pinned by the workspace golden tests);
+    /// lockstep trades per-job scheduling granularity for doing the
+    /// functional work once per program.
+    #[must_use]
+    pub fn with_lockstep(mut self, on: bool) -> Harness {
+        self.lockstep = on;
+        self
+    }
+
     /// The configured worker count.
     #[must_use]
     pub fn workers(&self) -> usize {
@@ -147,21 +170,18 @@ impl Harness {
         });
         let jobs = exp.jobs();
         let progress = Progress::new(&exp.name, jobs.len(), self.progress);
+        // The scheduling unit is a *group*: all jobs sharing a program when
+        // lockstep is on (they ride one functional stream), singletons
+        // otherwise.
+        let groups = group_jobs(jobs, self.lockstep);
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<JobReport>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
         thread::scope(|scope| {
-            for _ in 0..self.workers.clamp(1, jobs.len().max(1)) {
+            for _ in 0..self.workers.clamp(1, groups.len().max(1)) {
                 scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { break };
-                    let report = run_one(job, sink.as_ref());
-                    let (cycles, resumed, failed) = match &report.outcome {
-                        JobOutcome::Completed(s) => (s.cycles, false, false),
-                        JobOutcome::Resumed(_) => (0, true, false),
-                        JobOutcome::Failed(_) => (0, false, true),
-                    };
-                    progress.record(cycles, resumed, failed);
-                    *slots[i].lock().expect("report slot") = Some(report);
+                    let g = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(idxs) = groups.get(g) else { break };
+                    run_group(jobs, idxs, sink.as_ref(), &progress, &slots);
                 });
             }
         });
@@ -175,6 +195,115 @@ impl Harness {
             wall: started.elapsed(),
             summary,
         }
+    }
+}
+
+/// Partitions job indices into scheduling groups: per-program when
+/// `lockstep` (in first-appearance order, members in id order), singletons
+/// otherwise.
+fn group_jobs(jobs: &[Job], lockstep: bool) -> Vec<Vec<usize>> {
+    if !lockstep {
+        return (0..jobs.len()).map(|i| vec![i]).collect();
+    }
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut by_program: HashMap<memo::Key, usize> = HashMap::new();
+    for (i, job) in jobs.iter().enumerate() {
+        match by_program.entry(memo::key(&job.program)) {
+            Entry::Occupied(e) => groups[*e.get()].push(i),
+            Entry::Vacant(v) => {
+                v.insert(groups.len());
+                groups.push(vec![i]);
+            }
+        }
+    }
+    groups
+}
+
+/// Executes one scheduling group: resumes what the sink already holds, runs
+/// a lone fresh job directly, and batches two or more fresh jobs through
+/// [`svf_cpu::run_lockstep`] over one shared functional execution. Fills
+/// `slots` and `progress` exactly like per-job execution would.
+fn run_group(
+    jobs: &[Job],
+    idxs: &[usize],
+    sink: Option<&RunDir>,
+    progress: &Progress,
+    slots: &[Mutex<Option<JobReport>>],
+) {
+    let deliver = |i: usize, report: JobReport| {
+        let (cycles, resumed, failed) = match &report.outcome {
+            JobOutcome::Completed(s) => (s.cycles, false, false),
+            JobOutcome::Resumed(_) => (0, true, false),
+            JobOutcome::Failed(_) => (0, false, true),
+        };
+        progress.record(cycles, resumed, failed);
+        *slots[i].lock().expect("report slot") = Some(report);
+    };
+    let mut fresh: Vec<usize> = Vec::new();
+    for &i in idxs {
+        if let Some(stats) = sink.and_then(|s| s.load(&jobs[i])) {
+            deliver(i, report_for(&jobs[i], JobOutcome::Resumed(stats), Duration::ZERO));
+        } else {
+            fresh.push(i);
+        }
+    }
+    let [single] = fresh.as_slice() else {
+        if fresh.is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        match run_group_lockstep(jobs, &fresh) {
+            Ok(Some(stats)) => {
+                let wall = t0.elapsed() / u32::try_from(fresh.len()).unwrap_or(1).max(1);
+                for (&i, stats) in fresh.iter().zip(stats) {
+                    if let Some(sink) = sink {
+                        if let Err(e) = sink.store(&jobs[i], &stats) {
+                            eprintln!("svf-harness: cannot store {}: {e}", jobs[i].key());
+                        }
+                    }
+                    deliver(i, report_for(&jobs[i], JobOutcome::Completed(stats), wall));
+                }
+            }
+            Ok(None) => {
+                // The batch panicked — some configuration diverged. Fall
+                // back to per-job execution so the failure isolates to the
+                // job(s) that actually diverge, preserving the per-job
+                // failure contract.
+                for &i in &fresh {
+                    deliver(i, run_one(&jobs[i], sink));
+                }
+            }
+            Err(msg) => {
+                // Compilation failed: every sharer fails with one message,
+                // exactly like the per-job memo path.
+                for &i in &fresh {
+                    deliver(i, report_for(&jobs[i], JobOutcome::Failed(msg.clone()), t0.elapsed()));
+                }
+            }
+        }
+        return;
+    };
+    deliver(*single, run_one(&jobs[*single], sink));
+}
+
+/// The batched heart of a group: compile once (memoized), simulate every
+/// fresh configuration over one shared stream. `Ok(None)` reports a panic
+/// inside the batch (the caller falls back to per-job isolation).
+fn run_group_lockstep(jobs: &[Job], fresh: &[usize]) -> Result<Option<Vec<SimStats>>, String> {
+    let program = memo::compile_shared(&jobs[fresh[0]].program)?;
+    let configs: Vec<svf_cpu::CpuConfig> =
+        fresh.iter().map(|&i| jobs[i].config.clone()).collect();
+    Ok(catch_unwind(AssertUnwindSafe(|| svf_cpu::run_lockstep(&configs, &program, u64::MAX)))
+        .ok())
+}
+
+fn report_for(job: &Job, outcome: JobOutcome, wall: Duration) -> JobReport {
+    JobReport {
+        key: job.key(),
+        program_label: job.program.label(),
+        config_label: job.config_label.clone(),
+        outcome,
+        wall,
     }
 }
 
@@ -197,13 +326,7 @@ fn run_one(job: &Job, sink: Option<&RunDir>) -> JobReport {
             Err(payload) => JobOutcome::Failed(pool::panic_message(payload.as_ref())),
         }
     };
-    JobReport {
-        key: job.key(),
-        program_label: job.program.label(),
-        config_label: job.config_label.clone(),
-        outcome,
-        wall: t0.elapsed(),
-    }
+    report_for(job, outcome, t0.elapsed())
 }
 
 /// Everything one [`Harness::run`] produced, in job-id order.

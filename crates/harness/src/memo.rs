@@ -30,13 +30,15 @@ use crate::job::ProgramSpec;
 use crate::pool::panic_message;
 
 /// Owned mirror of [`ProgramSpec`]'s identity, hashable for the cache map.
+/// Also the lockstep grouping key: jobs with equal keys share one program,
+/// hence one functional stream.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum Key {
+pub(crate) enum Key {
     Workload { name: String, input: Option<String>, scale: Scale },
     Source { label: String, source: String, regalloc: bool },
 }
 
-fn key(spec: &ProgramSpec) -> Key {
+pub(crate) fn key(spec: &ProgramSpec) -> Key {
     match spec {
         ProgramSpec::Workload { name, input, scale } => {
             Key::Workload { name: name.clone(), input: input.clone(), scale: *scale }

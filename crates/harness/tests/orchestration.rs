@@ -131,6 +131,43 @@ fn panicking_simulation_reports_failed() {
 }
 
 #[test]
+fn lockstep_and_per_job_execution_are_bit_identical() {
+    // The tiny experiment is one program under four configurations — a
+    // single lockstep group sharing one functional stream vs. four
+    // independent emulator runs must not differ in any counter.
+    let exp = tiny_experiment("lockstep-identity");
+    let batched = Harness::serial().with_lockstep(true).run(&exp);
+    let solo = Harness::serial().with_lockstep(false).run(&exp);
+    for ((a, b), job) in batched.stats().iter().zip(solo.stats()).zip(exp.jobs()) {
+        assert_eq!(*a, b, "{}: lockstep changed simulated behaviour", job.key());
+    }
+}
+
+#[test]
+fn diverging_config_inside_a_lockstep_group_is_isolated() {
+    // A zero-width machine deadlocks the pipeline mid-batch. The group
+    // panics as a whole, falls back to per-job execution, and only the
+    // diverging configuration reports failure.
+    let mut exp = Experiment::new("lockstep-isolation");
+    exp.push(ProgramSpec::source("shared", TINY), "4-wide", CpuConfig::wide4());
+    exp.push(
+        ProgramSpec::source("shared", TINY),
+        "0-wide",
+        CpuConfig { width: 0, ..CpuConfig::wide4() },
+    );
+    exp.push(ProgramSpec::source("shared", TINY), "16-wide", CpuConfig::wide16());
+    let report = Harness::parallel().with_lockstep(true).run(&exp);
+    assert!(report.jobs[0].outcome.stats().is_some(), "healthy sibling completes");
+    assert!(report.jobs[2].outcome.stats().is_some(), "healthy sibling completes");
+    match &report.jobs[1].outcome {
+        JobOutcome::Failed(msg) => {
+            assert!(msg.contains("deadlock"), "panic message survives: {msg}");
+        }
+        other => panic!("deadlocked job must fail, got {other:?}"),
+    }
+}
+
+#[test]
 fn interrupted_runs_resume_from_the_run_dir() {
     let root = tmp_root("resume");
     fs::remove_dir_all(&root).ok();

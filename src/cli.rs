@@ -18,7 +18,7 @@ use std::error::Error;
 use std::fmt::Write as _;
 
 use svf::SvfConfig;
-use svf_cpu::{CpuConfig, PredictorKind, Simulator, StackEngine};
+use svf_cpu::{CpuConfig, PredictorKind, SimStats, Simulator, StackEngine};
 use svf_emu::Emulator;
 use svf_isa::Program;
 use svf_mem::StackCacheConfig;
@@ -188,6 +188,9 @@ pub fn compile_input(o: &CliOptions, source: &str) -> Result<Program, String> {
 /// Any parse, compile, or functional-execution failure.
 pub fn run_cli(args: &[String]) -> Result<String, Box<dyn Error>> {
     let o = parse_args(args)?;
+    if o.path.ends_with(".svft") {
+        return replay_trace(&o);
+    }
     let source = std::fs::read_to_string(&o.path)?;
     if o.emit_asm {
         let cc_opts = if o.naive {
@@ -226,7 +229,8 @@ pub fn run_cli(args: &[String]) -> Result<String, Box<dyn Error>> {
     }
     if let Some(path) = &o.dump_trace {
         let file = std::io::BufWriter::new(std::fs::File::create(path)?);
-        let mut w = svf_emu::TraceWriter::new(file, program.entry, program.heap_base)?;
+        let initial_sp = emu.reg(svf_isa::Reg::SP);
+        let mut w = svf_emu::TraceWriter::new(file, program.entry, program.heap_base, initial_sp)?;
         while !emu.is_halted() && emu.steps() < o.max_insts {
             let r = emu.step()?;
             w.push(&r)?;
@@ -256,6 +260,49 @@ pub fn run_cli(args: &[String]) -> Result<String, Box<dyn Error>> {
 
     let cfg = build_config(&o)?;
     let stats = Simulator::new(cfg).run(&program, o.max_insts);
+    append_timing_report(&mut report, &o, &stats);
+
+    if o.compare {
+        let mut base_cfg = build_config(&CliOptions {
+            engine: "none".into(),
+            stack_ports: 0,
+            ..o.clone()
+        })?;
+        base_cfg.stack_engine = StackEngine::None;
+        let base = Simulator::new(base_cfg).run(&program, o.max_insts);
+        let _ = writeln!(
+            report,
+            "[baseline ({}+0)] {} cycles, IPC {:.2} -> speedup {:.3}x",
+            o.dl1_ports,
+            base.cycles,
+            base.ipc(),
+            stats.speedup_over(&base)
+        );
+    }
+    Ok(report)
+}
+
+/// Replays a captured `.svft` binary trace (see `--dump-trace`) through
+/// the timing model: no compiler, no emulator — the trace *is* the
+/// committed instruction stream, and the reported statistics are
+/// bit-identical to a live run of the same program under the same
+/// configuration.
+fn replay_trace(o: &CliOptions) -> Result<String, Box<dyn Error>> {
+    let cfg = build_config(o)?;
+    let file = std::io::BufReader::new(std::fs::File::open(&o.path)?);
+    let src = svf_emu::TraceSource::open(file)?;
+    let stats = svf_cpu::run_lockstep_trace(std::slice::from_ref(&cfg), src, o.max_insts)?
+        .pop()
+        .expect("one config in, one result out");
+    let mut report = String::new();
+    let _ = writeln!(report, "--- replayed {} trace records ---", stats.committed);
+    append_timing_report(&mut report, o, &stats);
+    Ok(report)
+}
+
+/// The timing lines shared by live runs and trace replays — identical
+/// stream, identical text.
+fn append_timing_report(report: &mut String, o: &CliOptions, stats: &SimStats) {
     let _ = writeln!(
         report,
         "[{} {}-wide ({}+{})] {} cycles, IPC {:.2}",
@@ -276,25 +323,6 @@ pub fn run_cli(args: &[String]) -> Result<String, Box<dyn Error>> {
         100.0 * stats.dl1.hit_rate(),
         stats.l2.accesses
     );
-
-    if o.compare {
-        let mut base_cfg = build_config(&CliOptions {
-            engine: "none".into(),
-            stack_ports: 0,
-            ..o.clone()
-        })?;
-        base_cfg.stack_engine = StackEngine::None;
-        let base = Simulator::new(base_cfg).run(&program, o.max_insts);
-        let _ = writeln!(
-            report,
-            "[baseline ({}+0)] {} cycles, IPC {:.2} -> speedup {:.3}x",
-            o.dl1_ports,
-            base.cycles,
-            base.ipc(),
-            stats.speedup_over(&base)
-        );
-    }
-    Ok(report)
 }
 
 #[cfg(test)]

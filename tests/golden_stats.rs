@@ -20,6 +20,7 @@
 //! and paste the printed rows below, noting the model change in the commit.
 
 use svf_cpu::{CpuConfig, SimStats, Simulator, StackEngine};
+use svf_isa::Program;
 use svf_workloads::Scale;
 
 /// The pinned (workload, config) matrix: three kernels spanning the key
@@ -60,12 +61,31 @@ fn configs() -> Vec<(&'static str, CpuConfig)> {
     ]
 }
 
-fn run(workload: &str, cfg: &CpuConfig) -> SimStats {
-    let program = svf_workloads::workload(workload)
+fn compile(workload: &str) -> Program {
+    svf_workloads::workload(workload)
         .unwrap_or_else(|| panic!("workload {workload} exists"))
         .compile(Scale::Test)
-        .expect("compiles");
-    Simulator::new(cfg.clone()).run(&program, u64::MAX)
+        .expect("compiles")
+}
+
+fn run(workload: &str, cfg: &CpuConfig) -> SimStats {
+    Simulator::new(cfg.clone()).run(&compile(workload), u64::MAX)
+}
+
+/// The golden rows for one workload, in `configs()` order.
+fn golden_for(workload: &str) -> Vec<SimStats> {
+    configs()
+        .iter()
+        .map(|(label, _)| {
+            let row = GOLDEN
+                .iter()
+                .find(|(w, c, _)| w == &workload && c == label)
+                .unwrap_or_else(|| panic!("{workload}/{label} pinned"))
+                .2;
+            SimStats::from_csv_row(row)
+                .unwrap_or_else(|e| panic!("{workload}/{label}: golden row malformed: {e}"))
+        })
+        .collect()
 }
 
 /// `(workload, config, full CSV row)` snapshots, in [`svf_cpu::CSV_COLUMNS`]
@@ -112,6 +132,64 @@ fn simstats_are_bit_identical_to_golden_snapshots() {
              `cargo test --release --test golden_stats -- --ignored --nocapture`.",
             actual.to_csv_row()
         );
+    }
+}
+
+/// The tentpole contract of the lockstep driver: running all six
+/// configurations over *one* shared functional execution per workload
+/// produces the same 18 pinned rows as 18 independent live runs.
+#[test]
+fn lockstep_sweep_matches_golden_snapshots() {
+    for w in WORKLOADS {
+        let program = compile(w);
+        let cfgs: Vec<CpuConfig> = configs().into_iter().map(|(_, c)| c).collect();
+        let stats = svf_cpu::run_lockstep(&cfgs, &program, u64::MAX);
+        for ((label, _), (actual, expected)) in
+            configs().iter().zip(stats.iter().zip(golden_for(w)))
+        {
+            assert_eq!(
+                actual, &expected,
+                "{w}/{label}: lockstep diverged from the pinned live run.\n\
+                 expected: {}\n\
+                 actual:   {}",
+                expected.to_csv_row(),
+                actual.to_csv_row()
+            );
+        }
+    }
+}
+
+/// The persisted-trace contract: capture each workload's stream to the
+/// binary trace format once, replay it through all six configurations, and
+/// the same 18 pinned rows come back — the trace is lossless for timing.
+#[test]
+fn trace_replay_matches_golden_snapshots() {
+    for w in WORKLOADS {
+        let program = compile(w);
+        let mut emu = svf_emu::Emulator::new(&program);
+        let initial_sp = emu.reg(svf_isa::Reg::SP);
+        let mut writer =
+            svf_emu::TraceWriter::new(Vec::new(), program.entry, program.heap_base, initial_sp)
+                .expect("trace header");
+        while !emu.is_halted() {
+            writer.push(&emu.step().expect("workload runs")).expect("trace record");
+        }
+        let bytes = writer.finish().expect("trace flush");
+        let cfgs: Vec<CpuConfig> = configs().into_iter().map(|(_, c)| c).collect();
+        let src = svf_emu::TraceSource::open(bytes.as_slice()).expect("trace opens");
+        let stats = svf_cpu::run_lockstep_trace(&cfgs, src, u64::MAX).expect("trace replays");
+        for ((label, _), (actual, expected)) in
+            configs().iter().zip(stats.iter().zip(golden_for(w)))
+        {
+            assert_eq!(
+                actual, &expected,
+                "{w}/{label}: trace replay diverged from the pinned live run.\n\
+                 expected: {}\n\
+                 actual:   {}",
+                expected.to_csv_row(),
+                actual.to_csv_row()
+            );
+        }
     }
 }
 
