@@ -5,7 +5,7 @@
 //! tracked commit over commit.
 //!
 //! Usage: `throughput [OUT.json] [--quick] [--compare BASE.json]`
-//! (default out `BENCH_pr6.json`; see `scripts/bench.sh`).
+//! (default out `BENCH_pr7.json`; see `scripts/bench.sh`).
 //!
 //! * `--quick` — shorter sampling windows: a smoke gate for
 //!   `scripts/check.sh`, not a tracking-quality measurement. Its
@@ -14,9 +14,10 @@
 //!   20–30% machine-wide.
 //! * `--compare BASE.json` — print per-benchmark deltas against a previous
 //!   report and **exit nonzero** if any benchmark present in both runs
-//!   regressed by more than 20%. Benchmarks missing from the baseline are
-//!   reported as *new* and never fail the gate, so a report can add
-//!   benchmarks (the lockstep sweep here) against an older baseline. The
+//!   regressed by more than 20%. Benchmarks absent from the baseline are
+//!   reported as *new*, and baseline benchmarks absent from this run as
+//!   *missing* — neither fails the gate, so reports can add, rename, or
+//!   retire benchmarks against an older baseline without erroring. The
 //!   baseline is read before the output file is written, so comparing a
 //!   run against its own output path sees the previous run's rates.
 //!
@@ -97,11 +98,18 @@ fn compare(rows: &[Row], baseline_path: &str, baseline: &str, floor: f64) -> Vec
             }
         }
     }
+    // Benchmarks the baseline tracked but this run did not produce:
+    // surfaced so a silent drop is visible, but never a gate failure
+    // (renames and retirements are normal report evolution).
+    let current: Vec<&str> = rows.iter().map(|r| r.name).collect();
+    for name in svf_bench::missing_from(&base, &current) {
+        eprintln!("{name:<34} {:>9} -> {:>9} (missing: not in this run)", "?", "-");
+    }
     regressions
 }
 
 fn main() -> ExitCode {
-    let mut out = "BENCH_pr6.json".to_string();
+    let mut out = "BENCH_pr7.json".to_string();
     let mut quick = false;
     let mut compare_path: Option<String> = None;
     let mut args = std::env::args().skip(1);

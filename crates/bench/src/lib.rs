@@ -93,30 +93,26 @@ pub fn stack_kernel() -> Program {
 }
 
 /// The six-configuration sweep pinned by the golden-statistics matrix
-/// (`tests/golden_stats.rs`): three stack-engine variants and three
-/// cache-geometry variants. The lockstep benchmarks run all six against
-/// one shared functional stream; the per-config benchmarks run them
-/// separately — same simulated work either way, so the rates compare.
+/// (`tests/golden_stats.rs`), resolved from the config-space preset
+/// registry: three stack-engine variants and three cache-geometry
+/// variants. The lockstep benchmarks run all six against one shared
+/// functional stream; the per-config benchmarks run them separately —
+/// same simulated work either way, so the rates compare.
+///
+/// # Panics
+///
+/// Panics if a preset name disappears from the registry (pinned there and
+/// by the golden suite).
 #[must_use]
 pub fn sweep_configs() -> Vec<CpuConfig> {
-    use svf_cpu::StackEngine;
-    let mut sc = CpuConfig::wide16().with_ports(2, 2);
-    sc.stack_engine = StackEngine::stack_cache_8kb();
-    let mut svf = CpuConfig::wide16().with_ports(2, 2);
-    svf.stack_engine = StackEngine::svf_8kb();
-    let mut dl1x2 = CpuConfig::wide16();
-    dl1x2.hierarchy.dl1 = svf_mem::CacheConfig::dl1_128k();
-    let mut dl1s = CpuConfig::wide16();
-    dl1s.hierarchy.dl1 = svf_mem::CacheConfig {
-        size_bytes: 4 << 10,
-        assoc: 4,
-        line_bytes: 32,
-        hit_latency: 3,
-        name: "DL1s",
-    };
-    let mut sc64 = CpuConfig::wide16().with_ports(2, 2);
-    sc64.stack_engine = StackEngine::StackCache(svf_mem::StackCacheConfig::with_size(64));
-    vec![CpuConfig::wide16(), sc, svf, dl1x2, dl1s, sc64]
+    ["base", "stack-cache", "svf", "base-dl1x2", "base-dl1-4k", "stack-cache-64b"]
+        .into_iter()
+        .map(|name| {
+            svf_configspace::registry::require_preset(name)
+                .unwrap_or_else(|e| panic!("{e}"))
+                .resolve()
+        })
+        .collect()
 }
 
 /// Extracts `(name, rate)` pairs from a report the `throughput` binary
@@ -152,6 +148,20 @@ pub fn rate_ratio(baseline: &[(String, f64)], name: &str, rate: f64) -> Option<f
         Some((_, b)) if *b > 0.0 => Some(rate / b),
         _ => None,
     }
+}
+
+/// Baseline benchmarks absent from the current run, in baseline order —
+/// the mirror of the "new" case. A benchmark *removed* between reports is
+/// surfaced in the comparison (so a silent drop of a tracked rate is
+/// visible) but never fails the gate: renames and retirements are normal
+/// report evolution.
+#[must_use]
+pub fn missing_from(baseline: &[(String, f64)], current_names: &[&str]) -> Vec<String> {
+    baseline
+        .iter()
+        .filter(|(name, _)| !current_names.contains(&name.as_str()))
+        .map(|(name, _)| name.clone())
+        .collect()
 }
 
 /// Deterministic splitmix64 step — the microbenchmarks' PRNG (fixed seeds,
@@ -299,6 +309,22 @@ mod tests {
         );
         let zeroed = vec![("z".to_string(), 0.0)];
         assert_eq!(rate_ratio(&zeroed, "z", 1.0), None, "zero baseline cannot ratio");
+    }
+
+    #[test]
+    fn missing_from_reports_removed_benchmarks_in_order() {
+        let base = parse_rates(REPORT);
+        assert_eq!(
+            missing_from(&base, &["sweep/fig5-point-bzip2"]),
+            vec!["emulator/gap".to_string()],
+            "baseline-only benchmarks are surfaced"
+        );
+        assert!(
+            missing_from(&base, &["emulator/gap", "sweep/fig5-point-bzip2", "brand-new"])
+                .is_empty(),
+            "new benchmarks are not missing ones"
+        );
+        assert!(missing_from(&[], &["anything"]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Declarative config-space engine for the SVF reproduction.
+//!
+//! Everything the simulator's machine model can vary — pipeline widths,
+//! queue depths, FU counts and latencies, predictor choice, cache
+//! geometry, and the SVF/stack-cache parameters — is a named field of
+//! [`MicroArchConfig`], serializable to a small TOML subset and
+//! composable as `base + overlay` deltas:
+//!
+//! ```
+//! use svf_configspace::{registry, Overlay};
+//!
+//! let base = registry::require_preset("svf").unwrap();
+//! let tweaked = Overlay::parse("{svf_bytes: 4k, stack_ports: 4}")
+//!     .unwrap()
+//!     .apply(&base)
+//!     .unwrap();
+//! let cpu_config = tweaked.resolve(); // the form the simulator consumes
+//! assert_eq!(cpu_config.stack_ports, 4);
+//! ```
+//!
+//! The crate has four layers:
+//!
+//! - [`config`]: the flat field table ([`FIELDS`]) and the
+//!   [`MicroArchConfig`] struct with by-name `get`/`set`, TOML round-trip,
+//!   and `resolve()` down to [`svf_cpu::CpuConfig`];
+//! - [`overlay`]: ordered last-write-wins field deltas ([`Overlay`]);
+//! - [`registry`]: the named presets reproducing every machine the
+//!   experiments used to hardwire, each expressed as an overlay recipe;
+//! - [`spec`]: sweep specifications ([`SweepSpec`]) — axes over the field
+//!   space with grid, seeded-random, and greedy-Pareto index geometry.
+//!
+//! Sweep *execution* (jobs, compile memoization, lockstep batching, the
+//! Pareto loop, CSV emission) lives in `svf_harness::sweep`, which builds
+//! on this crate.
+
+pub mod config;
+pub mod overlay;
+pub mod registry;
+pub mod spec;
+pub mod toml;
+pub mod value;
+
+pub use config::{MicroArchConfig, FIELDS, PREDICTORS, STACK_ENGINES};
+pub use overlay::Overlay;
+pub use spec::{Axis, Mode, SweepSpec};
+pub use value::Value;

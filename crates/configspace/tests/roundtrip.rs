@@ -1,0 +1,103 @@
+//! Property tests for the config codec and overlay algebra:
+//!
+//! - any `MicroArchConfig` survives a TOML round-trip unchanged;
+//! - overlay application is deterministic, last-write-wins, and never
+//!   silently drops an assignment;
+//! - the overlay display syntax parses back to the same overlay.
+
+use proptest::prelude::*;
+use proptest::collection::vec;
+use svf_configspace::{MicroArchConfig, Overlay, Value, FIELDS, PREDICTORS, STACK_ENGINES};
+
+/// Maps one raw 64-bit draw to a valid value for `field`: enum fields pick
+/// from their accepted spellings, bool fields fold to a bit, integer
+/// fields use the raw draw (the codec must round-trip the full u64 range).
+fn value_for(field: &str, raw: u64) -> Value {
+    match field {
+        "predictor" => Value::Str(PREDICTORS[(raw % PREDICTORS.len() as u64) as usize].into()),
+        "stack_engine" => {
+            Value::Str(STACK_ENGINES[(raw % STACK_ENGINES.len() as u64) as usize].into())
+        }
+        "no_addr_calc_for_stack" | "svf_no_squash" => Value::Bool(raw & 1 == 1),
+        _ => Value::Int(raw),
+    }
+}
+
+/// Builds a config from one raw draw per field.
+fn config_from_raws(raws: &[u64]) -> MicroArchConfig {
+    let mut cfg = MicroArchConfig::default();
+    for (field, &raw) in FIELDS.iter().zip(raws) {
+        cfg.set(field, &value_for(field, raw)).expect("pool values are valid");
+    }
+    cfg
+}
+
+proptest! {
+    #[test]
+    fn any_config_roundtrips_through_toml(raws in vec(any::<u64>(), FIELDS.len()..FIELDS.len() + 1)) {
+        let cfg = config_from_raws(&raws);
+        let text = cfg.to_toml();
+        let back = MicroArchConfig::from_toml(&text)
+            .unwrap_or_else(|e| panic!("serialized config re-parses: {e}\n{text}"));
+        prop_assert_eq!(back, cfg, "TOML round-trip is the identity");
+    }
+
+    #[test]
+    fn overlay_application_is_deterministic_and_last_write_wins(
+        picks in vec((any::<u64>(), any::<u64>()), 0..24),
+    ) {
+        let assigns: Vec<(&str, Value)> = picks
+            .iter()
+            .map(|&(f, raw)| {
+                let field = FIELDS[(f % FIELDS.len() as u64) as usize];
+                (field, value_for(field, raw))
+            })
+            .collect();
+        let mut overlay = Overlay::new();
+        for (field, value) in &assigns {
+            overlay = overlay.assign(field, value.clone());
+        }
+        let base = MicroArchConfig::default();
+        let once = overlay.apply(&base).expect("pool assignments apply");
+        let twice = overlay.apply(&base).expect("pool assignments apply");
+        prop_assert_eq!(&once, &twice, "application is deterministic");
+
+        // Last write wins: the final value of every touched field is the
+        // last assignment to it; untouched fields keep the base value.
+        for field in FIELDS {
+            let expected = assigns
+                .iter()
+                .rev()
+                .find(|(f, _)| f == field)
+                .map_or_else(|| base.get(field).unwrap(), |(_, v)| v.clone());
+            prop_assert_eq!(
+                once.get(field).unwrap(),
+                expected,
+                "field {} reflects its last assignment",
+                field
+            );
+        }
+    }
+
+    #[test]
+    fn overlay_display_parses_back(picks in vec((any::<u64>(), any::<u64>()), 0..12)) {
+        let mut overlay = Overlay::new();
+        for &(f, raw) in &picks {
+            let field = FIELDS[(f % FIELDS.len() as u64) as usize];
+            overlay = overlay.assign(field, value_for(field, raw));
+        }
+        let reparsed = Overlay::parse(&overlay.to_string())
+            .unwrap_or_else(|e| panic!("display re-parses: {e}\n{overlay}"));
+        prop_assert_eq!(reparsed, overlay, "display/parse is the identity");
+    }
+}
+
+/// A misspelled field in an otherwise-valid document must fail the whole
+/// parse (satellite: no silent field drops).
+#[test]
+fn from_toml_rejects_unknown_keys_whole() {
+    let mut text = MicroArchConfig::default().to_toml();
+    text.push_str("ruu_siez = 128\n");
+    let err = MicroArchConfig::from_toml(&text).expect_err("unknown key is fatal");
+    assert!(err.contains("ruu_siez"), "{err}");
+}

@@ -1,4 +1,10 @@
 //! Machine-model configuration (the paper's Table 2 plus stack engines).
+//!
+//! This is the *imperative* config the simulator consumes. The
+//! `svf-configspace` crate layers a fully declarative description on top
+//! (every field named, serializable to TOML, composable via overlays) with
+//! a preset registry reproducing the machines below bit-identically —
+//! experiments and sweeps should build configs there, not by hand here.
 
 use svf::SvfConfig;
 use svf_mem::{HierarchyConfig, StackCacheConfig};

@@ -13,17 +13,15 @@
 //!   compiler (the classic critique of stack-oriented hardware).
 
 use crate::geomean;
+use crate::machine::{machine, machine_with};
 use crate::runner::{matrix, matrix_for, run_rows};
 use crate::table::ExpTable;
-use svf::SvfConfig;
-use svf_cpu::{CpuConfig, StackEngine};
+use svf_cpu::CpuConfig;
 use svf_harness::{Experiment, ProgramSpec};
 use svf_workloads::{all, Scale};
 
 fn svf_cfg(capacity: u64) -> CpuConfig {
-    let mut c = CpuConfig::wide16().with_ports(2, 2);
-    c.stack_engine = StackEngine::Svf { cfg: SvfConfig::with_size(capacity), no_squash: false };
-    c
+    machine_with("svf", &format!("{{svf_bytes: {capacity}}}"))
 }
 
 /// SVF capacity sweep: speedup over the `(2+0)` baseline per size.
@@ -33,7 +31,7 @@ pub fn size_sweep(scale: Scale) -> ExpTable {
     let headers = ["bench", "1KB", "2KB", "4KB", "8KB", "16KB"];
     let mut t = ExpTable::new("Ablation: SVF capacity vs speedup (16-wide, 2+2)", &headers);
     let labels: Vec<String> = sizes.iter().map(|&s| format!("SVF {}KB", s >> 10)).collect();
-    let mut configs = vec![("base (2+0)", CpuConfig::wide16().with_ports(2, 0))];
+    let mut configs = vec![("base (2+0)", machine("base"))];
     configs.extend(labels.iter().zip(&sizes).map(|(l, &s)| (l.as_str(), svf_cfg(s))));
     let mut per_col: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
     for (bench, stats) in matrix("ablation-size", &configs, scale) {
@@ -64,15 +62,11 @@ pub fn squash_sensitivity(scale: Scale) -> ExpTable {
         &["bench", "5 cyc", "10 cyc", "15 cyc", "25 cyc", "40 cyc", "no_squash"],
     );
     let labels: Vec<String> = penalties.iter().map(|p| format!("SVF {p} cyc")).collect();
-    let mut configs = vec![("base (2+0)", CpuConfig::wide16().with_ports(2, 0))];
+    let mut configs = vec![("base (2+0)", machine("base"))];
     configs.extend(labels.iter().zip(&penalties).map(|(l, &p)| {
-        let mut cfg = svf_cfg(8 << 10);
-        cfg.squash_penalty = p;
-        (l.as_str(), cfg)
+        (l.as_str(), machine_with("svf", &format!("{{squash_penalty: {p}}}")))
     }));
-    let mut nosq = CpuConfig::wide16().with_ports(2, 2);
-    nosq.stack_engine = StackEngine::Svf { cfg: SvfConfig::kb8(), no_squash: true };
-    configs.push(("SVF no_squash", nosq));
+    configs.push(("SVF no_squash", machine("svf-nosquash")));
     let benches = ["eon", "twolf", "vortex", "gcc"];
     for (bench, stats) in matrix_for("ablation-squash", &configs, scale, &benches) {
         let base = &stats[0];
@@ -95,7 +89,7 @@ pub fn code_quality(scale: Scale) -> ExpTable {
     // Four jobs per workload: {optimized, naive} source x {base, SVF}.
     // The sources are ad-hoc (not registry kernels), so the jobs carry the
     // MiniC text itself and compile on the worker.
-    let base_cfg = CpuConfig::wide16().with_ports(2, 0);
+    let base_cfg = machine("base");
     let mut exp = Experiment::new("ablation-codegen");
     for w in all() {
         let src = w.source(scale);

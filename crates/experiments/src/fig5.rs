@@ -6,20 +6,10 @@
 //! with gshare (each relative to its own-width, own-predictor baseline).
 
 use crate::geomean;
+use crate::machine::{machine, machine_with};
 use crate::runner::matrix;
 use crate::table::ExpTable;
-use svf_cpu::{CpuConfig, PredictorKind, StackEngine};
 use svf_workloads::Scale;
-
-fn ideal(mut cfg: CpuConfig) -> CpuConfig {
-    cfg.stack_engine = StackEngine::IdealSvf;
-    cfg
-}
-
-fn gshare(mut cfg: CpuConfig) -> CpuConfig {
-    cfg.predictor = PredictorKind::Gshare { history_bits: 12 };
-    cfg
-}
 
 /// Runs the Figure 5 limit study over all workloads.
 #[must_use]
@@ -31,14 +21,14 @@ pub fn run_fig(scale: Scale) -> ExpTable {
     // Base/ideal pairs flattened into one job matrix; column `2k` is the
     // baseline of column `2k+1`.
     let configs = [
-        ("base 4-wide", CpuConfig::wide4()),
-        ("ideal 4-wide", ideal(CpuConfig::wide4())),
-        ("base 8-wide", CpuConfig::wide8()),
-        ("ideal 8-wide", ideal(CpuConfig::wide8())),
-        ("base 16-wide", CpuConfig::wide16()),
-        ("ideal 16-wide", ideal(CpuConfig::wide16())),
-        ("base 16-wide gshare", gshare(CpuConfig::wide16())),
-        ("ideal 16-wide gshare", ideal(gshare(CpuConfig::wide16()))),
+        ("base 4-wide", machine("wide4")),
+        ("ideal 4-wide", machine_with("wide4", "{stack_engine: ideal}")),
+        ("base 8-wide", machine("wide8")),
+        ("ideal 8-wide", machine_with("wide8", "{stack_engine: ideal}")),
+        ("base 16-wide", machine("wide16")),
+        ("ideal 16-wide", machine("ideal")),
+        ("base 16-wide gshare", machine_with("wide16", "{predictor: gshare}")),
+        ("ideal 16-wide gshare", machine_with("ideal", "{predictor: gshare}")),
     ];
     let mut per_col: Vec<Vec<f64>> = vec![Vec::new(); configs.len() / 2];
     for (bench, stats) in matrix("fig5", &configs, scale) {

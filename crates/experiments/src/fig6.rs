@@ -6,33 +6,22 @@
 //! then add a 1-, 2- and 16-ported SVF (the bulk of the speedup).
 
 use crate::geomean;
+use crate::machine::{machine, machine_with};
 use crate::runner::matrix;
 use crate::table::ExpTable;
-use svf_cpu::{CpuConfig, StackEngine};
-use svf_mem::CacheConfig;
+use svf_cpu::CpuConfig;
 use svf_workloads::Scale;
 
 /// The Figure 6 configuration ladder, in presentation order.
 #[must_use]
 pub fn configs() -> Vec<(&'static str, CpuConfig)> {
-    let base = CpuConfig::wide16(); // 2-ported DL1, perfect prediction
-    let mut double_l1 = base.clone();
-    double_l1.hierarchy.dl1 = CacheConfig::dl1_128k();
-    let mut no_addr = base.clone();
-    no_addr.no_addr_calc_for_stack = true;
-    let svf_ports = |ports: usize| {
-        let mut c = CpuConfig::wide16();
-        c.stack_engine = StackEngine::svf_8kb();
-        c.stack_ports = ports;
-        c
-    };
     vec![
-        ("baseline", base),
-        ("2x L1 size", double_l1),
-        ("no_addr_cal_op", no_addr),
-        ("SVF 1 port", svf_ports(1)),
-        ("SVF 2 ports", svf_ports(2)),
-        ("SVF 16 ports", svf_ports(16)),
+        ("baseline", machine("wide16")), // 2-ported DL1, perfect prediction
+        ("2x L1 size", machine("base-dl1x2")),
+        ("no_addr_cal_op", machine_with("wide16", "{no_addr_calc_for_stack: true}")),
+        ("SVF 1 port", machine_with("svf", "{stack_ports: 1}")),
+        ("SVF 2 ports", machine("svf")),
+        ("SVF 16 ports", machine_with("svf", "{stack_ports: 16}")),
     ]
 }
 

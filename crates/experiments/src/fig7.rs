@@ -5,28 +5,23 @@
 //! over the `(2+0)` baseline.
 
 use crate::geomean;
+use crate::machine::{machine, machine_with};
 use crate::runner::matrix;
 use crate::table::ExpTable;
-use svf_cpu::{CpuConfig, StackEngine};
+use svf_cpu::CpuConfig;
 use svf_workloads::Scale;
 
-/// The Figure 7 configurations, baseline first.
+/// The Figure 7 configurations, baseline first. The `(4+0)` machine states
+/// the paper's 4-cycle hit latency explicitly — the declarative config has
+/// no `with_ports` magic that couples latency to port count.
 #[must_use]
 pub fn configs() -> Vec<(&'static str, CpuConfig)> {
-    let baseline = CpuConfig::wide16().with_ports(2, 0);
-    let four_port = CpuConfig::wide16().with_ports(4, 0);
-    let mut stack_cache = CpuConfig::wide16().with_ports(2, 2);
-    stack_cache.stack_engine = StackEngine::stack_cache_8kb();
-    let mut svf = CpuConfig::wide16().with_ports(2, 2);
-    svf.stack_engine = StackEngine::svf_8kb();
-    let mut svf_nosq = CpuConfig::wide16().with_ports(2, 2);
-    svf_nosq.stack_engine = StackEngine::Svf { cfg: svf::SvfConfig::kb8(), no_squash: true };
     vec![
-        ("base (2+0)", baseline),
-        ("base (4+0)", four_port),
-        ("stack$ (2+2)", stack_cache),
-        ("SVF (2+2)", svf),
-        ("SVF no_squash (2+2)", svf_nosq),
+        ("base (2+0)", machine("base")),
+        ("base (4+0)", machine_with("base", "{dl1_ports: 4, dl1_hit_latency: 4}")),
+        ("stack$ (2+2)", machine("stack-cache")),
+        ("SVF (2+2)", machine("svf")),
+        ("SVF no_squash (2+2)", machine("svf-nosquash")),
     ]
 }
 

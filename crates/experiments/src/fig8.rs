@@ -5,16 +5,15 @@
 //! generation (non-`$sp` stack references), versus falling outside the SVF
 //! window entirely. The paper reports ~86% morphed / 14% re-routed.
 
+use crate::machine::machine;
 use crate::runner::matrix;
 use crate::table::ExpTable;
-use svf_cpu::{CpuConfig, StackEngine};
 use svf_workloads::Scale;
 
 /// Runs the Figure 8 breakdown (SVF `(2+2)` on the 16-wide machine).
 #[must_use]
 pub fn run_fig(scale: Scale) -> ExpTable {
-    let mut cfg = CpuConfig::wide16().with_ports(2, 2);
-    cfg.stack_engine = StackEngine::svf_8kb();
+    let cfg = machine("svf");
     let mut t = ExpTable::new(
         "Figure 8: Breakdown of SVF Reference Types",
         &["bench", "fast loads", "fast stores", "re-routed", "out-of-window", "squashes"],

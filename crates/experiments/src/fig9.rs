@@ -7,15 +7,14 @@
 //! peaking at +84% (using no_squash).
 
 use crate::geomean;
+use crate::machine::machine_with;
 use crate::runner::matrix;
 use crate::table::ExpTable;
-use svf_cpu::{CpuConfig, StackEngine};
+use svf_cpu::CpuConfig;
 use svf_workloads::Scale;
 
 fn svf_cfg(dl1_ports: usize, svf_ports: usize) -> CpuConfig {
-    let mut c = CpuConfig::wide16().with_ports(dl1_ports, svf_ports);
-    c.stack_engine = StackEngine::svf_8kb();
-    c
+    machine_with("svf", &format!("{{dl1_ports: {dl1_ports}, stack_ports: {svf_ports}}}"))
 }
 
 /// Runs the Figure 9 port sweep. Cells are speedups of `(R+S)` over the
@@ -31,9 +30,9 @@ pub fn run_fig(scale: Scale) -> ExpTable {
     let sweeps: [(usize, usize); 5] = [(1, 1), (1, 2), (2, 1), (2, 2), (2, 4)];
     let configs: Vec<(String, CpuConfig)> = std::iter::once((
         "base (1+0)".to_string(),
-        CpuConfig::wide16().with_ports(1, 0),
+        machine_with("base", "{dl1_ports: 1}"),
     ))
-    .chain(std::iter::once(("base (2+0)".to_string(), CpuConfig::wide16().with_ports(2, 0))))
+    .chain(std::iter::once(("base (2+0)".to_string(), crate::machine::machine("base"))))
     .chain(sweeps.iter().map(|&(r, s)| (format!("SVF ({r}+{s})"), svf_cfg(r, s))))
     .collect();
     let configs: Vec<(&str, CpuConfig)> =

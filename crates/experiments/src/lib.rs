@@ -42,14 +42,30 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod machine;
 pub mod partial_word;
 pub mod runner;
 pub mod table;
 pub mod tables;
 pub mod traffic;
 
+pub use machine::{machine, machine_with};
 pub use svf_workloads::Scale;
 pub use table::ExpTable;
+
+/// Runs a design-space sweep on the process-global harness — the library
+/// seam behind `svf-experiments --sweep SPEC.toml`, so `--jobs` and
+/// lockstep policy reach sweeps exactly the way they reach the figures.
+///
+/// # Errors
+///
+/// Propagates spec-geometry and job failures from
+/// [`svf_harness::run_sweep`].
+pub fn run_sweep_on_global(
+    spec: &svf_configspace::SweepSpec,
+) -> Result<svf_harness::SweepOutcome, String> {
+    svf_harness::run_sweep(spec, &svf_harness::global())
+}
 
 /// Geometric mean of a non-empty slice (used for "average speedup" rows,
 /// the conventional aggregation for ratios).

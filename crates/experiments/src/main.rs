@@ -3,15 +3,22 @@
 //! ```text
 //! svf-experiments <experiment> [--scale test|small|full] [--csv DIR]
 //!                              [--jobs N] [--out DIR] [--no-lockstep]
+//! svf-experiments --sweep SPEC.toml [--csv DIR] [--jobs N] [--no-lockstep]
+//! svf-experiments --list-configs
 //! experiments: fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig9 table1 table2
 //!              table3 table4 ablation-* partial-word all
 //! --csv DIR      additionally writes each result table as DIR/<id>[.n].csv
+//!                (for --sweep: DIR/points.csv and DIR/pareto.csv)
 //! --jobs N       simulate N jobs in parallel (default: all hardware threads)
 //! --out DIR      per-job result sink: DIR/<experiment>/<job>.csv; jobs whose
 //!                result file exists are resumed instead of re-simulated
 //! --no-lockstep  simulate each job against its own emulator instead of
 //!                batching jobs that share a program over one functional
 //!                stream (bit-identical either way; for A/B timing)
+//! --sweep SPEC   run a design-space sweep from a TOML spec (grid, random,
+//!                or greedy Pareto search — see EXPERIMENTS.md); prints the
+//!                frontier and writes points.csv/pareto.csv
+//! --list-configs print the named config presets and their overlays
 //! ```
 
 use std::time::Instant;
@@ -45,6 +52,8 @@ const EXPERIMENTS: &[&str] = &[
 fn usage() -> ! {
     eprintln!(
         "usage: svf-experiments <experiment> [--scale test|small|full] [--csv DIR] [--jobs N] [--out DIR] [--no-lockstep]\n\
+         \u{20}      svf-experiments --sweep SPEC.toml [--csv DIR] [--jobs N] [--no-lockstep]\n\
+         \u{20}      svf-experiments --list-configs\n\
          experiments: {}",
         EXPERIMENTS.join(" ")
     );
@@ -69,10 +78,16 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut out_dir: Option<String> = None;
     let mut lockstep = true;
+    let mut sweep_spec: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--no-lockstep" => lockstep = false,
+            "--list-configs" => {
+                print!("{}", svf_configspace::registry::listing());
+                return;
+            }
+            "--sweep" => sweep_spec = Some(required_value(&mut it, "--sweep")),
             "--scale" => {
                 scale = match required_value(&mut it, "--scale").as_str() {
                     "test" => Scale::Test,
@@ -95,9 +110,13 @@ fn main() {
             extra => fail(&format!("unexpected argument {extra:?}")),
         }
     }
-    let Some(which) = which else { usage() };
-    if !EXPERIMENTS.contains(&which.as_str()) {
-        fail(&format!("unknown experiment {which:?} (valid: {})", EXPERIMENTS.join(", ")));
+    if sweep_spec.is_none() {
+        let Some(which) = &which else { usage() };
+        if !EXPERIMENTS.contains(&which.as_str()) {
+            fail(&format!("unknown experiment {which:?} (valid: {})", EXPERIMENTS.join(", ")));
+        }
+    } else if which.is_some() {
+        fail("--sweep takes a spec file, not an experiment name");
     }
     if let Some(dir) = &csv_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -118,9 +137,41 @@ fn main() {
     }
     svf_harness::configure(harness);
 
+    if let Some(spec_path) = sweep_spec {
+        run_sweep_file(&spec_path, csv_dir.as_deref());
+        return;
+    }
+
+    let which = which.expect("checked above");
     let start = Instant::now();
     run_one(&which, scale, csv_dir.as_deref());
     eprintln!("[{} completed in {:.1}s]", which, start.elapsed().as_secs_f64());
+}
+
+/// Loads a sweep spec, runs it on the global harness, prints the frontier,
+/// and writes `points.csv`/`pareto.csv` (to `--csv DIR`, default
+/// `target/sweep/<name>`).
+fn run_sweep_file(spec_path: &str, csv_dir: Option<&str>) {
+    let text = std::fs::read_to_string(spec_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {spec_path}: {e}")));
+    let spec = svf_configspace::SweepSpec::from_toml(&text)
+        .unwrap_or_else(|e| fail(&format!("{spec_path}: {e}")));
+    let start = Instant::now();
+    let outcome = svf_experiments::run_sweep_on_global(&spec)
+        .unwrap_or_else(|e| fail(&format!("sweep {}: {e}", spec.name)));
+    let dir = csv_dir
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/sweep").join(&spec.name));
+    let (points_csv, pareto_csv) = svf_harness::sweep::write_csv(&spec, &outcome, &dir)
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", dir.display())));
+    println!("{}", outcome.summary);
+    println!("pareto frontier (ascending cost):");
+    for &i in &outcome.frontier {
+        let p = &outcome.points[i];
+        println!("  {:>8} B  IPC {:.4}  {}", p.cost_bytes, p.ipc(), p.label);
+    }
+    println!("wrote {} and {}", points_csv.display(), pareto_csv.display());
+    eprintln!("[sweep {} completed in {:.1}s]", spec.name, start.elapsed().as_secs_f64());
 }
 
 /// Prints a table and optionally mirrors it to `DIR/<id>.csv`.

@@ -13,9 +13,9 @@
 //! mergeable) lines across calls — so on byte-dominated frames the SVF can
 //! move *more* data than the cache, even though it still wins on latency.
 
+use crate::machine::machine;
 use crate::table::ExpTable;
 use crate::traffic::traffic_run;
-use svf_cpu::{CpuConfig, StackEngine};
 use svf_harness::{Experiment, ProgramSpec};
 use svf_workloads::Scale;
 
@@ -93,12 +93,10 @@ pub fn run_experiment(scale: Scale) -> ExpTable {
         "Extension: partial-word (x86-style) stack references",
         &["metric", "value"],
     );
-    let mut cfg = CpuConfig::wide16().with_ports(2, 2);
-    cfg.stack_engine = StackEngine::svf_8kb();
     let spec = ProgramSpec::source("byte-kernel", source);
     let mut exp = Experiment::new("partial-word");
-    exp.push(spec.clone(), "base (2+0)", CpuConfig::wide16().with_ports(2, 0));
-    exp.push(spec, "SVF (2+2)", cfg);
+    exp.push(spec.clone(), "base (2+0)", machine("base"));
+    exp.push(spec, "SVF (2+2)", machine("svf"));
     let report = svf_harness::global().run(&exp);
     let stats = report.stats();
     let (base, svf) = (stats[0].clone(), stats[1].clone());

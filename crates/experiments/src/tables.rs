@@ -2,6 +2,7 @@
 //! configuration tables of the paper, rendered from the code that actually
 //! drives the experiments so they cannot drift.
 
+use crate::machine::machine;
 use crate::table::ExpTable;
 use svf_cpu::CpuConfig;
 use svf_workloads::all;
@@ -28,7 +29,7 @@ pub fn table2() -> ExpTable {
         &["component", "4-wide", "8-wide", "16-wide"],
     );
     type RowFn = fn(&CpuConfig) -> String;
-    let cfgs = [CpuConfig::wide4(), CpuConfig::wide8(), CpuConfig::wide16()];
+    let cfgs = [machine("wide4"), machine("wide8"), machine("wide16")];
     let rows: Vec<(&str, RowFn)> = vec![
         ("decode/issue/commit width", |c| c.width.to_string()),
         ("IFQ size", |c| c.ifq_size.to_string()),

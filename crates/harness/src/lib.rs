@@ -64,6 +64,7 @@ mod memo;
 mod pool;
 mod progress;
 mod sink;
+pub mod sweep;
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -81,6 +82,7 @@ pub use job::{Job, JobOutcome, JobReport, ProgramSpec};
 pub use memo::compile_count;
 pub use pool::parallel_map;
 pub use sink::RunDir;
+pub use sweep::{run_sweep, SweepOutcome, SweepPoint};
 
 use progress::Progress;
 

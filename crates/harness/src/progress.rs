@@ -67,6 +67,7 @@ impl Progress {
         let secs = elapsed.as_secs_f64();
         let mcyc_s =
             if secs < 1e-3 || st.cycles == 0 { 0.0 } else { st.cycles as f64 / 1e6 / secs };
+        let jobs_s = if secs < 1e-3 || st.done == 0 { 0.0 } else { st.done as f64 / secs };
         // With no finished jobs there is no basis for an estimate: show
         // "--" rather than a made-up "0s".
         let eta = if st.done >= self.total {
@@ -77,11 +78,11 @@ impl Progress {
             Some(elapsed.mul_f64((self.total - st.done) as f64 / st.done as f64))
         };
         let eta_text = match eta {
-            Some(d) => format!("{:.0}s", d.as_secs_f64()),
+            Some(d) => fmt_eta(d),
             None => "--".to_string(),
         };
         let mut line = format!(
-            "[{}] {}/{} jobs  {mcyc_s:.1} Mcyc/s  eta {eta_text}",
+            "[{}] {}/{} jobs  {mcyc_s:.1} Mcyc/s  {jobs_s:.1} jobs/s  eta {eta_text}",
             self.name, st.done, self.total,
         );
         if st.resumed > 0 {
@@ -91,6 +92,20 @@ impl Progress {
             line.push_str(&format!("  ({} FAILED)", st.failed));
         }
         line
+    }
+}
+
+/// Humanizes an ETA: seconds under a minute (`42s`), minutes + seconds
+/// under an hour (`12m05s`), hours + minutes beyond (`3h07m`) — a
+/// thousand-job sweep's five-digit second count is unreadable raw.
+fn fmt_eta(d: Duration) -> String {
+    let total = d.as_secs_f64().round() as u64;
+    if total < 60 {
+        format!("{total}s")
+    } else if total < 3600 {
+        format!("{}m{:02}s", total / 60, total % 60)
+    } else {
+        format!("{}h{:02}m", total / 3600, (total % 3600) / 60)
     }
 }
 
@@ -123,8 +138,18 @@ mod tests {
         let line = p.finish();
         assert!(line.contains("0/2 jobs"), "{line}");
         assert!(line.contains("0.0 Mcyc/s"), "{line}");
+        assert!(line.contains("0.0 jobs/s"), "{line}");
         assert!(line.contains("eta --"), "{line}");
         assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+    }
+
+    #[test]
+    fn eta_humanizes_across_magnitudes() {
+        assert_eq!(fmt_eta(Duration::ZERO), "0s");
+        assert_eq!(fmt_eta(Duration::from_secs(42)), "42s");
+        assert_eq!(fmt_eta(Duration::from_secs(725)), "12m05s");
+        assert_eq!(fmt_eta(Duration::from_secs(11_220)), "3h07m");
+        assert_eq!(fmt_eta(Duration::from_secs_f64(59.6)), "1m00s", "rounds, never 60s");
     }
 
     #[test]

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Simulation-throughput benchmark runner (PR 4, extended in PR 5/6).
+# Simulation-throughput benchmark runner (PR 4, extended in PR 5/6/7).
 #
 # Builds the release tree, compiles the criterion benches (compile-check
 # only — the wall-clock numbers come from the dedicated binary below), and
 # runs the `throughput` binary, which writes machine-readable rates to
-# BENCH_pr6.json (override the path with the first non-flag argument).
+# BENCH_pr7.json (override the path with the first non-flag argument).
 #
 # Usage: scripts/bench.sh [output.json] [--quick] [--compare BASE.json]
 #
@@ -13,8 +13,10 @@
 #   --compare BASE.json  print per-benchmark deltas vs a previous report
 #                        and exit nonzero if any benchmark present in both
 #                        regressed by more than 20%; benchmarks absent from
-#                        the baseline print as "new" and pass (so a report
-#                        can add benchmarks against an older baseline)
+#                        the baseline print as "new", baseline benchmarks
+#                        absent from this run print as "missing" — neither
+#                        fails the gate, so reports can add, rename, or
+#                        retire benchmarks against an older baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

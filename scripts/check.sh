@@ -15,11 +15,11 @@ cargo bench --workspace --no-run
 # swings on a shared box), so this catches collapses (the binary flags
 # >50% drops in --quick mode), not drifts — scripts/bench.sh does the
 # tracking-quality measurement with the strict 20% gate. The report goes to a scratch file so
-# the committed BENCH_pr6.json only changes when bench.sh is run on purpose.
+# the committed BENCH_pr7.json only changes when bench.sh is run on purpose.
 smoke_out="$(mktemp /tmp/svf-bench-smoke.XXXXXX.json)"
 smoke_dir="$(mktemp -d /tmp/svf-trace-smoke.XXXXXX)"
 trap 'rm -rf "$smoke_out" "$smoke_dir"' EXIT
-cargo run --release -p svf-bench --bin throughput -- "$smoke_out" --quick --compare BENCH_pr6.json
+cargo run --release -p svf-bench --bin throughput -- "$smoke_out" --quick --compare BENCH_pr7.json
 # Trace capture -> replay smoke: a live run and a replay of its captured
 # .svft trace must report identical timing lines (the replay path promises
 # bit-identical statistics; here that contract is checked end-to-end
@@ -47,4 +47,25 @@ cargo run --release --quiet --bin svf-sim -- "$smoke_dir/smoke.svft" \
 diff -u "$smoke_dir/live.txt" "$smoke_dir/replay.txt" \
     || { echo "trace replay diverged from live run" >&2; exit 1; }
 echo "trace capture->replay smoke: identical timing report"
+# Design-space sweep smoke: an 8-point grid over one workload must run
+# end-to-end with exactly ONE workload compile (the memo cache + lockstep
+# batching contract of the sweep driver) and emit a well-formed Pareto CSV.
+cat > "$smoke_dir/sweep.toml" <<'EOF'
+name = "check-smoke"
+base = "svf"
+workload = "mcf"
+[axes]
+svf_bytes = [1k, 2k, 4k, 8k]
+stack_ports = [1, 2]
+EOF
+cargo run --release --quiet -p svf-experiments -- \
+    --sweep "$smoke_dir/sweep.toml" --csv "$smoke_dir/sweep" \
+    | tee "$smoke_dir/sweep.out"
+grep -q 'compiles=1' "$smoke_dir/sweep.out" \
+    || { echo "sweep smoke: expected exactly one workload compile" >&2; exit 1; }
+head -1 "$smoke_dir/sweep/pareto.csv" | grep -q '^point,svf_bytes,stack_ports,ipc,cost_bytes$' \
+    || { echo "sweep smoke: malformed pareto.csv header" >&2; exit 1; }
+[ "$(wc -l < "$smoke_dir/sweep/points.csv")" -eq 9 ] \
+    || { echo "sweep smoke: points.csv should have 8 rows + header" >&2; exit 1; }
+echo "sweep smoke: 8 configs, one compile, well-formed pareto.csv"
 cargo clippy --workspace --all-targets -- -D warnings

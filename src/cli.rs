@@ -2,6 +2,11 @@
 //!
 //! ```text
 //! svf-sim <file.c|file.s> [options]
+//!   --config NAME[+k=v,...]                            named preset from the config-space
+//!                                                      registry, with an optional overlay
+//!                                                      (e.g. --config svf+svf_bytes=4k);
+//!                                                      excludes the hand flags below
+//!   --list-configs                                     print the preset registry and exit
 //!   --engine none|svf|svf-nosquash|stack-cache|ideal   stack engine (default svf)
 //!   --width 4|8|16                                     machine width (default 16)
 //!   --ports R+S                                        D-cache + stack ports (default 2+2)
@@ -56,6 +61,11 @@ pub struct CliOptions {
     pub trace: u64,
     /// Write a compact binary trace of the whole run to this path.
     pub dump_trace: Option<String>,
+    /// Registry preset with an optional overlay (`svf+svf_bytes=4k`);
+    /// mutually exclusive with the hand-rolled machine flags.
+    pub config: Option<String>,
+    /// Print the preset registry and exit.
+    pub list_configs: bool,
 }
 
 impl Default for CliOptions {
@@ -76,6 +86,8 @@ impl Default for CliOptions {
             compare: false,
             trace: 0,
             dump_trace: None,
+            config: None,
+            list_configs: false,
         }
     }
 }
@@ -88,12 +100,21 @@ impl Default for CliOptions {
 /// a missing input path.
 pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut o = CliOptions::default();
+    // `--config` is a whole machine; combining it with the hand flags
+    // would silently discard whichever lost, so the combination is an
+    // error rather than a precedence rule.
+    let mut hand_flags = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |name: &str| {
             it.next().map(String::as_str).ok_or(format!("{name} needs a value"))
         };
+        if ["--engine", "--width", "--ports", "--svf-kb", "--gshare"].contains(&a.as_str()) {
+            hand_flags = true;
+        }
         match a.as_str() {
+            "--config" => o.config = Some(value("--config")?.to_string()),
+            "--list-configs" => o.list_configs = true,
             "--engine" => o.engine = value("--engine")?.to_string(),
             "--width" => {
                 o.width = value("--width")?.parse().map_err(|_| "bad --width")?;
@@ -123,7 +144,10 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if o.path.is_empty() {
+    if o.config.is_some() && hand_flags {
+        return Err("--config selects a whole machine; drop --engine/--width/--ports/--svf-kb/--gshare".into());
+    }
+    if o.path.is_empty() && !o.list_configs {
         return Err("no input file given".into());
     }
     Ok(o)
@@ -133,8 +157,21 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
 ///
 /// # Errors
 ///
-/// Rejects unknown engine names.
+/// Rejects unknown engine names, unknown presets, and malformed overlays.
 pub fn build_config(o: &CliOptions) -> Result<CpuConfig, String> {
+    if let Some(spec) = &o.config {
+        // `NAME` or `NAME+field=value,...` — the overlay rides the same
+        // parser sweep specs use, so the syntaxes cannot drift apart.
+        let (name, overlay) = match spec.split_once('+') {
+            Some((name, overlay)) => (name, Some(overlay)),
+            None => (spec.as_str(), None),
+        };
+        let mut cfg = svf_configspace::registry::require_preset(name)?;
+        if let Some(overlay) = overlay {
+            cfg = svf_configspace::Overlay::parse(overlay)?.apply(&cfg)?;
+        }
+        return cfg.try_resolve();
+    }
     let mut cfg = match o.width {
         4 => CpuConfig::wide4(),
         8 => CpuConfig::wide8(),
@@ -188,6 +225,9 @@ pub fn compile_input(o: &CliOptions, source: &str) -> Result<Program, String> {
 /// Any parse, compile, or functional-execution failure.
 pub fn run_cli(args: &[String]) -> Result<String, Box<dyn Error>> {
     let o = parse_args(args)?;
+    if o.list_configs {
+        return Ok(svf_configspace::registry::listing());
+    }
     if o.path.ends_with(".svft") {
         return replay_trace(&o);
     }
@@ -263,17 +303,28 @@ pub fn run_cli(args: &[String]) -> Result<String, Box<dyn Error>> {
     append_timing_report(&mut report, &o, &stats);
 
     if o.compare {
-        let mut base_cfg = build_config(&CliOptions {
+        // The baseline is the same machine with the stack structure removed.
+        // For `--config`, that is an overlay appended to the spec (overlays
+        // are last-write-wins, so it composes with any user overlay).
+        let base_opts = CliOptions {
             engine: "none".into(),
             stack_ports: 0,
+            config: o.config.as_ref().map(|spec| {
+                let sep = if spec.contains('+') { ',' } else { '+' };
+                format!("{spec}{sep}stack_engine=none,stack_ports=0")
+            }),
             ..o.clone()
-        })?;
+        };
+        let mut base_cfg = build_config(&base_opts)?;
         base_cfg.stack_engine = StackEngine::None;
         let base = Simulator::new(base_cfg).run(&program, o.max_insts);
+        let label = match &o.config {
+            Some(spec) => format!("{spec} - stack structure"),
+            None => format!("({}+0)", o.dl1_ports),
+        };
         let _ = writeln!(
             report,
-            "[baseline ({}+0)] {} cycles, IPC {:.2} -> speedup {:.3}x",
-            o.dl1_ports,
+            "[baseline {label}] {} cycles, IPC {:.2} -> speedup {:.3}x",
             base.cycles,
             base.ipc(),
             stats.speedup_over(&base)
@@ -303,11 +354,11 @@ fn replay_trace(o: &CliOptions) -> Result<String, Box<dyn Error>> {
 /// The timing lines shared by live runs and trace replays — identical
 /// stream, identical text.
 fn append_timing_report(report: &mut String, o: &CliOptions, stats: &SimStats) {
-    let _ = writeln!(
-        report,
-        "[{} {}-wide ({}+{})] {} cycles, IPC {:.2}",
-        o.engine, o.width, o.dl1_ports, o.stack_ports, stats.cycles, stats.ipc()
-    );
+    let machine = match &o.config {
+        Some(spec) => spec.clone(),
+        None => format!("{} {}-wide ({}+{})", o.engine, o.width, o.dl1_ports, o.stack_ports),
+    };
+    let _ = writeln!(report, "[{machine}] {} cycles, IPC {:.2}", stats.cycles, stats.ipc());
     let morphed = stats.svf_morphed_loads + stats.svf_morphed_stores;
     if morphed + stats.svf_rerouted > 0 {
         let _ = writeln!(
@@ -371,6 +422,42 @@ mod tests {
         let o = parse_args(&args(&["p.c", "--gshare"])).unwrap();
         let cfg = build_config(&o).unwrap();
         assert!(matches!(cfg.predictor, PredictorKind::Gshare { .. }));
+    }
+
+    #[test]
+    fn config_flag_resolves_presets_and_overlays() {
+        let o = parse_args(&args(&["p.c", "--config", "svf"])).unwrap();
+        let cfg = build_config(&o).unwrap();
+        assert!(matches!(cfg.stack_engine, StackEngine::Svf { .. }));
+        assert_eq!((cfg.dl1_ports, cfg.stack_ports), (2, 2));
+
+        let o = parse_args(&args(&["p.c", "--config", "svf+svf_bytes=4k,stack_ports=4"])).unwrap();
+        let cfg = build_config(&o).unwrap();
+        assert_eq!(cfg.stack_ports, 4);
+        match cfg.stack_engine {
+            StackEngine::Svf { cfg, .. } => assert_eq!(cfg.capacity_bytes, 4 << 10),
+            other => panic!("svf engine expected, got {other:?}"),
+        }
+
+        let o = parse_args(&args(&["p.c", "--config", "warp-core"])).unwrap();
+        assert!(build_config(&o).unwrap_err().contains("unknown config preset"));
+        let o = parse_args(&args(&["p.c", "--config", "svf+made_up=1"])).unwrap();
+        assert!(build_config(&o).is_err());
+    }
+
+    #[test]
+    fn config_flag_excludes_hand_flags() {
+        let err = parse_args(&args(&["p.c", "--config", "svf", "--width", "8"])).unwrap_err();
+        assert!(err.contains("--config"), "{err}");
+        assert!(parse_args(&args(&["p.c", "--config", "svf", "--gshare"])).is_err());
+    }
+
+    #[test]
+    fn list_configs_needs_no_input_file() {
+        let o = parse_args(&args(&["--list-configs"])).unwrap();
+        assert!(o.list_configs);
+        let listing = run_cli(&args(&["--list-configs"])).unwrap();
+        assert!(listing.contains("svf") && listing.contains("wide16"), "{listing}");
     }
 
     #[test]

@@ -18,8 +18,13 @@
 //! ```
 //!
 //! and paste the printed rows below, noting the model change in the commit.
+//!
+//! Since PR 7 the six configurations come from the `svf-configspace`
+//! preset registry, so this suite doubles as the registry's end-to-end
+//! golden gate: a preset that drifts from its pre-registry hardwired
+//! machine changes a pinned row and fails here.
 
-use svf_cpu::{CpuConfig, SimStats, Simulator, StackEngine};
+use svf_cpu::{CpuConfig, SimStats, Simulator};
 use svf_isa::Program;
 use svf_workloads::Scale;
 
@@ -27,38 +32,24 @@ use svf_workloads::Scale;
 /// behaviours (shallow/loopy bzip2, call-heavy twolf, pointer-heavy gap).
 const WORKLOADS: &[&str] = &["bzip2", "twolf", "gap"];
 
+/// The six pinned configurations, resolved from the config-space registry:
+/// the three stack-engine variants plus three memory-sensitive geometries
+/// (Figure 6's doubled data L1 with a different index/tag split, an
+/// undersized 4 KB data L1 with dense conflict misses and dirty writebacks
+/// through the L2, and a two-line stack cache where every frame walk
+/// conflicts). The labels ARE the registry preset names, so these 18 rows
+/// also pin every golden-relevant preset to bit-identical statistics with
+/// the machines the tests hardwired before the registry existed.
 fn configs() -> Vec<(&'static str, CpuConfig)> {
-    let base = CpuConfig::wide16();
-    let mut sc = CpuConfig::wide16().with_ports(2, 2);
-    sc.stack_engine = StackEngine::stack_cache_8kb();
-    let mut svf = CpuConfig::wide16().with_ports(2, 2);
-    svf.stack_engine = StackEngine::svf_8kb();
-    // Memory-sensitive configurations pinning the cache model itself:
-    // Figure 6's doubled data L1 (a different set count, so a different
-    // index/tag split), an undersized 4 KB data L1 (dense conflict misses,
-    // LRU evictions and dirty writebacks through the L2), and a two-line
-    // stack cache (every frame walk conflicts, exercising the
-    // direct-mapped fill/writeback path).
-    let mut dl1x2 = CpuConfig::wide16();
-    dl1x2.hierarchy.dl1 = svf_mem::CacheConfig::dl1_128k();
-    let mut dl1s = CpuConfig::wide16();
-    dl1s.hierarchy.dl1 = svf_mem::CacheConfig {
-        size_bytes: 4 << 10,
-        assoc: 4,
-        line_bytes: 32,
-        hit_latency: 3,
-        name: "DL1s",
-    };
-    let mut sc64 = CpuConfig::wide16().with_ports(2, 2);
-    sc64.stack_engine = StackEngine::StackCache(svf_mem::StackCacheConfig::with_size(64));
-    vec![
-        ("base", base),
-        ("stack-cache", sc),
-        ("svf", svf),
-        ("base-dl1x2", dl1x2),
-        ("base-dl1-4k", dl1s),
-        ("stack-cache-64b", sc64),
-    ]
+    ["base", "stack-cache", "svf", "base-dl1x2", "base-dl1-4k", "stack-cache-64b"]
+        .into_iter()
+        .map(|name| {
+            let cfg = svf_configspace::registry::require_preset(name)
+                .unwrap_or_else(|e| panic!("{e}"))
+                .resolve();
+            (name, cfg)
+        })
+        .collect()
 }
 
 fn compile(workload: &str) -> Program {
