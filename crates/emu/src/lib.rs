@@ -43,5 +43,5 @@ mod trace;
 pub use machine::{EmuError, Emulator, RunOutcome};
 pub use memory::Memory;
 pub use retired::{AccessMethod, ControlFlow, MemAccess, Retired, SpUpdate};
-pub use stream::{LiveSource, RecordRing, RecordSource, StreamError, TraceSource};
+pub use stream::{LiveSource, RecordRing, RecordSource, SalvageReport, StreamError, TraceSource};
 pub use trace::{TraceError, TraceReader, TraceWriter};

@@ -12,6 +12,8 @@
 
 use std::io::Read;
 use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use svf_isa::{Program, Reg};
 
@@ -112,27 +114,87 @@ impl RecordSource for LiveSource {
     }
 }
 
+/// What a salvage-mode replay observed: whether the trace was in fact cut
+/// mid-record, and how many complete records were replayed before the cut.
+/// Shared via `Arc` so the caller keeps visibility after handing the source
+/// to a consumer that takes it by value.
+#[derive(Debug, Default)]
+pub struct SalvageReport {
+    truncated: AtomicBool,
+    records: AtomicU64,
+}
+
+impl SalvageReport {
+    /// A fresh report, ready to hand to [`TraceSource::open_salvage`].
+    #[must_use]
+    pub fn new() -> Arc<SalvageReport> {
+        Arc::new(SalvageReport::default())
+    }
+
+    /// Whether the replay hit (and absorbed) a mid-record truncation.
+    #[must_use]
+    pub fn was_truncated(&self) -> bool {
+        self.truncated.load(Ordering::Relaxed)
+    }
+
+    /// Complete records replayed before the cut (meaningful only when
+    /// [`SalvageReport::was_truncated`]).
+    #[must_use]
+    pub fn salvaged_records(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+}
+
 /// A captured binary trace as a record source: replaying a trace through
 /// the timing model is bit-identical to the live run it captured.
+///
+/// In **salvage mode** ([`TraceSource::open_salvage`]) a mid-record
+/// truncation — the signature of a capture killed mid-write — is absorbed
+/// as a clean end of stream instead of an error: the replay covers the
+/// longest complete-record prefix, and the attached [`SalvageReport`]
+/// records that (and where) the trace was cut so the caller can warn.
+/// Genuine corruption (bad magic, malformed records) still errors in
+/// either mode.
 #[derive(Debug)]
 pub struct TraceSource<R: Read> {
     reader: TraceReader<R>,
+    salvage: Option<Arc<SalvageReport>>,
+    produced: u64,
+    ended: bool,
 }
 
 impl<R: Read> TraceSource<R> {
-    /// Wraps an open trace reader.
+    /// Wraps an open trace reader (strict mode).
     #[must_use]
     pub fn new(reader: TraceReader<R>) -> TraceSource<R> {
-        TraceSource { reader }
+        TraceSource { reader, salvage: None, produced: 0, ended: false }
     }
 
-    /// Opens a trace from any byte stream (validates the header).
+    /// Opens a trace from any byte stream (validates the header). Strict:
+    /// a truncated trace errors at the cut.
     ///
     /// # Errors
     ///
     /// Propagates header validation failures ([`TraceError`]).
     pub fn open(input: R) -> Result<TraceSource<R>, TraceError> {
-        Ok(TraceSource { reader: TraceReader::new(input)? })
+        Ok(TraceSource::new(TraceReader::new(input)?))
+    }
+
+    /// Opens a trace in salvage mode: a mid-record truncation ends the
+    /// stream cleanly after the last complete record, noted in `report`.
+    /// The header must still be intact — there is nothing to salvage from
+    /// a trace with no valid header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates header validation failures ([`TraceError`]).
+    pub fn open_salvage(
+        input: R,
+        report: Arc<SalvageReport>,
+    ) -> Result<TraceSource<R>, TraceError> {
+        let mut src = TraceSource::open(input)?;
+        src.salvage = Some(report);
+        Ok(src)
     }
 }
 
@@ -146,12 +208,29 @@ impl<R: Read> RecordSource for TraceSource<R> {
     }
 
     fn next_record(&mut self, out: &mut Retired) -> Result<bool, StreamError> {
-        match self.reader.next_record()? {
-            Some(r) => {
+        if self.ended {
+            return Ok(false);
+        }
+        match self.reader.next_record() {
+            Ok(Some(r)) => {
                 *out = r;
+                self.produced += 1;
                 Ok(true)
             }
-            None => Ok(false),
+            Ok(None) => {
+                self.ended = true;
+                Ok(false)
+            }
+            Err(e @ TraceError::Truncated { .. }) => match &self.salvage {
+                Some(report) => {
+                    report.truncated.store(true, Ordering::Relaxed);
+                    report.records.store(self.produced, Ordering::Relaxed);
+                    self.ended = true;
+                    Ok(false)
+                }
+                None => Err(e.into()),
+            },
+            Err(e) => Err(e.into()),
         }
     }
 }
@@ -323,6 +402,63 @@ main:
         let got = ring.fill(&mut src, 0).expect("fills");
         assert_eq!(got, 0..7);
         assert!(ring.done(), "budget exhaustion ends the stream");
+    }
+
+    /// A complete trace of the kernel plus the reference record stream.
+    fn captured_trace() -> (Vec<u8>, Vec<Retired>) {
+        let p = assemble(KERNEL).expect("assembles");
+        let want = reference_stream(&p);
+        let mut w = crate::TraceWriter::new(Vec::new(), p.entry, p.heap_base, STACK_BASE)
+            .expect("header");
+        for r in &want {
+            w.push(r).expect("writes");
+        }
+        (w.finish().expect("finish"), want)
+    }
+
+    fn drain<R: Read>(src: &mut TraceSource<R>) -> Result<Vec<Retired>, StreamError> {
+        let mut got = Vec::new();
+        let mut r = Retired::PLACEHOLDER;
+        while src.next_record(&mut r)? {
+            got.push(r);
+        }
+        Ok(got)
+    }
+
+    #[test]
+    fn truncated_trace_errors_strictly_but_salvages_the_prefix() {
+        let (bytes, want) = captured_trace();
+        assert!(want.len() > 2, "kernel produces enough records to cut");
+        // Cut the capture mid-record (anywhere past the header and first
+        // few records lands inside some record's encoding).
+        let cut = &bytes[..bytes.len() - 3];
+
+        let mut strict = TraceSource::open(cut).expect("header is intact");
+        let err = drain(&mut strict).expect_err("strict replay must error at the cut");
+        assert!(matches!(err, StreamError::Trace(TraceError::Truncated { .. })), "{err:?}");
+
+        let report = SalvageReport::new();
+        let mut salvage =
+            TraceSource::open_salvage(cut, Arc::clone(&report)).expect("header is intact");
+        let got = drain(&mut salvage).expect("salvage absorbs the cut");
+        assert!(report.was_truncated(), "the cut is observed, not hidden");
+        assert_eq!(report.salvaged_records(), got.len() as u64);
+        assert!(!got.is_empty() && got.len() < want.len(), "a strict prefix survives");
+        assert_eq!(got[..], want[..got.len()], "salvaged records are bit-identical");
+        // The end is sticky: further polls stay ended.
+        let mut r = Retired::PLACEHOLDER;
+        assert!(!salvage.next_record(&mut r).expect("still ended"));
+    }
+
+    #[test]
+    fn salvage_mode_leaves_complete_traces_untouched() {
+        let (bytes, want) = captured_trace();
+        let report = SalvageReport::new();
+        let mut src = TraceSource::open_salvage(bytes.as_slice(), Arc::clone(&report))
+            .expect("opens");
+        let got = drain(&mut src).expect("replays");
+        assert_eq!(got, want);
+        assert!(!report.was_truncated(), "no cut to report");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! svf-experiments <experiment> [--scale test|small|full] [--csv DIR]
 //!                              [--jobs N] [--out DIR] [--no-lockstep]
+//!                              [--timeout SECS] [--retries N]
 //! svf-experiments --sweep SPEC.toml [--csv DIR] [--jobs N] [--no-lockstep]
 //! svf-experiments --list-configs
 //! experiments: fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig9 table1 table2
@@ -12,9 +13,13 @@
 //! --jobs N       simulate N jobs in parallel (default: all hardware threads)
 //! --out DIR      per-job result sink: DIR/<experiment>/<job>.csv; jobs whose
 //!                result file exists are resumed instead of re-simulated
+//!                (sweeps also journal completed points for crash-safe resume)
 //! --no-lockstep  simulate each job against its own emulator instead of
 //!                batching jobs that share a program over one functional
 //!                stream (bit-identical either way; for A/B timing)
+//! --timeout SECS per-attempt watchdog: an attempt exceeding the limit is
+//!                abandoned as a (retryable) timeout instead of hanging the run
+//! --retries N    total attempts per job for retryable failures (default 3)
 //! --sweep SPEC   run a design-space sweep from a TOML spec (grid, random,
 //!                or greedy Pareto search — see EXPERIMENTS.md); prints the
 //!                frontier and writes points.csv/pareto.csv
@@ -51,7 +56,7 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: svf-experiments <experiment> [--scale test|small|full] [--csv DIR] [--jobs N] [--out DIR] [--no-lockstep]\n\
+        "usage: svf-experiments <experiment> [--scale test|small|full] [--csv DIR] [--jobs N] [--out DIR] [--no-lockstep] [--timeout SECS] [--retries N]\n\
          \u{20}      svf-experiments --sweep SPEC.toml [--csv DIR] [--jobs N] [--no-lockstep]\n\
          \u{20}      svf-experiments --list-configs\n\
          experiments: {}",
@@ -78,6 +83,8 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut out_dir: Option<String> = None;
     let mut lockstep = true;
+    let mut timeout: Option<f64> = None;
+    let mut retries: Option<u32> = None;
     let mut sweep_spec: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -103,6 +110,20 @@ fn main() {
                 jobs = match v.parse::<usize>() {
                     Ok(n) if n >= 1 => Some(n),
                     _ => fail(&format!("--jobs must be a positive integer, got {v:?}")),
+                };
+            }
+            "--timeout" => {
+                let v = required_value(&mut it, "--timeout");
+                timeout = match v.parse::<f64>() {
+                    Ok(s) if s > 0.0 && s.is_finite() => Some(s),
+                    _ => fail(&format!("--timeout must be positive seconds, got {v:?}")),
+                };
+            }
+            "--retries" => {
+                let v = required_value(&mut it, "--retries");
+                retries = match v.parse::<u32>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => fail(&format!("--retries must be a positive integer, got {v:?}")),
                 };
             }
             flag if flag.starts_with("--") => fail(&format!("unknown flag {flag}")),
@@ -134,6 +155,12 @@ fn main() {
     }
     if let Some(dir) = &out_dir {
         harness = harness.with_out_dir(dir);
+    }
+    if let Some(secs) = timeout {
+        harness = harness.with_timeout(std::time::Duration::from_secs_f64(secs));
+    }
+    if let Some(n) = retries {
+        harness = harness.with_retries(n);
     }
     svf_harness::configure(harness);
 

@@ -7,6 +7,8 @@ use svf_cpu::{CpuConfig, SimStats, Simulator};
 use svf_isa::Program;
 use svf_workloads::{workload, Scale};
 
+use crate::error::JobError;
+
 /// How a job obtains its program. Compilation is **memoized process-wide**
 /// (see [`crate::compile_count`]): the first job to need a spec compiles it
 /// on its worker thread and every other job sharing that spec — across
@@ -130,14 +132,18 @@ impl Job {
     }
 
     /// Compiles (through the process-global memo cache) and simulates this
-    /// job to completion.
+    /// job to completion. This is also where a planned `SVF_FAULT_PLAN`
+    /// fault fires, so injected failures traverse exactly the machinery a
+    /// real one would.
     ///
     /// # Errors
     ///
-    /// Propagates compilation errors as strings — identical for every job
-    /// sharing the failing [`ProgramSpec`] (simulation itself reports
-    /// divergence by panicking, which the harness catches).
-    pub fn execute(&self) -> Result<SimStats, String> {
+    /// Compilation failures as [`JobError::Compile`] — identical for every
+    /// job sharing the failing [`ProgramSpec`] — plus whatever the fault
+    /// plan injects (simulation itself reports divergence by panicking,
+    /// which the harness catches and classifies).
+    pub fn execute(&self) -> Result<SimStats, JobError> {
+        crate::fault::fire(self.id)?;
         let program = crate::memo::compile_shared(&self.program)?;
         Ok(Simulator::new(self.config.clone()).run(&program, u64::MAX))
     }
@@ -169,8 +175,9 @@ pub enum JobOutcome {
     Completed(SimStats),
     /// Loaded from a previous run's result file in the run directory.
     Resumed(SimStats),
-    /// Compilation failed or the simulation panicked; the message explains.
-    Failed(String),
+    /// The job failed after exhausting its retry budget; the classified
+    /// [`JobError`] explains how.
+    Failed(JobError),
 }
 
 impl JobOutcome {
@@ -183,11 +190,11 @@ impl JobOutcome {
         }
     }
 
-    /// The failure message, if the job failed.
+    /// The classified failure, if the job failed.
     #[must_use]
-    pub fn failure(&self) -> Option<&str> {
+    pub fn failure(&self) -> Option<&JobError> {
         match self {
-            JobOutcome::Failed(m) => Some(m),
+            JobOutcome::Failed(e) => Some(e),
             _ => None,
         }
     }

@@ -28,14 +28,31 @@
 //!    deterministic).
 //! 4. **Sinks & resume** — with an output directory configured, each job's
 //!    [`SimStats`](svf_cpu::SimStats) is written to
-//!    `<out>/<experiment>/<job-key>.csv`, and jobs whose result file
-//!    already exists are *resumed* (loaded, not re-simulated). Interrupted
-//!    long runs pick up where they stopped; delete the directory to force
-//!    a clean rerun.
+//!    `<out>/<experiment>/<job-key>.csv` (atomically — temp file + rename),
+//!    and jobs whose result file already exists are *resumed* (loaded, not
+//!    re-simulated). Interrupted long runs — including runs killed
+//!    mid-flight — pick up where they stopped; delete the directory to
+//!    force a clean rerun. A result file that exists but is damaged is
+//!    reported ([`JobError::CorruptResume`]) and the job re-runs, which
+//!    repairs the file.
+//! 5. **Fault tolerance** — every failure is classified as a [`JobError`]
+//!    with principled retryability, and the [`RetryPolicy`] (see
+//!    [`Harness::with_retries`] / [`Harness::with_timeout`]) bounds how
+//!    hard the runner tries: retryable failures re-attempt with exponential
+//!    backoff, and an optional per-attempt watchdog abandons hung attempts
+//!    as [`JobError::Timeout`]. A lockstep batch that panics or hangs is
+//!    **bisected**: the batch splits in half recursively until the
+//!    offending job fails alone, and that job is *quarantined*
+//!    (process-globally, by program + configuration) so later runs in the
+//!    process never batch it again — survivors keep sharing streams
+//!    instead of all falling back to serial. The deterministic
+//!    `SVF_FAULT_PLAN` hook (see [`crate::fault`] via
+//!    [`install_fault_plan`]) injects panics, I/O errors, hangs, truncated
+//!    traces, and process aborts at chosen job ids to test all of this.
 //!
 //! A light observability surface rides along: per-job wall clock, and a
 //! run-level progress line (jobs done/total, aggregate simulated Mcycles/s,
-//! ETA).
+//! ETA, resumed/retried/timed-out/failed counts).
 //!
 //! # Example
 //!
@@ -58,7 +75,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod experiment;
+mod fault;
 mod job;
 mod memo;
 mod pool;
@@ -67,21 +86,24 @@ mod sink;
 pub mod sweep;
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use svf_cpu::SimStats;
+use svf_cpu::{CpuConfig, SimStats};
+use svf_isa::Program;
 
+pub use error::{JobError, RetryPolicy};
 pub use experiment::Experiment;
+pub use fault::install_fault_plan;
 pub use job::{Job, JobOutcome, JobReport, ProgramSpec};
 pub use memo::compile_count;
-pub use pool::parallel_map;
-pub use sink::RunDir;
+pub use pool::{parallel_map, parallel_map_with};
+pub use sink::{atomic_write, RunDir};
 pub use sweep::{run_sweep, SweepOutcome, SweepPoint};
 
 use progress::Progress;
@@ -94,6 +116,7 @@ pub struct Harness {
     out_dir: Option<PathBuf>,
     progress: bool,
     lockstep: bool,
+    policy: RetryPolicy,
 }
 
 impl Default for Harness {
@@ -107,7 +130,13 @@ impl Harness {
     #[must_use]
     pub fn parallel() -> Harness {
         let workers = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        Harness { workers, out_dir: None, progress: false, lockstep: true }
+        Harness {
+            workers,
+            out_dir: None,
+            progress: false,
+            lockstep: true,
+            policy: RetryPolicy::default(),
+        }
     }
 
     /// A single worker (the job queue still runs, panic isolation included).
@@ -151,10 +180,50 @@ impl Harness {
         self
     }
 
+    /// Sets the per-attempt watchdog: an attempt exceeding `limit` is
+    /// abandoned as [`JobError::Timeout`] (retryable, so a transient hang
+    /// gets another chance). The abandoned attempt's thread leaks until
+    /// its simulation finishes — a genuinely hung job never does useful
+    /// work again, so that is the acceptable cost of not hanging the run.
+    /// Lockstep batches get the limit scaled by batch width.
+    #[must_use]
+    pub fn with_timeout(mut self, limit: Duration) -> Harness {
+        self.policy.timeout = Some(limit);
+        self
+    }
+
+    /// Sets the total attempts per job for retryable failures (clamped to
+    /// at least 1; see [`JobError::retryable`] for which failures qualify).
+    #[must_use]
+    pub fn with_retries(mut self, attempts: u32) -> Harness {
+        self.policy.attempts = attempts.max(1);
+        self
+    }
+
+    /// Replaces the whole retry policy (attempts, backoff, watchdog).
+    #[must_use]
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Harness {
+        self.policy = policy;
+        self
+    }
+
     /// The configured worker count.
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The configured result-sink root, if any. Sweep drivers anchor their
+    /// crash-safe point journal next to it.
+    #[must_use]
+    pub fn out_dir(&self) -> Option<&Path> {
+        self.out_dir.as_deref()
+    }
+
+    /// The active retry policy.
+    #[must_use]
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.policy
     }
 
     /// Runs every job of `exp` and reassembles the reports in job-id order.
@@ -183,7 +252,7 @@ impl Harness {
                 scope.spawn(|| loop {
                     let g = next.fetch_add(1, Ordering::Relaxed);
                     let Some(idxs) = groups.get(g) else { break };
-                    run_group(jobs, idxs, sink.as_ref(), &progress, &slots);
+                    run_group(jobs, idxs, sink.as_ref(), &progress, &slots, &self.policy);
                 });
             }
         });
@@ -221,9 +290,11 @@ fn group_jobs(jobs: &[Job], lockstep: bool) -> Vec<Vec<usize>> {
     groups
 }
 
-/// Executes one scheduling group: resumes what the sink already holds, runs
-/// a lone fresh job directly, and batches two or more fresh jobs through
-/// [`svf_cpu::run_lockstep`] over one shared functional execution. Fills
+/// Executes one scheduling group: resumes what the sink already holds
+/// (re-running anything the sink reports as corrupt), pulls
+/// quarantined/fault-planned jobs onto the individual path, and batches the
+/// remaining fresh jobs through [`svf_cpu::run_lockstep`] over one shared
+/// functional execution — bisecting the batch on panic or hang. Fills
 /// `slots` and `progress` exactly like per-job execution would.
 fn run_group(
     jobs: &[Job],
@@ -231,6 +302,7 @@ fn run_group(
     sink: Option<&RunDir>,
     progress: &Progress,
     slots: &[Mutex<Option<JobReport>>],
+    policy: &RetryPolicy,
 ) {
     let deliver = |i: usize, report: JobReport| {
         let (cycles, resumed, failed) = match &report.outcome {
@@ -243,60 +315,83 @@ fn run_group(
     };
     let mut fresh: Vec<usize> = Vec::new();
     for &i in idxs {
-        if let Some(stats) = sink.and_then(|s| s.load(&jobs[i])) {
-            deliver(i, report_for(&jobs[i], JobOutcome::Resumed(stats), Duration::ZERO));
-        } else {
-            fresh.push(i);
+        match sink.map_or(Ok(None), |s| s.load_classified(&jobs[i])) {
+            Ok(Some(stats)) => {
+                deliver(i, report_for(&jobs[i], JobOutcome::Resumed(stats), Duration::ZERO));
+            }
+            Ok(None) => fresh.push(i),
+            Err(e) => {
+                // A damaged result file must not fail the job — re-running
+                // the simulation rewrites (repairs) it.
+                eprintln!("svf-harness: {}: {e}; re-running", jobs[i].key());
+                fresh.push(i);
+            }
         }
     }
-    let [single] = fresh.as_slice() else {
-        if fresh.is_empty() {
-            return;
-        }
+    // Jobs with a planned fault or a quarantine record run alone so their
+    // failure exercises (or already exercised) the per-job machinery
+    // instead of poisoning a shared batch.
+    let (mut solo, batch): (Vec<usize>, Vec<usize>) =
+        fresh.into_iter().partition(|&i| fault::planned(jobs[i].id) || quarantined(&jobs[i]));
+    if batch.len() >= 2 {
         let t0 = Instant::now();
-        match run_group_lockstep(jobs, &fresh) {
-            Ok(Some(stats)) => {
-                let wall = t0.elapsed() / u32::try_from(fresh.len()).unwrap_or(1).max(1);
-                for (&i, stats) in fresh.iter().zip(stats) {
-                    if let Some(sink) = sink {
-                        if let Err(e) = sink.store(&jobs[i], &stats) {
-                            eprintln!("svf-harness: cannot store {}: {e}", jobs[i].key());
-                        }
-                    }
-                    deliver(i, report_for(&jobs[i], JobOutcome::Completed(stats), wall));
+        let results = run_batch(jobs, &batch, policy, progress);
+        let wall = t0.elapsed() / u32::try_from(batch.len()).unwrap_or(1).max(1);
+        for (i, result) in results {
+            let outcome = match result {
+                Ok(stats) => {
+                    store_with_retry(sink, &jobs[i], &stats, policy);
+                    JobOutcome::Completed(stats)
                 }
-            }
-            Ok(None) => {
-                // The batch panicked — some configuration diverged. Fall
-                // back to per-job execution so the failure isolates to the
-                // job(s) that actually diverge, preserving the per-job
-                // failure contract.
-                for &i in &fresh {
-                    deliver(i, run_one(&jobs[i], sink));
-                }
-            }
-            Err(msg) => {
-                // Compilation failed: every sharer fails with one message,
-                // exactly like the per-job memo path.
-                for &i in &fresh {
-                    deliver(i, report_for(&jobs[i], JobOutcome::Failed(msg.clone()), t0.elapsed()));
-                }
-            }
+                Err(e) => JobOutcome::Failed(e),
+            };
+            deliver(i, report_for(&jobs[i], outcome, wall));
         }
-        return;
-    };
-    deliver(*single, run_one(&jobs[*single], sink));
+    } else {
+        solo.extend(batch);
+    }
+    for &i in &solo {
+        deliver(i, run_one_fresh(&jobs[i], sink, policy, progress));
+    }
 }
 
 /// The batched heart of a group: compile once (memoized), simulate every
-/// fresh configuration over one shared stream. `Ok(None)` reports a panic
-/// inside the batch (the caller falls back to per-job isolation).
-fn run_group_lockstep(jobs: &[Job], fresh: &[usize]) -> Result<Option<Vec<SimStats>>, String> {
-    let program = memo::compile_shared(&jobs[fresh[0]].program)?;
-    let configs: Vec<svf_cpu::CpuConfig> =
-        fresh.iter().map(|&i| jobs[i].config.clone()).collect();
-    Ok(catch_unwind(AssertUnwindSafe(|| svf_cpu::run_lockstep(&configs, &program, u64::MAX)))
-        .ok())
+/// member configuration over one shared stream. A batch that panics or
+/// trips the (width-scaled) watchdog is **bisected**: each half re-runs as
+/// its own batch, recursively, until the offending member fails alone —
+/// where it goes through the full per-job retry path and is quarantined.
+/// Survivor halves keep sharing streams, so one bad configuration costs
+/// `O(log n)` re-batches rather than degrading the whole group to serial.
+fn run_batch(
+    jobs: &[Job],
+    members: &[usize],
+    policy: &RetryPolicy,
+    progress: &Progress,
+) -> Vec<(usize, Result<SimStats, JobError>)> {
+    if let [i] = members {
+        return vec![(*i, execute_with_policy(&jobs[*i], policy, progress))];
+    }
+    let program = match memo::compile_shared(&jobs[members[0]].program) {
+        Ok(p) => p,
+        // Compilation failed: every sharer fails with one message, exactly
+        // like the per-job memo path.
+        Err(e) => return members.iter().map(|&i| (i, Err(e.clone()))).collect(),
+    };
+    let configs: Vec<CpuConfig> = members.iter().map(|&i| jobs[i].config.clone()).collect();
+    // N jobs ride one stream, so the watchdog budget scales with width.
+    let limit = policy.timeout.map(|t| t * u32::try_from(members.len()).unwrap_or(u32::MAX));
+    match attempt_lockstep(&program, &configs, limit) {
+        Ok(stats) => members.iter().copied().zip(stats.into_iter().map(Ok)).collect(),
+        Err(e) => {
+            if matches!(e, JobError::Timeout { .. }) {
+                progress.record_timeout();
+            }
+            let (a, b) = members.split_at(members.len() / 2);
+            let mut out = run_batch(jobs, a, policy, progress);
+            out.extend(run_batch(jobs, b, policy, progress));
+            out
+        }
+    }
 }
 
 fn report_for(job: &Job, outcome: JobOutcome, wall: Duration) -> JobReport {
@@ -309,26 +404,148 @@ fn report_for(job: &Job, outcome: JobOutcome, wall: Duration) -> JobReport {
     }
 }
 
-/// Executes (or resumes) one job, never letting a panic escape.
-fn run_one(job: &Job, sink: Option<&RunDir>) -> JobReport {
+/// Executes one known-fresh job under the retry policy and stores the
+/// result. Never lets a panic escape.
+fn run_one_fresh(
+    job: &Job,
+    sink: Option<&RunDir>,
+    policy: &RetryPolicy,
+    progress: &Progress,
+) -> JobReport {
     let t0 = Instant::now();
-    let outcome = if let Some(stats) = sink.and_then(|s| s.load(job)) {
-        JobOutcome::Resumed(stats)
-    } else {
-        match catch_unwind(AssertUnwindSafe(|| job.execute())) {
-            Ok(Ok(stats)) => {
-                if let Some(sink) = sink {
-                    if let Err(e) = sink.store(job, &stats) {
-                        eprintln!("svf-harness: cannot store {}: {e}", job.key());
-                    }
-                }
-                JobOutcome::Completed(stats)
-            }
-            Ok(Err(msg)) => JobOutcome::Failed(msg),
-            Err(payload) => JobOutcome::Failed(pool::panic_message(payload.as_ref())),
+    let outcome = match execute_with_policy(job, policy, progress) {
+        Ok(stats) => {
+            store_with_retry(sink, job, &stats, policy);
+            JobOutcome::Completed(stats)
         }
+        Err(e) => JobOutcome::Failed(e),
     };
     report_for(job, outcome, t0.elapsed())
+}
+
+/// One job through the full retry loop: attempts (watchdogged if the policy
+/// asks) until success, a non-retryable failure, or the attempt budget runs
+/// out. A job whose *final* failure is a divergence or a hang is
+/// quarantined so it never rides a lockstep batch again this process.
+fn execute_with_policy(job: &Job, policy: &RetryPolicy, progress: &Progress) -> Result<SimStats, JobError> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let result = attempt_job(job, policy.timeout);
+        match result {
+            Ok(stats) => return Ok(stats),
+            Err(e) => {
+                if matches!(e, JobError::Timeout { .. }) {
+                    progress.record_timeout();
+                }
+                if e.retryable() && attempt < policy.attempts.max(1) {
+                    progress.record_retry();
+                    thread::sleep(policy.backoff_before(attempt + 1));
+                    continue;
+                }
+                if matches!(e, JobError::Panic(_) | JobError::Timeout { .. }) {
+                    quarantine(job);
+                }
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// One execution attempt, panic-caught, optionally under a watchdog.
+fn attempt_job(job: &Job, timeout: Option<Duration>) -> Result<SimStats, JobError> {
+    let Some(limit) = timeout else {
+        return catch_unwind(AssertUnwindSafe(|| job.execute()))
+            .unwrap_or_else(|p| Err(JobError::from_panic(p.as_ref())));
+    };
+    let job = job.clone();
+    watchdog(limit, move || job.execute())
+}
+
+/// One lockstep-batch attempt, panic-caught, optionally under a watchdog.
+fn attempt_lockstep(
+    program: &Arc<Program>,
+    configs: &[CpuConfig],
+    timeout: Option<Duration>,
+) -> Result<Vec<SimStats>, JobError> {
+    let Some(limit) = timeout else {
+        return catch_unwind(AssertUnwindSafe(|| {
+            svf_cpu::run_lockstep(configs, program, u64::MAX)
+        }))
+        .map_err(|p| JobError::from_panic(p.as_ref()));
+    };
+    let program = Arc::clone(program);
+    let configs = configs.to_vec();
+    watchdog(limit, move || Ok(svf_cpu::run_lockstep(&configs, &program, u64::MAX)))
+}
+
+/// Runs `work` on a helper thread and waits at most `limit` for its result.
+/// On expiry the helper is *abandoned*, not killed (Rust has no safe thread
+/// cancellation): it leaks until its simulation finishes or the process
+/// exits. The channel send into a dropped receiver is a clean no-op.
+fn watchdog<R: Send + 'static>(
+    limit: Duration,
+    work: impl FnOnce() -> Result<R, JobError> + Send + 'static,
+) -> Result<R, JobError> {
+    let (tx, rx) = mpsc::channel();
+    let spawned = thread::Builder::new().name("svf-watchdog-attempt".into()).spawn(move || {
+        let result = catch_unwind(AssertUnwindSafe(work))
+            .unwrap_or_else(|p| Err(JobError::from_panic(p.as_ref())));
+        let _ = tx.send(result);
+    });
+    if let Err(e) = spawned {
+        return Err(JobError::Io(format!("cannot spawn watchdog thread: {e}")));
+    }
+    match rx.recv_timeout(limit) {
+        Ok(result) => result,
+        Err(_) => Err(JobError::Timeout {
+            millis: u64::try_from(limit.as_millis()).unwrap_or(u64::MAX),
+        }),
+    }
+}
+
+/// Stores one result, retrying transient filesystem failures under the
+/// job's own policy. A store that still fails only costs resumability (the
+/// job re-runs next time), so it warns rather than failing the job.
+fn store_with_retry(sink: Option<&RunDir>, job: &Job, stats: &SimStats, policy: &RetryPolicy) {
+    let Some(sink) = sink else { return };
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match sink.store(job, stats) {
+            Ok(()) => return,
+            Err(_) if attempt < policy.attempts.max(1) => {
+                thread::sleep(policy.backoff_before(attempt + 1));
+            }
+            Err(e) => {
+                eprintln!("svf-harness: cannot store {}: {e}", job.key());
+                return;
+            }
+        }
+    }
+}
+
+/// The lockstep quarantine: `(program, configuration)` pairs whose job
+/// diverged or hung. Process-global for the same reason the memo cache is —
+/// a later run in this process must not re-batch a known-bad member.
+static QUARANTINE: OnceLock<Mutex<HashSet<(memo::Key, String)>>> = OnceLock::new();
+
+fn quarantine_key(job: &Job) -> (memo::Key, String) {
+    (memo::key(&job.program), format!("{:?}", job.config))
+}
+
+fn quarantined(job: &Job) -> bool {
+    QUARANTINE
+        .get()
+        .is_some_and(|q| q.lock().expect("quarantine").contains(&quarantine_key(job)))
+}
+
+fn quarantine(job: &Job) {
+    QUARANTINE
+        .get_or_init(Mutex::default)
+        .lock()
+        .expect("quarantine")
+        .insert(quarantine_key(job));
 }
 
 /// Everything one [`Harness::run`] produced, in job-id order.
@@ -345,9 +562,9 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    /// `(key, message)` for every failed job.
+    /// `(key, classified error)` for every failed job.
     #[must_use]
-    pub fn failures(&self) -> Vec<(&str, &str)> {
+    pub fn failures(&self) -> Vec<(&str, &JobError)> {
         self.jobs
             .iter()
             .filter_map(|j| j.outcome.failure().map(|m| (j.key.as_str(), m)))

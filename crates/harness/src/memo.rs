@@ -26,8 +26,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 use svf_isa::Program;
 use svf_workloads::Scale;
 
+use crate::error::JobError;
 use crate::job::ProgramSpec;
-use crate::pool::panic_message;
 
 /// Owned mirror of [`ProgramSpec`]'s identity, hashable for the cache map.
 /// Also the lockstep grouping key: jobs with equal keys share one program,
@@ -50,7 +50,7 @@ pub(crate) fn key(spec: &ProgramSpec) -> Key {
 }
 
 /// One cache cell: settled exactly once, shared by every job with the spec.
-type Slot = Arc<OnceLock<Result<Arc<Program>, String>>>;
+type Slot = Arc<OnceLock<Result<Arc<Program>, JobError>>>;
 
 static CACHE: OnceLock<Mutex<HashMap<Key, Slot>>> = OnceLock::new();
 
@@ -74,9 +74,10 @@ pub fn compile_count() -> u64 {
 ///
 /// # Errors
 ///
-/// Compiler errors and compile-time panics are returned as strings, stored
-/// in the entry, and repeated verbatim to every sharer of the spec.
-pub(crate) fn compile_shared(spec: &ProgramSpec) -> Result<Arc<Program>, String> {
+/// Compiler errors and compile-time panics are classified as
+/// [`JobError::Compile`] / [`JobError::Panic`], stored in the entry, and
+/// repeated verbatim to every sharer of the spec.
+pub(crate) fn compile_shared(spec: &ProgramSpec) -> Result<Arc<Program>, JobError> {
     let slot = {
         let mut map = CACHE.get_or_init(Mutex::default).lock().expect("memo cache mutex");
         Arc::clone(map.entry(key(spec)).or_default())
@@ -85,8 +86,8 @@ pub(crate) fn compile_shared(spec: &ProgramSpec) -> Result<Arc<Program>, String>
         COMPILES.fetch_add(1, Ordering::Relaxed);
         match catch_unwind(AssertUnwindSafe(|| spec.compile())) {
             Ok(Ok(program)) => Ok(Arc::new(program)),
-            Ok(Err(e)) => Err(e),
-            Err(payload) => Err(panic_message(payload.as_ref())),
+            Ok(Err(e)) => Err(JobError::Compile(e)),
+            Err(payload) => Err(JobError::from_panic(payload.as_ref())),
         }
     })
     .clone()

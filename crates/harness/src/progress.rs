@@ -9,6 +9,8 @@ struct State {
     done: usize,
     resumed: usize,
     failed: usize,
+    retried: usize,
+    timeouts: usize,
     cycles: u64,
 }
 
@@ -41,6 +43,33 @@ impl Progress {
             st.resumed += usize::from(resumed);
             st.failed += usize::from(failed);
             st.cycles += simulated_cycles;
+            *st
+        };
+        if self.enabled {
+            eprint!("\r{}", self.line(snapshot));
+        }
+    }
+
+    /// Records one retry (a failed attempt that will be re-run). Retries
+    /// don't advance `done` — the job is still in flight — but they show up
+    /// in the line so a run stuck in retry storms is visibly so.
+    pub(crate) fn record_retry(&self) {
+        let snapshot = {
+            let mut st = self.state.lock().expect("progress state");
+            st.retried += 1;
+            *st
+        };
+        if self.enabled {
+            eprint!("\r{}", self.line(snapshot));
+        }
+    }
+
+    /// Records one watchdog expiry (the attempt was abandoned; a retry may
+    /// follow). Like retries, timeouts don't advance `done`.
+    pub(crate) fn record_timeout(&self) {
+        let snapshot = {
+            let mut st = self.state.lock().expect("progress state");
+            st.timeouts += 1;
             *st
         };
         if self.enabled {
@@ -88,6 +117,12 @@ impl Progress {
         if st.resumed > 0 {
             line.push_str(&format!("  ({} resumed)", st.resumed));
         }
+        if st.retried > 0 {
+            line.push_str(&format!("  ({} retried)", st.retried));
+        }
+        if st.timeouts > 0 {
+            line.push_str(&format!("  ({} timed out)", st.timeouts));
+        }
         if st.failed > 0 {
             line.push_str(&format!("  ({} FAILED)", st.failed));
         }
@@ -123,6 +158,20 @@ mod tests {
         assert!(line.contains("[demo] 3/3 jobs"), "{line}");
         assert!(line.contains("(1 resumed)"), "{line}");
         assert!(line.contains("(1 FAILED)"), "{line}");
+    }
+
+    #[test]
+    fn summary_counts_retries_and_timeouts() {
+        let p = Progress::new("demo", 2, false);
+        p.record_timeout();
+        p.record_retry();
+        p.record(100, false, false);
+        p.record(100, false, false);
+        let line = p.finish();
+        assert!(line.contains("2/2 jobs"), "retries don't advance done: {line}");
+        assert!(line.contains("(1 retried)"), "{line}");
+        assert!(line.contains("(1 timed out)"), "{line}");
+        assert!(!line.contains("FAILED"), "{line}");
     }
 
     #[test]

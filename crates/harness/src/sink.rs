@@ -12,7 +12,26 @@ use std::path::{Path, PathBuf};
 
 use svf_cpu::SimStats;
 
+use crate::error::JobError;
 use crate::job::Job;
+
+/// Writes `contents` to `path` via a same-directory temp file and an
+/// atomic rename, so readers (and resumed runs) never observe a partially
+/// written file — a kill at any instant leaves either the old file or the
+/// new one, never a truncation.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; the temp file is removed on failure.
+pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    let mut ext = path.extension().unwrap_or_default().to_os_string();
+    ext.push(".tmp");
+    let tmp = path.with_extension(ext);
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path).inspect_err(|_| {
+        fs::remove_file(&tmp).ok();
+    })
+}
 
 /// The per-experiment result directory.
 #[derive(Debug, Clone)]
@@ -49,24 +68,50 @@ impl RunDir {
     /// "no result" so the job transparently re-runs.
     #[must_use]
     pub fn load(&self, job: &Job) -> Option<SimStats> {
-        let text = fs::read_to_string(self.job_path(job)).ok()?;
-        let mut lines = text.lines();
-        if lines.next()? != SimStats::csv_header() {
-            return None;
-        }
-        SimStats::from_csv_row(lines.next()?).ok()
+        self.load_classified(job).ok().flatten()
     }
 
-    /// Stores one job's result (header line + data row).
+    /// [`RunDir::load`] with the failure modes kept apart: `Ok(None)` means
+    /// no result file exists (fresh job), `Err(CorruptResume)` means a file
+    /// exists but is damaged or stale (the runner logs it, then re-runs the
+    /// job — which repairs the file).
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::CorruptResume`] naming the file and what was wrong.
+    pub fn load_classified(&self, job: &Job) -> Result<Option<SimStats>, JobError> {
+        let path = self.job_path(job);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(JobError::CorruptResume(format!("{}: {e}", path.display())))
+            }
+        };
+        let corrupt = |what: &str| {
+            JobError::CorruptResume(format!("{}: {what}", path.display()))
+        };
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h == SimStats::csv_header() => {}
+            _ => return Err(corrupt("header mismatch (schema drift or truncation)")),
+        }
+        let row = lines.next().ok_or_else(|| corrupt("missing data row"))?;
+        SimStats::from_csv_row(row)
+            .map(Some)
+            .map_err(|e| corrupt(&format!("unparsable data row: {e}")))
+    }
+
+    /// Stores one job's result (header line + data row) atomically.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn store(&self, job: &Job, stats: &SimStats) -> io::Result<()> {
-        let path = self.job_path(job);
-        let tmp = path.with_extension("csv.tmp");
-        fs::write(&tmp, format!("{}\n{}\n", SimStats::csv_header(), stats.to_csv_row()))?;
-        fs::rename(&tmp, &path)
+        atomic_write(
+            &self.job_path(job),
+            &format!("{}\n{}\n", SimStats::csv_header(), stats.to_csv_row()),
+        )
     }
 }
 
@@ -113,6 +158,36 @@ mod tests {
         fs::write(dir.job_path(&job), format!("{}\nnot,numbers\n", SimStats::csv_header()))
             .expect("write");
         assert!(dir.load(&job).is_none(), "unparsable row must not resume");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn classified_load_separates_fresh_from_corrupt() {
+        let root = tmp_root("classified");
+        let dir = RunDir::create(&root, "demo").expect("create");
+        let job = demo_job();
+        assert_eq!(dir.load_classified(&job), Ok(None), "no file is a fresh job");
+        fs::write(dir.job_path(&job), "garbage\n").expect("write");
+        let err = dir.load_classified(&job).expect_err("damaged file is classified");
+        assert!(matches!(err, JobError::CorruptResume(_)), "{err:?}");
+        assert!(err.to_string().contains("header mismatch"), "{err}");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let root = tmp_root("atomic");
+        fs::create_dir_all(&root).expect("mkdir");
+        let path = root.join("points.csv");
+        atomic_write(&path, "old\n").expect("write");
+        atomic_write(&path, "new\n").expect("rewrite");
+        assert_eq!(fs::read_to_string(&path).expect("read"), "new\n");
+        let leftovers: Vec<_> = fs::read_dir(&root)
+            .expect("readdir")
+            .map(|e| e.expect("entry").file_name())
+            .filter(|n| n.to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive: {leftovers:?}");
         fs::remove_dir_all(&root).ok();
     }
 }

@@ -102,9 +102,11 @@ fn shared_failing_spec_fails_every_sharing_job_identically() {
     }
     exp.push(ProgramSpec::source("shared-healthy", TINY), "4-wide", CpuConfig::wide4());
     let report = Harness::parallel().with_workers(4).run(&exp);
-    let msgs: Vec<&str> = report.jobs[..3]
+    let msgs: Vec<String> = report.jobs[..3]
         .iter()
-        .map(|j| j.outcome.failure().unwrap_or_else(|| panic!("{} must fail", j.key)))
+        .map(|j| {
+            j.outcome.failure().unwrap_or_else(|| panic!("{} must fail", j.key)).to_string()
+        })
         .collect();
     assert!(msgs[0].contains("shared-broken"), "message names the program: {}", msgs[0]);
     assert!(msgs.windows(2).all(|w| w[0] == w[1]), "identical message for every sharer: {msgs:?}");
@@ -124,7 +126,7 @@ fn panicking_simulation_reports_failed() {
     assert!(report.jobs[0].outcome.stats().is_some(), "healthy job completes");
     match &report.jobs[1].outcome {
         JobOutcome::Failed(msg) => {
-            assert!(msg.contains("deadlock"), "panic message survives: {msg}");
+            assert!(msg.to_string().contains("deadlock"), "panic message survives: {msg}");
         }
         other => panic!("deadlocked job must fail, got {other:?}"),
     }
@@ -161,7 +163,7 @@ fn diverging_config_inside_a_lockstep_group_is_isolated() {
     assert!(report.jobs[2].outcome.stats().is_some(), "healthy sibling completes");
     match &report.jobs[1].outcome {
         JobOutcome::Failed(msg) => {
-            assert!(msg.contains("deadlock"), "panic message survives: {msg}");
+            assert!(msg.to_string().contains("deadlock"), "panic message survives: {msg}");
         }
         other => panic!("deadlocked job must fail, got {other:?}"),
     }

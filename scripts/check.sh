@@ -68,4 +68,29 @@ head -1 "$smoke_dir/sweep/pareto.csv" | grep -q '^point,svf_bytes,stack_ports,ip
 [ "$(wc -l < "$smoke_dir/sweep/points.csv")" -eq 9 ] \
     || { echo "sweep smoke: points.csv should have 8 rows + header" >&2; exit 1; }
 echo "sweep smoke: 8 configs, one compile, well-formed pareto.csv"
+# Crash-resume smoke: the same sweep with a result sink, killed mid-run by
+# a planted abort (the in-process kill -9), must resume from the sink and
+# finish with points.csv/pareto.csv byte-identical to the fault-free run
+# above; a third run must skip every point via the sweep journal.
+if SVF_FAULT_PLAN="abort@4" cargo run --release --quiet -p svf-experiments -- \
+    --sweep "$smoke_dir/sweep.toml" --csv "$smoke_dir/crash" --out "$smoke_dir/crash-runs"
+then
+    echo "crash-resume smoke: planted abort did not kill the sweep" >&2; exit 1
+fi
+[ "$(ls "$smoke_dir/crash-runs/check-smoke-r0" | wc -l)" -eq 7 ] \
+    || { echo "crash-resume smoke: crash should leave the 7 clean jobs stored" >&2; exit 1; }
+cargo run --release --quiet -p svf-experiments -- \
+    --sweep "$smoke_dir/sweep.toml" --csv "$smoke_dir/crash" --out "$smoke_dir/crash-runs" \
+    > "$smoke_dir/resume.out"
+for f in points.csv pareto.csv; do
+    cmp "$smoke_dir/sweep/$f" "$smoke_dir/crash/$f" \
+        || { echo "crash-resume smoke: $f differs from the fault-free run" >&2; exit 1; }
+done
+# (to a file first: grep -q would close the pipe early and panic the binary)
+cargo run --release --quiet -p svf-experiments -- \
+    --sweep "$smoke_dir/sweep.toml" --csv "$smoke_dir/crash" --out "$smoke_dir/crash-runs" \
+    > "$smoke_dir/journal.out"
+grep -q 'resumed=8' "$smoke_dir/journal.out" \
+    || { echo "crash-resume smoke: journal did not resume all 8 points" >&2; exit 1; }
+echo "crash-resume smoke: killed sweep resumed to byte-identical CSVs"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -17,6 +17,8 @@
 //!   --profile                                          print the Figures 1-3 characterization
 //!   --disasm                                           print the disassembly and exit
 //!   --compare                                          also run the (R+0) baseline and report speedup
+//!   --salvage                                          replay a truncated .svft trace up to the
+//!                                                      last complete record instead of erroring
 //! ```
 
 use std::error::Error;
@@ -61,6 +63,9 @@ pub struct CliOptions {
     pub trace: u64,
     /// Write a compact binary trace of the whole run to this path.
     pub dump_trace: Option<String>,
+    /// Replay truncated `.svft` traces up to the last complete record
+    /// (with a warning) instead of erroring at the cut.
+    pub salvage: bool,
     /// Registry preset with an optional overlay (`svf+svf_bytes=4k`);
     /// mutually exclusive with the hand-rolled machine flags.
     pub config: Option<String>,
@@ -86,6 +91,7 @@ impl Default for CliOptions {
             compare: false,
             trace: 0,
             dump_trace: None,
+            salvage: false,
             config: None,
             list_configs: false,
         }
@@ -140,6 +146,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--compare" => o.compare = true,
             "--trace" => o.trace = value("--trace")?.parse().map_err(|_| "bad --trace")?,
             "--dump-trace" => o.dump_trace = Some(value("--dump-trace")?.to_string()),
+            "--salvage" => o.salvage = true,
             p if !p.starts_with('-') && o.path.is_empty() => o.path = p.to_string(),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -341,11 +348,29 @@ pub fn run_cli(args: &[String]) -> Result<String, Box<dyn Error>> {
 fn replay_trace(o: &CliOptions) -> Result<String, Box<dyn Error>> {
     let cfg = build_config(o)?;
     let file = std::io::BufReader::new(std::fs::File::open(&o.path)?);
-    let src = svf_emu::TraceSource::open(file)?;
-    let stats = svf_cpu::run_lockstep_trace(std::slice::from_ref(&cfg), src, o.max_insts)?
-        .pop()
-        .expect("one config in, one result out");
     let mut report = String::new();
+    let stats = if o.salvage {
+        // Salvage mode: a capture killed mid-write replays up to its last
+        // complete record, with the cut reported rather than fatal.
+        let salvage = svf_emu::SalvageReport::new();
+        let src = svf_emu::TraceSource::open_salvage(file, std::sync::Arc::clone(&salvage))?;
+        let stats = svf_cpu::run_lockstep_trace(std::slice::from_ref(&cfg), src, o.max_insts)?
+            .pop()
+            .expect("one config in, one result out");
+        if salvage.was_truncated() {
+            let _ = writeln!(
+                report,
+                "--- WARNING: trace truncated mid-record; salvaged the first {} complete records ---",
+                salvage.salvaged_records()
+            );
+        }
+        stats
+    } else {
+        let src = svf_emu::TraceSource::open(file)?;
+        svf_cpu::run_lockstep_trace(std::slice::from_ref(&cfg), src, o.max_insts)?
+            .pop()
+            .expect("one config in, one result out")
+    };
     let _ = writeln!(report, "--- replayed {} trace records ---", stats.committed);
     append_timing_report(&mut report, o, &stats);
     Ok(report)
@@ -401,6 +426,8 @@ mod tests {
         let o = parse_args(&args(&["p.c", "--dump-trace", "t.bin", "--trace", "5"])).unwrap();
         assert_eq!(o.dump_trace.as_deref(), Some("t.bin"));
         assert_eq!(o.trace, 5);
+        let o = parse_args(&args(&["t.svft", "--salvage"])).unwrap();
+        assert!(o.salvage);
     }
 
     #[test]
