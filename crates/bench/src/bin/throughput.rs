@@ -5,7 +5,7 @@
 //! tracked commit over commit.
 //!
 //! Usage: `throughput [OUT.json] [--quick] [--compare BASE.json]`
-//! (default out `BENCH_pr7.json`; see `scripts/bench.sh`).
+//! (default out `BENCH_pr9.json`; see `scripts/bench.sh`).
 //!
 //! * `--quick` — shorter sampling windows: a smoke gate for
 //!   `scripts/check.sh`, not a tracking-quality measurement. Its
@@ -109,7 +109,7 @@ fn compare(rows: &[Row], baseline_path: &str, baseline: &str, floor: f64) -> Vec
 }
 
 fn main() -> ExitCode {
-    let mut out = "BENCH_pr7.json".to_string();
+    let mut out = "BENCH_pr9.json".to_string();
     let mut quick = false;
     let mut compare_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -147,12 +147,18 @@ fn main() -> ExitCode {
     let kernel = stack_kernel();
     let gap = svf_bench::compile(svf_workloads::workload("gap").expect("exists"));
     let bzip2 = svf_bench::compile(svf_workloads::workload("bzip2").expect("exists"));
+    let twolf = svf_bench::compile(svf_workloads::workload("twolf").expect("exists"));
 
     let mut svf_cfg = CpuConfig::wide16().with_ports(2, 2);
     svf_cfg.stack_engine = StackEngine::svf_8kb();
     let base_cfg = CpuConfig::wide16();
     let sweep_base = CpuConfig::wide16().with_ports(2, 0);
     let sweep = svf_bench::sweep_configs();
+    // The validated twolf plan from tests/sampling.rs (keep in sync).
+    let twolf_plan = svf_cpu::SampleSpec::parse(
+        "mode=random,seed=3,period=60k,interval=5k,warmup=6k,ramp=1k,tail=500",
+    )
+    .expect("plan parses");
 
     let (s1, r1) = scale(1.0, 5);
     let (s2, r2) = scale(1.5, 5);
@@ -188,10 +194,53 @@ fn main() -> ExitCode {
         measure("sweep/6cfg-bzip2-lockstep", "Mcyc/s", s3, r3, || {
             svf_cpu::run_lockstep(&sweep, &bzip2, u64::MAX).iter().map(|s| s.cycles).sum()
         }),
+        // The PR 9 headline pair: the longest workload simulated in full
+        // detail, then under the validated sampling plan from
+        // tests/sampling.rs (2% IPC bound at ~12% detailed). Both rows
+        // report whole-program Minst/s over the same instruction count,
+        // so their rate ratio IS the wall-clock speedup of sampling.
+        measure("sampled/twolf-full-detail", "Minst/s", s3, r3, || {
+            simulate(&base_cfg, &twolf).committed
+        }),
+        measure("sampled/twolf-sampled", "Minst/s", s3, r3, || {
+            svf_cpu::run_sampled(std::slice::from_ref(&base_cfg), &twolf, u64::MAX, &twolf_plan)
+                .pop()
+                .expect("one config in, one estimate out")
+                .stats
+                .committed
+        }),
         // The flattened substructures alone.
         measure("micro/cache-probe", "Macc/s", s4, r4, || cache_probe(micro_n)),
         measure("micro/predictor", "Mbr/s", s4, r4, || predictor_churn(micro_n)),
     ];
+
+    // The sampled-vs-full contract behind the pair above, checked on every
+    // bench run: the estimate must stay within its declared 2% IPC bound
+    // (deterministic, so an exact contract) and the speedup must clear 5x
+    // (a wall-clock ratio of two rates from the same process, so machine
+    // noise largely cancels even in --quick mode).
+    let rate = |name: &str| {
+        rows.iter().find(|r| r.name == name).map(|r| r.best_rate).expect("row exists")
+    };
+    let speedup = rate("sampled/twolf-sampled") / rate("sampled/twolf-full-detail");
+    let full = simulate(&base_cfg, &twolf);
+    let est = svf_cpu::run_sampled(std::slice::from_ref(&base_cfg), &twolf, u64::MAX, &twolf_plan)
+        .pop()
+        .expect("one config in, one estimate out");
+    let ipc_err = svf_cpu::relative_error(est.stats.ipc(), full.ipc());
+    eprintln!(
+        "sampled-vs-full/twolf: speedup {speedup:.2}x, IPC error {:.4} \
+         ({} detailed of {} insts)",
+        ipc_err, est.detailed_insts, est.total_insts
+    );
+    if ipc_err > 0.02 {
+        eprintln!("SAMPLING ERROR: twolf IPC error {ipc_err:.4} exceeds the 2% bound");
+        return ExitCode::FAILURE;
+    }
+    if speedup < 5.0 {
+        eprintln!("SAMPLING SPEEDUP: {speedup:.2}x is below the 5x floor");
+        return ExitCode::FAILURE;
+    }
 
     let mut json = String::from("{\n  \"suite\": \"svf-throughput\",\n  \"benchmarks\": [\n");
     for (i, r) in rows.iter().enumerate() {

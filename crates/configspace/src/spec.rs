@@ -16,6 +16,12 @@
 //! [axes]
 //! svf_bytes = [1k, 2k, 4k, 8k]
 //! stack_ports = [1, 2, 4]
+//!
+//! [sampling]                     # optional: sampled simulation plan
+//! mode = "random"
+//! seed = 7
+//! period = 100k
+//! interval = 10k
 //! ```
 //!
 //! Points are addressed by an index vector (one index per axis, in axis
@@ -86,6 +92,14 @@ pub struct SweepSpec {
     pub max_points: u64,
     /// The axes, in spec order.
     pub axes: Vec<Axis>,
+    /// Sampled-simulation plan from the optional `[sampling]` section:
+    /// when present, the sweep driver runs every point sampled
+    /// ([`svf_cpu::run_sampled`]) instead of fully detailed. Keys mirror
+    /// [`svf_cpu::SampleSpec::parse`] (`mode`, `seed`, `period`,
+    /// `interval`, `warmup`, `ramp`, `tail`, `intervals`), with counts
+    /// accepting the same *binary* `k`/`m` suffixes as axis values (TOML
+    /// `100k` is 102400, unlike the CLI grammar's decimal `k`).
+    pub sampling: Option<svf_cpu::SampleSpec>,
 }
 
 /// The standard splitmix64 mixer (same generator svf-bench uses), enough
@@ -118,6 +132,7 @@ impl SweepSpec {
         let mut rounds = 4u64;
         let mut max_points = 4096u64;
         let mut axes: Vec<Axis> = Vec::new();
+        let mut sampling_items: Vec<String> = Vec::new();
 
         let scalar = |key: &str, entry: &Entry| {
             entry.as_scalar().cloned().ok_or_else(|| format!("{key} wants a scalar"))
@@ -172,10 +187,27 @@ impl SweepSpec {
                     };
                     axes.push(Axis { field: field.to_string(), values });
                 }
+                ("sampling", key) => {
+                    // Re-encode each entry as a `key=value` item and let
+                    // `SampleSpec::parse` own validation (unknown keys,
+                    // malformed counts, overlap checks) — one grammar,
+                    // whether the plan arrives via CLI flag or TOML.
+                    let v = scalar(&format!("sampling.{key}"), &item.value)?;
+                    let text = v.as_str().map_or_else(|| v.to_string(), str::to_string);
+                    sampling_items.push(format!("{key}={text}"));
+                }
                 (section, _) => return Err(format!("unknown sweep section [{section}]")),
             }
         }
 
+        let sampling = if sampling_items.is_empty() {
+            None
+        } else {
+            Some(
+                svf_cpu::SampleSpec::parse(&sampling_items.join(","))
+                    .map_err(|e| format!("[sampling]: {e}"))?,
+            )
+        };
         let base = registry::require_preset(&base_name)?;
         if workloads.is_empty() {
             return Err("sweep spec names no workloads (workload = \"...\")".to_string());
@@ -208,6 +240,7 @@ impl SweepSpec {
             rounds,
             max_points,
             axes,
+            sampling,
         })
     }
 
@@ -430,6 +463,34 @@ mod tests {
             SweepSpec::from_toml(&format!("max_points = 5\n{SPEC}")).expect("parses");
         let err = spec.grid_indices().expect_err("over cap");
         assert!(err.contains("max_points"), "{err}");
+    }
+
+    #[test]
+    fn sampling_section_parses_and_validates() {
+        let spec = SweepSpec::from_toml(SPEC).expect("parses");
+        assert_eq!(spec.sampling, None, "absent section means full simulation");
+
+        let sampled = format!(
+            "{SPEC}[sampling]\nmode = \"random\"\nseed = 7\nperiod = 100k\ninterval = 10k\n"
+        );
+        let spec = SweepSpec::from_toml(&sampled).expect("parses");
+        let plan = spec.sampling.expect("has a plan");
+        assert_eq!(plan.mode, svf_cpu::SampleMode::Random { seed: 7 });
+        // TOML `k` is the binary suffix (as for svf_bytes axes), so 100k
+        // is 102400 here — unlike the CLI spec grammar's decimal `k`.
+        assert_eq!(plan.period, 102_400);
+        assert_eq!(plan.interval, 10_240);
+        assert_eq!(plan.warmup, svf_cpu::SampleSpec::default().warmup, "unset keys keep defaults");
+
+        assert!(
+            SweepSpec::from_toml(&format!("{SPEC}[sampling]\npeirod = 100k\n")).is_err(),
+            "unknown sampling key"
+        );
+        assert!(
+            SweepSpec::from_toml(&format!("{SPEC}[sampling]\nperiod = 10\ninterval = 100\n"))
+                .is_err(),
+            "overlapping intervals rejected"
+        );
     }
 
     #[test]

@@ -52,13 +52,15 @@ mod config;
 mod lockstep;
 mod pipeline;
 mod predictor;
+mod sampling;
 mod stats;
 
 pub use config::{CpuConfig, PredictorKind, StackEngine};
 pub use lockstep::{run_lockstep, run_lockstep_trace};
 pub use pipeline::Simulator;
 pub use predictor::{Gshare, Predictor};
-pub use stats::{SimStats, CSV_COLUMNS};
+pub use sampling::{run_sampled, SampleMode, SampleSpec, SampledStats, WarmupSink};
+pub use stats::{relative_error, SimStats, CSV_COLUMNS};
 
 #[cfg(test)]
 mod thread_contract {

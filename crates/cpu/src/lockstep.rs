@@ -282,11 +282,29 @@ fn run_source<S: RecordSource>(
     src: &mut S,
     max_insts: u64,
 ) -> Result<Vec<SimStats>, StreamError> {
-    let heap_base = src.heap_base();
     let initial_sp = src.initial_sp();
+    let mut pipes: Vec<Pipeline> = configs.iter().map(|c| Pipeline::new(c, initial_sp)).collect();
+    drive(&mut pipes, src, max_insts)?;
+    Ok(pipes.into_iter().map(Pipeline::finish).collect())
+}
+
+/// Drives a set of already-constructed pipelines over `src` until they all
+/// drain (stream halt or `max_insts` committed records). This is the reusable
+/// inner loop of [`run_source`]; sampled simulation calls it once per
+/// measured interval with pipelines built from warm [`EngineState`]s and a
+/// source positioned mid-program.
+///
+/// [`EngineState`]: crate::pipeline::EngineState
+pub(crate) fn drive<S: RecordSource>(
+    pipes: &mut [Pipeline],
+    src: &mut S,
+    max_insts: u64,
+) -> Result<(), StreamError> {
+    let heap_base = src.heap_base();
     let mut ring = RecordRing::new(WINDOW_CAPACITY, max_insts);
     let capacity = (ring.mask() + 1) as usize;
-    for cfg in configs {
+    for p in pipes.iter() {
+        let cfg = p.config();
         assert!(
             cfg.ifq_size + cfg.width < capacity,
             "IFQ {} + width {} must fit the {capacity}-record lockstep window",
@@ -296,7 +314,6 @@ fn run_source<S: RecordSource>(
     }
     let mut facts = vec![Facts::EMPTY; capacity].into_boxed_slice();
     let mut builder = FactsBuilder::new();
-    let mut pipes: Vec<Pipeline> = configs.iter().map(|c| Pipeline::new(c, initial_sp)).collect();
     loop {
         // Records older than every pipeline's dispatch point are dead; the
         // window may overwrite them. (A finished pipeline's dispatch point
@@ -309,7 +326,7 @@ fn run_source<S: RecordSource>(
         }
         let win = Window { ring: &ring, facts: &facts };
         let mut all_done = true;
-        for p in &mut pipes {
+        for p in pipes.iter_mut() {
             all_done &= p.advance(&win);
         }
         if all_done {
@@ -321,7 +338,7 @@ fn run_source<S: RecordSource>(
         // loop forever.
         debug_assert!(!stalled || ring.done(), "lockstep window stalled");
     }
-    Ok(pipes.into_iter().map(Pipeline::finish).collect())
+    Ok(())
 }
 
 #[cfg(test)]

@@ -154,6 +154,64 @@ impl Simulator {
     }
 }
 
+/// The long-lived microarchitectural state a [`Pipeline`] carries between
+/// sampled intervals: the cache hierarchy, the stack engine, the branch
+/// predictor, and the fetch unit's last-I-line tracking. Sampled simulation
+/// warms this functionally between measured intervals, then injects it into
+/// a fresh pipeline with [`Pipeline::from_state`]; a drained pipeline hands
+/// it back through [`Pipeline::finish_into_state`].
+#[derive(Debug)]
+pub(crate) struct EngineState {
+    /// The Table 2 cache hierarchy (tags, dirty bits, recency).
+    pub hier: Hierarchy,
+    /// The SVF, when the config runs one.
+    pub svf: Option<StackValueFile>,
+    /// The decoupled stack cache, when the config runs one.
+    pub stack_cache: Option<StackCache>,
+    /// Branch predictor tables.
+    pub predictor: Predictor,
+    /// Last I-cache line fetched (fetch charges the IL1 once per line; the
+    /// line boundary must survive interval boundaries to avoid a spurious
+    /// extra fetch charge per interval).
+    pub last_fetch_line: u64,
+}
+
+impl EngineState {
+    /// Cold state for a config, exactly what [`Pipeline::new`] builds.
+    pub(crate) fn new(cfg: &CpuConfig, initial_sp: u64) -> EngineState {
+        let svf = match &cfg.stack_engine {
+            StackEngine::Svf { cfg: svf_cfg, .. } => {
+                Some(StackValueFile::new(*svf_cfg, initial_sp))
+            }
+            _ => None,
+        };
+        let stack_cache = match &cfg.stack_engine {
+            StackEngine::StackCache(sc) => Some(StackCache::new(*sc)),
+            _ => None,
+        };
+        EngineState {
+            hier: Hierarchy::new(cfg.hierarchy.clone()),
+            svf,
+            stack_cache,
+            predictor: Predictor::new(cfg.predictor),
+            last_fetch_line: u64::MAX,
+        }
+    }
+
+    /// Zeroes every structure's statistics counters while keeping the
+    /// warmed contents — called at the start of each measured interval so
+    /// the interval's stats cover only its own accesses.
+    pub(crate) fn reset_stats(&mut self) {
+        self.hier.reset_stats();
+        if let Some(svf) = &mut self.svf {
+            svf.reset_stats();
+        }
+        if let Some(sc) = &mut self.stack_cache {
+            sc.reset_stats();
+        }
+    }
+}
+
 /// One timing model advancing over a shared record stream. Owned and
 /// driven by the lockstep driver in [`crate::lockstep`]; a single-config
 /// [`Simulator::run`] is just a one-pipeline lockstep.
@@ -221,28 +279,41 @@ pub(crate) struct Pipeline<'a> {
     /// Cycle of the most recent commit (deadlock detection across
     /// lockstep pauses).
     last_commit_cycle: u64,
+
+    /// Commit count at which the measurement window opens (`0` disables
+    /// the start snapshot — measurement covers the run from the top).
+    measure_from: u64,
+    /// Commit count at which the measurement window closes (`u64::MAX`
+    /// disables the end snapshot — measurement runs to the drain).
+    measure_to: u64,
+    /// Statistics observed when commit crossed `measure_from`.
+    start_snap: Option<Box<SimStats>>,
+    /// Statistics observed when commit crossed `measure_to`.
+    end_snap: Option<Box<SimStats>>,
 }
 
 impl<'a> Pipeline<'a> {
     pub(crate) fn new(cfg: &'a CpuConfig, initial_sp: u64) -> Pipeline<'a> {
-        let (svf, no_squash) = match &cfg.stack_engine {
-            StackEngine::Svf { cfg: svf_cfg, no_squash } => {
-                (Some(StackValueFile::new(*svf_cfg, initial_sp)), *no_squash)
-            }
-            _ => (None, false),
-        };
-        let stack_cache = match &cfg.stack_engine {
-            StackEngine::StackCache(sc) => Some(StackCache::new(*sc)),
-            _ => None,
+        Pipeline::from_state(cfg, EngineState::new(cfg, initial_sp))
+    }
+
+    /// Builds a pipeline around pre-warmed long-lived structures. The
+    /// transient machine state (queues, scheduler, cycle counter, stats)
+    /// starts empty; sampled simulation uses this to begin each measured
+    /// interval with warm caches/predictor but a cold pipeline.
+    pub(crate) fn from_state(cfg: &'a CpuConfig, state: EngineState) -> Pipeline<'a> {
+        let no_squash = match &cfg.stack_engine {
+            StackEngine::Svf { no_squash, .. } => *no_squash,
+            _ => false,
         };
         let ring = cfg.ruu_size.next_power_of_two().max(1);
         Pipeline {
             cfg,
-            hier: Hierarchy::new(cfg.hierarchy.clone()),
-            svf,
+            hier: state.hier,
+            svf: state.svf,
             no_squash,
-            stack_cache,
-            predictor: Predictor::new(cfg.predictor),
+            stack_cache: state.stack_cache,
+            predictor: state.predictor,
             stats: SimStats::default(),
             now: 0,
             next_seq: 0,
@@ -261,12 +332,47 @@ impl<'a> Pipeline<'a> {
             fetch_resume_at: 0,
             fetch_blocked_on: None,
             decode_block_on: None,
-            last_fetch_line: u64::MAX,
+            last_fetch_line: state.last_fetch_line,
             il1_line_shift: cfg.hierarchy.il1.line_bytes.trailing_zeros(),
             stream_done: false,
             finished: false,
             last_commit_cycle: 0,
+            measure_from: 0,
+            measure_to: u64::MAX,
+            start_snap: None,
+            end_snap: None,
         }
+    }
+
+    /// The machine model this pipeline simulates.
+    pub(crate) fn config(&self) -> &'a CpuConfig {
+        self.cfg
+    }
+
+    /// Restricts reported statistics to the commits in `[from, to)`:
+    /// snapshots are taken as commit crosses each bound and
+    /// [`Pipeline::finish_into_state`] returns their difference. Sampled
+    /// simulation uses this to exclude the cold-pipeline ramp before (and
+    /// the de-pipelined drain after) a measured interval while still
+    /// simulating those instructions in detail. `from = 0` measures from
+    /// the top; `to = u64::MAX` measures through the drain.
+    pub(crate) fn set_measure_window(&mut self, from: u64, to: u64) {
+        debug_assert!(from < to, "empty measurement window");
+        self.measure_from = from;
+        self.measure_to = to;
+    }
+
+    /// The current statistics as a whole-run-shaped observation: cycle
+    /// count up to `now` and structure counters copied out.
+    fn observe(&self) -> SimStats {
+        let mut s = self.stats.clone();
+        s.cycles = self.now;
+        s.dl1 = self.hier.dl1().stats();
+        s.il1 = self.hier.il1().stats();
+        s.l2 = self.hier.l2().stats();
+        s.svf = self.svf.as_ref().map(|v| v.stats());
+        s.stack_cache = self.stack_cache.as_ref().map(|v| v.stats());
+        s
     }
 
     /// Oldest record this pipeline may still read: dispatch consumes at
@@ -326,15 +432,34 @@ impl<'a> Pipeline<'a> {
     }
 
     /// Finalizes the statistics of a drained pipeline.
-    pub(crate) fn finish(mut self) -> SimStats {
+    pub(crate) fn finish(self) -> SimStats {
+        self.finish_into_state().0
+    }
+
+    /// Finalizes a drained pipeline, returning both its statistics and the
+    /// still-warm long-lived structures so a later sampled interval can
+    /// resume from them. With a measurement window set
+    /// ([`Pipeline::set_measure_window`]) the statistics cover only the
+    /// window; otherwise the whole run.
+    pub(crate) fn finish_into_state(mut self) -> (SimStats, EngineState) {
         debug_assert!(self.finished, "finish() before the pipeline drained");
-        self.stats.cycles = self.now;
-        self.stats.dl1 = self.hier.dl1().stats();
-        self.stats.il1 = self.hier.il1().stats();
-        self.stats.l2 = self.hier.l2().stats();
-        self.stats.svf = self.svf.as_ref().map(|s| s.stats());
-        self.stats.stack_cache = self.stack_cache.as_ref().map(|s| s.stats());
-        self.stats
+        // A window bound past the actual commit count just never fired: the
+        // measurement extends to the corresponding end of the run.
+        let mut stats = match self.end_snap.take() {
+            Some(end) => *end,
+            None => self.observe(),
+        };
+        if let Some(start) = self.start_snap.take() {
+            stats = stats.delta(&start);
+        }
+        let state = EngineState {
+            hier: self.hier,
+            svf: self.svf,
+            stack_cache: self.stack_cache,
+            predictor: self.predictor,
+            last_fetch_line: self.last_fetch_line,
+        };
+        (stats, state)
     }
 
     // ---- commit ----
@@ -368,6 +493,13 @@ impl<'a> Pipeline<'a> {
             self.stats.mem_refs += u64::from(cf & F_MEM != 0);
             self.stats.stack_refs += u64::from(cf & F_STACK != 0);
             self.stats.branches += u64::from(cf & F_CONTROL != 0);
+            // Measurement-window boundaries (two predictable compares; with
+            // no window set neither can fire).
+            if self.stats.committed == self.measure_from {
+                self.start_snap = Some(Box::new(self.observe()));
+            } else if self.stats.committed == self.measure_to {
+                self.end_snap = Some(Box::new(self.observe()));
+            }
             self.head_seq += 1;
             n += 1;
         }

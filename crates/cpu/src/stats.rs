@@ -114,6 +114,143 @@ impl SimStats {
             morphed as f64 / total as f64
         }
     }
+
+    /// Adds `other`'s counters into `self`: counters sum,
+    /// `ruu_occupancy_max` takes the max, and an optional engine block
+    /// appears as soon as either side has one. Sampled simulation uses this
+    /// to pool the measured intervals before extrapolating with
+    /// [`SimStats::scaled`].
+    pub fn accumulate(&mut self, other: &SimStats) {
+        self.cycles += other.cycles;
+        self.committed += other.committed;
+        self.mem_refs += other.mem_refs;
+        self.stack_refs += other.stack_refs;
+        self.branches += other.branches;
+        self.mispredicts += other.mispredicts;
+        self.svf_morphed_loads += other.svf_morphed_loads;
+        self.svf_morphed_stores += other.svf_morphed_stores;
+        self.svf_rerouted += other.svf_rerouted;
+        self.svf_out_of_window += other.svf_out_of_window;
+        self.svf_squashes += other.svf_squashes;
+        self.stack_cache_refs += other.stack_cache_refs;
+        self.fetch_stall_cycles += other.fetch_stall_cycles;
+        self.sp_interlock_stalls += other.sp_interlock_stalls;
+        self.ruu_occupancy_sum += other.ruu_occupancy_sum;
+        self.ruu_occupancy_max = self.ruu_occupancy_max.max(other.ruu_occupancy_max);
+        self.lsq_occupancy_sum += other.lsq_occupancy_sum;
+        self.dl1.accumulate(&other.dl1);
+        self.il1.accumulate(&other.il1);
+        self.l2.accumulate(&other.l2);
+        if let Some(o) = &other.svf {
+            self.svf.get_or_insert_with(SvfStats::default).accumulate(o);
+        }
+        if let Some(o) = &other.stack_cache {
+            self.stack_cache.get_or_insert_with(TrafficStats::default).accumulate(o);
+        }
+    }
+
+    /// Counter-wise difference against an `earlier` snapshot of the same
+    /// run (saturating): the statistics of the span *between* the two
+    /// observation points. Sampled simulation snapshots a pipeline's stats
+    /// at the measurement-window boundaries and takes the delta, so the
+    /// detailed ramp before (and tail after) the window drop out.
+    ///
+    /// `ruu_occupancy_max` is a peak, not a monotone counter, so the later
+    /// observation's value is carried through unchanged.
+    #[must_use]
+    pub fn delta(&self, earlier: &SimStats) -> SimStats {
+        SimStats {
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            committed: self.committed.saturating_sub(earlier.committed),
+            mem_refs: self.mem_refs.saturating_sub(earlier.mem_refs),
+            stack_refs: self.stack_refs.saturating_sub(earlier.stack_refs),
+            branches: self.branches.saturating_sub(earlier.branches),
+            mispredicts: self.mispredicts.saturating_sub(earlier.mispredicts),
+            svf_morphed_loads: self.svf_morphed_loads.saturating_sub(earlier.svf_morphed_loads),
+            svf_morphed_stores: self.svf_morphed_stores.saturating_sub(earlier.svf_morphed_stores),
+            svf_rerouted: self.svf_rerouted.saturating_sub(earlier.svf_rerouted),
+            svf_out_of_window: self.svf_out_of_window.saturating_sub(earlier.svf_out_of_window),
+            svf_squashes: self.svf_squashes.saturating_sub(earlier.svf_squashes),
+            stack_cache_refs: self.stack_cache_refs.saturating_sub(earlier.stack_cache_refs),
+            fetch_stall_cycles: self.fetch_stall_cycles.saturating_sub(earlier.fetch_stall_cycles),
+            sp_interlock_stalls: self
+                .sp_interlock_stalls
+                .saturating_sub(earlier.sp_interlock_stalls),
+            ruu_occupancy_sum: self.ruu_occupancy_sum.saturating_sub(earlier.ruu_occupancy_sum),
+            ruu_occupancy_max: self.ruu_occupancy_max,
+            lsq_occupancy_sum: self.lsq_occupancy_sum.saturating_sub(earlier.lsq_occupancy_sum),
+            dl1: self.dl1.delta(&earlier.dl1),
+            il1: self.il1.delta(&earlier.il1),
+            l2: self.l2.delta(&earlier.l2),
+            svf: match (&self.svf, &earlier.svf) {
+                (Some(now), Some(then)) => Some(now.delta(then)),
+                (now, _) => *now,
+            },
+            stack_cache: match (&self.stack_cache, &earlier.stack_cache) {
+                (Some(now), Some(then)) => Some(now.delta(then)),
+                (now, _) => *now,
+            },
+        }
+    }
+
+    /// Extrapolates statistics measured over `self.committed` instructions
+    /// to a whole run of `total_committed` instructions: every counter is
+    /// scaled by `total / measured` with round-to-nearest
+    /// ([`svf_mem::scale_counter`]), except
+    ///
+    /// * `committed`, which is set to `total_committed` **exactly** (so
+    ///   [`SimStats::speedup_over`] and resume journals keyed on committed
+    ///   counts keep working), and
+    /// * `ruu_occupancy_max`, a peak, which is carried through unscaled.
+    ///
+    /// When the measured span already covers the whole run
+    /// (`self.committed == total_committed`) this is the identity.
+    #[must_use]
+    pub fn scaled(&self, total_committed: u64) -> SimStats {
+        let (num, den) = (total_committed, self.committed);
+        let sc = |x: u64| svf_mem::scale_counter(x, num, den);
+        SimStats {
+            cycles: sc(self.cycles),
+            committed: total_committed,
+            mem_refs: sc(self.mem_refs),
+            stack_refs: sc(self.stack_refs),
+            branches: sc(self.branches),
+            mispredicts: sc(self.mispredicts),
+            svf_morphed_loads: sc(self.svf_morphed_loads),
+            svf_morphed_stores: sc(self.svf_morphed_stores),
+            svf_rerouted: sc(self.svf_rerouted),
+            svf_out_of_window: sc(self.svf_out_of_window),
+            svf_squashes: sc(self.svf_squashes),
+            stack_cache_refs: sc(self.stack_cache_refs),
+            fetch_stall_cycles: sc(self.fetch_stall_cycles),
+            sp_interlock_stalls: sc(self.sp_interlock_stalls),
+            ruu_occupancy_sum: sc(self.ruu_occupancy_sum),
+            ruu_occupancy_max: self.ruu_occupancy_max,
+            lsq_occupancy_sum: sc(self.lsq_occupancy_sum),
+            dl1: self.dl1.scaled(num, den),
+            il1: self.il1.scaled(num, den),
+            l2: self.l2.scaled(num, den),
+            svf: self.svf.as_ref().map(|s| s.scaled(num, den)),
+            stack_cache: self.stack_cache.as_ref().map(|s| s.scaled(num, den)),
+        }
+    }
+}
+
+/// Relative error of a sampled estimate against a reference value, in
+/// [0, ∞): `|sampled - reference| / reference`. Zero when both are zero
+/// (a perfect estimate of nothing); infinite when only the reference is
+/// zero.
+#[must_use]
+pub fn relative_error(sampled: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if sampled == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (sampled - reference).abs() / reference.abs()
+    }
 }
 
 /// Column names of the flat CSV serialization, in serialization order.
@@ -351,6 +488,50 @@ mod tests {
         let mut row = SimStats::default().to_csv_row();
         row.push_str(",0");
         assert!(SimStats::from_csv_row(&row).is_err(), "long row");
+    }
+
+    #[test]
+    fn accumulate_and_scale_round_trip() {
+        let interval = SimStats {
+            cycles: 100,
+            committed: 250,
+            mem_refs: 40,
+            mispredicts: 3,
+            ruu_occupancy_max: 12,
+            dl1: TrafficStats { accesses: 40, hits: 30, misses: 10, ..TrafficStats::default() },
+            svf: Some(SvfStats { demand_fills: 5, ..SvfStats::default() }),
+            ..SimStats::default()
+        };
+        let mut pooled = SimStats::default();
+        pooled.accumulate(&interval);
+        pooled.accumulate(&interval);
+        assert_eq!(pooled.cycles, 200);
+        assert_eq!(pooled.committed, 500);
+        assert_eq!(pooled.dl1.accesses, 80);
+        assert_eq!(pooled.svf.unwrap().demand_fills, 10);
+        assert_eq!(pooled.ruu_occupancy_max, 12, "peaks take the max, not the sum");
+
+        // Measured 500 of 1000 instructions: everything doubles except the
+        // exact committed count and the unscaled peak.
+        let whole = pooled.scaled(1000);
+        assert_eq!(whole.cycles, 400);
+        assert_eq!(whole.committed, 1000);
+        assert_eq!(whole.mem_refs, 160);
+        assert_eq!(whole.dl1.hits, 120);
+        assert_eq!(whole.svf.unwrap().demand_fills, 20);
+        assert_eq!(whole.ruu_occupancy_max, 12);
+        assert!((whole.ipc() - pooled.ipc()).abs() < 1e-9, "scaling preserves IPC");
+
+        // Full coverage is the identity.
+        assert_eq!(pooled.scaled(pooled.committed), pooled);
+    }
+
+    #[test]
+    fn relative_error_edges() {
+        assert!((relative_error(102.0, 100.0) - 0.02).abs() < 1e-12);
+        assert!((relative_error(98.0, 100.0) - 0.02).abs() < 1e-12);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(1.0, 0.0), f64::INFINITY);
     }
 
     #[test]

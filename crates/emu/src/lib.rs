@@ -40,7 +40,7 @@ mod retired;
 mod stream;
 mod trace;
 
-pub use machine::{EmuError, Emulator, RunOutcome};
+pub use machine::{Checkpoint, EmuError, Emulator, RunOutcome};
 pub use memory::Memory;
 pub use retired::{AccessMethod, ControlFlow, MemAccess, Retired, SpUpdate};
 pub use stream::{LiveSource, RecordRing, RecordSource, SalvageReport, StreamError, TraceSource};

@@ -72,6 +72,40 @@ pub struct Emulator {
     steps: u64,
 }
 
+/// A point-in-time snapshot of the full architectural state of an
+/// [`Emulator`]: registers, PC, resident memory pages, syscall output,
+/// halt flag, and the retired-instruction count.
+///
+/// The decoded text image is *not* part of the snapshot — it is immutable
+/// and shared by reference count, so [`Emulator::restore`] keeps whatever
+/// image the target machine already holds. Restoring a checkpoint into an
+/// emulator built from a different program is therefore a logic error
+/// (guarded by a debug assertion on the image identity).
+///
+/// Snapshot cost is dominated by cloning resident memory pages (4 KiB
+/// each); the benchmarks' working sets are tens of pages, so a checkpoint
+/// is microseconds, cheap enough to take once per sampled interval.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    regs: [u64; 32],
+    pc: u64,
+    mem: Memory,
+    output: Vec<u8>,
+    halted: bool,
+    steps: u64,
+    /// Identity of the decoded image the snapshot was taken under, for the
+    /// cross-program debug assertion in [`Emulator::restore`].
+    image: Arc<[Inst]>,
+}
+
+impl Checkpoint {
+    /// Retired-instruction count at the moment the snapshot was taken.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
 impl Emulator {
     /// Loads a program: the shared [`Program::decoded`] image is taken by
     /// reference count (no per-emulator re-decode), data copied in, `$sp`
@@ -303,6 +337,41 @@ impl Emulator {
         Ok(())
     }
 
+    /// Snapshots the full architectural state (see [`Checkpoint`]).
+    #[must_use]
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            regs: self.regs,
+            pc: self.pc,
+            mem: self.mem.clone(),
+            output: self.output.clone(),
+            halted: self.halted,
+            steps: self.steps,
+            image: Arc::clone(&self.decoded),
+        }
+    }
+
+    /// Restores a [`Checkpoint`], making this machine architecturally
+    /// identical to the one the snapshot was taken from. The decoded text
+    /// image is untouched (it is immutable and must match).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the checkpoint was taken under the same decoded
+    /// image this machine runs.
+    pub fn restore(&mut self, ck: &Checkpoint) {
+        debug_assert!(
+            Arc::ptr_eq(&self.decoded, &ck.image),
+            "checkpoint restored into an emulator running a different program"
+        );
+        self.regs = ck.regs;
+        self.pc = ck.pc;
+        self.mem.clone_from(&ck.mem);
+        self.output.clone_from(&ck.output);
+        self.halted = ck.halted;
+        self.steps = ck.steps;
+    }
+
     /// Runs until `halt` or until `max_steps` more instructions have
     /// committed.
     ///
@@ -532,6 +601,60 @@ mod tests {
         );
         assert_eq!(emu.run(100).unwrap(), RunOutcome::StepLimit);
         assert_eq!(emu.steps(), 100);
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_identically() {
+        let p = assemble(
+            "main:
+                li $t0, 10
+                li $a0, 0
+            .loop:
+                addq $a0, $t0, $a0
+                stq $a0, -8($sp)
+                subq $t0, 1, $t0
+                bne $t0, .loop
+                ldq $a0, -8($sp)
+                putint
+                halt",
+        )
+        .unwrap();
+        let mut emu = Emulator::new(&p);
+        emu.run(7).unwrap();
+        let ck = emu.checkpoint();
+        assert_eq!(ck.steps(), 7);
+
+        // Reference: record the rest of the run from the checkpoint.
+        let reference: Vec<Retired> = std::iter::from_fn(|| {
+            (!emu.is_halted()).then(|| emu.step().expect("steps"))
+        })
+        .collect();
+        let reference_out = emu.output_string();
+
+        // Diverge a second machine well past the snapshot, then restore.
+        let mut other = Emulator::new(&p);
+        other.run(20).unwrap();
+        other.restore(&ck);
+        assert_eq!(other.steps(), 7);
+        let replay: Vec<Retired> = std::iter::from_fn(|| {
+            (!other.is_halted()).then(|| other.step().expect("steps"))
+        })
+        .collect();
+        assert_eq!(replay, reference, "restored stream diverged");
+        assert_eq!(other.output_string(), reference_out);
+        assert_eq!(other.output_string(), "55\n");
+    }
+
+    #[test]
+    fn checkpoint_of_halted_machine_stays_halted() {
+        let p = assemble("main: halt").unwrap();
+        let mut emu = Emulator::new(&p);
+        emu.step().unwrap();
+        let ck = emu.checkpoint();
+        let mut target = Emulator::new(&p);
+        target.restore(&ck);
+        assert!(target.is_halted());
+        assert_eq!(target.step(), Err(EmuError::Halted));
     }
 
     #[test]

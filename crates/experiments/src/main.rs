@@ -3,7 +3,7 @@
 //! ```text
 //! svf-experiments <experiment> [--scale test|small|full] [--csv DIR]
 //!                              [--jobs N] [--out DIR] [--no-lockstep]
-//!                              [--timeout SECS] [--retries N]
+//!                              [--timeout SECS] [--retries N] [--sample SPEC]
 //! svf-experiments --sweep SPEC.toml [--csv DIR] [--jobs N] [--no-lockstep]
 //! svf-experiments --list-configs
 //! experiments: fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig9 table1 table2
@@ -20,6 +20,14 @@
 //! --timeout SECS per-attempt watchdog: an attempt exceeding the limit is
 //!                abandoned as a (retryable) timeout instead of hanging the run
 //! --retries N    total attempts per job for retryable failures (default 3)
+//! --sample SPEC  sampled simulation: run each program functionally end to
+//!                end, pay detailed cost only in the plan's measured
+//!                intervals, and report the stratified whole-run estimate.
+//!                SPEC is comma-separated key=value pairs: period, interval,
+//!                warmup, ramp, tail, intervals (max count), mode
+//!                (periodic|random), seed; counts accept k/m suffixes;
+//!                empty string = defaults. Composes with --sweep, --out
+//!                (use a sampled-only directory), and lockstep batching.
 //! --sweep SPEC   run a design-space sweep from a TOML spec (grid, random,
 //!                or greedy Pareto search — see EXPERIMENTS.md); prints the
 //!                frontier and writes points.csv/pareto.csv
@@ -56,7 +64,7 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: svf-experiments <experiment> [--scale test|small|full] [--csv DIR] [--jobs N] [--out DIR] [--no-lockstep] [--timeout SECS] [--retries N]\n\
+        "usage: svf-experiments <experiment> [--scale test|small|full] [--csv DIR] [--jobs N] [--out DIR] [--no-lockstep] [--timeout SECS] [--retries N] [--sample SPEC]\n\
          \u{20}      svf-experiments --sweep SPEC.toml [--csv DIR] [--jobs N] [--no-lockstep]\n\
          \u{20}      svf-experiments --list-configs\n\
          experiments: {}",
@@ -86,6 +94,7 @@ fn main() {
     let mut timeout: Option<f64> = None;
     let mut retries: Option<u32> = None;
     let mut sweep_spec: Option<String> = None;
+    let mut sample: Option<svf_cpu::SampleSpec> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -126,6 +135,13 @@ fn main() {
                     _ => fail(&format!("--retries must be a positive integer, got {v:?}")),
                 };
             }
+            "--sample" => {
+                let v = required_value(&mut it, "--sample");
+                sample = match svf_cpu::SampleSpec::parse(&v) {
+                    Ok(spec) => Some(spec),
+                    Err(e) => fail(&format!("--sample: {e}")),
+                };
+            }
             flag if flag.starts_with("--") => fail(&format!("unknown flag {flag}")),
             name if which.is_none() => which = Some(name.to_string()),
             extra => fail(&format!("unexpected argument {extra:?}")),
@@ -161,6 +177,9 @@ fn main() {
     }
     if let Some(n) = retries {
         harness = harness.with_retries(n);
+    }
+    if let Some(spec) = sample {
+        harness = harness.with_sample(spec);
     }
     svf_harness::configure(harness);
 

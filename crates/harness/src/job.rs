@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use svf_cpu::{CpuConfig, SimStats, Simulator};
+use svf_cpu::{CpuConfig, SampleSpec, SampledStats, SimStats, Simulator};
 use svf_isa::Program;
 use svf_workloads::{workload, Scale};
 
@@ -146,6 +146,24 @@ impl Job {
         crate::fault::fire(self.id)?;
         let program = crate::memo::compile_shared(&self.program)?;
         Ok(Simulator::new(self.config.clone()).run(&program, u64::MAX))
+    }
+
+    /// Like [`Job::execute`], but under a sampling plan: the program runs
+    /// functionally end to end, only the plan's measured intervals pay
+    /// detailed-simulation cost, and the result is the stratified
+    /// whole-run estimate plus its coverage accounting (see
+    /// [`svf_cpu::run_sampled`]). Fault injection and the memoized
+    /// compile path are identical to the full-run path.
+    ///
+    /// # Errors
+    ///
+    /// Same failure surface as [`Job::execute`].
+    pub fn execute_sampled(&self, spec: &SampleSpec) -> Result<SampledStats, JobError> {
+        crate::fault::fire(self.id)?;
+        let program = crate::memo::compile_shared(&self.program)?;
+        let mut out =
+            svf_cpu::run_sampled(std::slice::from_ref(&self.config), &program, u64::MAX, spec);
+        Ok(out.pop().expect("one config in, one estimate out"))
     }
 }
 

@@ -50,9 +50,17 @@
 //!    [`install_fault_plan`]) injects panics, I/O errors, hangs, truncated
 //!    traces, and process aborts at chosen job ids to test all of this.
 //!
+//! 6. **Sampled simulation** — [`Harness::with_sample`] switches every
+//!    job (solo or batched) to [`svf_cpu::run_sampled`]: the program runs
+//!    functionally end to end and only the plan's measured intervals pay
+//!    detailed cost, with the stratified whole-run estimate reported in
+//!    the ordinary [`SimStats`] shape — so sinks, resume, retries, fault
+//!    injection, and sweeps compose unchanged.
+//!
 //! A light observability surface rides along: per-job wall clock, and a
 //! run-level progress line (jobs done/total, aggregate simulated Mcycles/s,
-//! ETA, resumed/retried/timed-out/failed counts).
+//! ETA, resumed/retried/timed-out/failed counts, and — for sampled runs —
+//! the detailed vs fast-forwarded instruction split).
 //!
 //! # Example
 //!
@@ -94,7 +102,7 @@ use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use svf_cpu::{CpuConfig, SimStats};
+use svf_cpu::{CpuConfig, SampleSpec, SimStats};
 use svf_isa::Program;
 
 pub use error::{JobError, RetryPolicy};
@@ -109,7 +117,9 @@ pub use sweep::{run_sweep, SweepOutcome, SweepPoint};
 use progress::Progress;
 
 /// Execution policy: how many workers, where results go, whether to narrate,
-/// whether jobs sharing a program ride one functional stream.
+/// whether jobs sharing a program ride one functional stream, and whether
+/// simulations run sampled (detailed intervals over a functional
+/// fast-forward) instead of fully detailed.
 #[derive(Debug, Clone)]
 pub struct Harness {
     workers: usize,
@@ -117,6 +127,7 @@ pub struct Harness {
     progress: bool,
     lockstep: bool,
     policy: RetryPolicy,
+    sample: Option<SampleSpec>,
 }
 
 impl Default for Harness {
@@ -136,6 +147,7 @@ impl Harness {
             progress: false,
             lockstep: true,
             policy: RetryPolicy::default(),
+            sample: None,
         }
     }
 
@@ -207,6 +219,27 @@ impl Harness {
         self
     }
 
+    /// Enables sampled simulation ([`svf_cpu::run_sampled`]): every job
+    /// runs the program functionally end to end, pays detailed-simulation
+    /// cost only inside the plan's measured intervals, and reports the
+    /// stratified whole-run estimate as its [`SimStats`]. Composes with
+    /// lockstep batching (the whole batch shares one sampled stream),
+    /// retries, fault injection, and sweeps. The result-file format is
+    /// unchanged, so sampled runs are resumable too — but point a sampled
+    /// run at its *own* `--out` directory: the sink cannot tell an
+    /// extrapolated result from an exact one.
+    #[must_use]
+    pub fn with_sample(mut self, spec: SampleSpec) -> Harness {
+        self.sample = Some(spec);
+        self
+    }
+
+    /// The active sampling plan, if any.
+    #[must_use]
+    pub fn sample(&self) -> Option<&SampleSpec> {
+        self.sample.as_ref()
+    }
+
     /// The configured worker count.
     #[must_use]
     pub fn workers(&self) -> usize {
@@ -252,7 +285,15 @@ impl Harness {
                 scope.spawn(|| loop {
                     let g = next.fetch_add(1, Ordering::Relaxed);
                     let Some(idxs) = groups.get(g) else { break };
-                    run_group(jobs, idxs, sink.as_ref(), &progress, &slots, &self.policy);
+                    run_group(
+                        jobs,
+                        idxs,
+                        sink.as_ref(),
+                        &progress,
+                        &slots,
+                        &self.policy,
+                        self.sample.as_ref(),
+                    );
                 });
             }
         });
@@ -303,6 +344,7 @@ fn run_group(
     progress: &Progress,
     slots: &[Mutex<Option<JobReport>>],
     policy: &RetryPolicy,
+    sample: Option<&SampleSpec>,
 ) {
     let deliver = |i: usize, report: JobReport| {
         let (cycles, resumed, failed) = match &report.outcome {
@@ -335,7 +377,7 @@ fn run_group(
         fresh.into_iter().partition(|&i| fault::planned(jobs[i].id) || quarantined(&jobs[i]));
     if batch.len() >= 2 {
         let t0 = Instant::now();
-        let results = run_batch(jobs, &batch, policy, progress);
+        let results = run_batch(jobs, &batch, policy, progress, sample);
         let wall = t0.elapsed() / u32::try_from(batch.len()).unwrap_or(1).max(1);
         for (i, result) in results {
             let outcome = match result {
@@ -351,7 +393,7 @@ fn run_group(
         solo.extend(batch);
     }
     for &i in &solo {
-        deliver(i, run_one_fresh(&jobs[i], sink, policy, progress));
+        deliver(i, run_one_fresh(&jobs[i], sink, policy, progress, sample));
     }
 }
 
@@ -367,9 +409,10 @@ fn run_batch(
     members: &[usize],
     policy: &RetryPolicy,
     progress: &Progress,
+    sample: Option<&SampleSpec>,
 ) -> Vec<(usize, Result<SimStats, JobError>)> {
     if let [i] = members {
-        return vec![(*i, execute_with_policy(&jobs[*i], policy, progress))];
+        return vec![(*i, execute_with_policy(&jobs[*i], policy, progress, sample))];
     }
     let program = match memo::compile_shared(&jobs[members[0]].program) {
         Ok(p) => p,
@@ -380,15 +423,20 @@ fn run_batch(
     let configs: Vec<CpuConfig> = members.iter().map(|&i| jobs[i].config.clone()).collect();
     // N jobs ride one stream, so the watchdog budget scales with width.
     let limit = policy.timeout.map(|t| t * u32::try_from(members.len()).unwrap_or(u32::MAX));
-    match attempt_lockstep(&program, &configs, limit) {
-        Ok(stats) => members.iter().copied().zip(stats.into_iter().map(Ok)).collect(),
+    match attempt_lockstep(&program, &configs, limit, sample) {
+        Ok((stats, meta)) => {
+            if let Some((detailed, fast_forwarded)) = meta {
+                progress.record_sample(detailed, fast_forwarded);
+            }
+            members.iter().copied().zip(stats.into_iter().map(Ok)).collect()
+        }
         Err(e) => {
             if matches!(e, JobError::Timeout { .. }) {
                 progress.record_timeout();
             }
             let (a, b) = members.split_at(members.len() / 2);
-            let mut out = run_batch(jobs, a, policy, progress);
-            out.extend(run_batch(jobs, b, policy, progress));
+            let mut out = run_batch(jobs, a, policy, progress, sample);
+            out.extend(run_batch(jobs, b, policy, progress, sample));
             out
         }
     }
@@ -411,9 +459,10 @@ fn run_one_fresh(
     sink: Option<&RunDir>,
     policy: &RetryPolicy,
     progress: &Progress,
+    sample: Option<&SampleSpec>,
 ) -> JobReport {
     let t0 = Instant::now();
-    let outcome = match execute_with_policy(job, policy, progress) {
+    let outcome = match execute_with_policy(job, policy, progress, sample) {
         Ok(stats) => {
             store_with_retry(sink, job, &stats, policy);
             JobOutcome::Completed(stats)
@@ -427,13 +476,23 @@ fn run_one_fresh(
 /// asks) until success, a non-retryable failure, or the attempt budget runs
 /// out. A job whose *final* failure is a divergence or a hang is
 /// quarantined so it never rides a lockstep batch again this process.
-fn execute_with_policy(job: &Job, policy: &RetryPolicy, progress: &Progress) -> Result<SimStats, JobError> {
+fn execute_with_policy(
+    job: &Job,
+    policy: &RetryPolicy,
+    progress: &Progress,
+    sample: Option<&SampleSpec>,
+) -> Result<SimStats, JobError> {
     let mut attempt = 0u32;
     loop {
         attempt += 1;
-        let result = attempt_job(job, policy.timeout);
+        let result = attempt_job(job, policy.timeout, sample);
         match result {
-            Ok(stats) => return Ok(stats),
+            Ok((stats, meta)) => {
+                if let Some((detailed, fast_forwarded)) = meta {
+                    progress.record_sample(detailed, fast_forwarded);
+                }
+                return Ok(stats);
+            }
             Err(e) => {
                 if matches!(e, JobError::Timeout { .. }) {
                     progress.record_timeout();
@@ -452,31 +511,60 @@ fn execute_with_policy(job: &Job, policy: &RetryPolicy, progress: &Progress) -> 
     }
 }
 
+/// `(detailed, fast-forwarded)` instruction counts of one sampled
+/// execution, reported to the progress line. `None` for full runs.
+type SampleMeta = Option<(u64, u64)>;
+
 /// One execution attempt, panic-caught, optionally under a watchdog.
-fn attempt_job(job: &Job, timeout: Option<Duration>) -> Result<SimStats, JobError> {
+/// Sampled attempts carry their detailed/fast-forwarded instruction split
+/// back alongside the estimate.
+fn attempt_job(
+    job: &Job,
+    timeout: Option<Duration>,
+    sample: Option<&SampleSpec>,
+) -> Result<(SimStats, SampleMeta), JobError> {
+    let job = job.clone();
+    let sample = sample.copied();
+    let work = move || match &sample {
+        None => job.execute().map(|s| (s, None)),
+        Some(spec) => job.execute_sampled(spec).map(|s| {
+            let meta = Some((s.detailed_insts, s.fast_forwarded()));
+            (s.stats, meta)
+        }),
+    };
     let Some(limit) = timeout else {
-        return catch_unwind(AssertUnwindSafe(|| job.execute()))
+        return catch_unwind(AssertUnwindSafe(work))
             .unwrap_or_else(|p| Err(JobError::from_panic(p.as_ref())));
     };
-    let job = job.clone();
-    watchdog(limit, move || job.execute())
+    watchdog(limit, work)
 }
 
 /// One lockstep-batch attempt, panic-caught, optionally under a watchdog.
+/// With a sampling plan the whole batch rides one sampled stream
+/// ([`svf_cpu::run_sampled`]) instead of one full stream; the schedule is
+/// shared, so one `(detailed, fast-forwarded)` pair describes every member.
 fn attempt_lockstep(
     program: &Arc<Program>,
     configs: &[CpuConfig],
     timeout: Option<Duration>,
-) -> Result<Vec<SimStats>, JobError> {
-    let Some(limit) = timeout else {
-        return catch_unwind(AssertUnwindSafe(|| {
-            svf_cpu::run_lockstep(configs, program, u64::MAX)
-        }))
-        .map_err(|p| JobError::from_panic(p.as_ref()));
-    };
+    sample: Option<&SampleSpec>,
+) -> Result<(Vec<SimStats>, SampleMeta), JobError> {
     let program = Arc::clone(program);
     let configs = configs.to_vec();
-    watchdog(limit, move || Ok(svf_cpu::run_lockstep(&configs, &program, u64::MAX)))
+    let sample = sample.copied();
+    let work = move || match &sample {
+        None => Ok((svf_cpu::run_lockstep(&configs, &program, u64::MAX), None)),
+        Some(spec) => {
+            let sampled = svf_cpu::run_sampled(&configs, &program, u64::MAX, spec);
+            let meta = sampled.first().map(|s| (s.detailed_insts, s.fast_forwarded()));
+            Ok((sampled.into_iter().map(|s| s.stats).collect(), meta))
+        }
+    };
+    let Some(limit) = timeout else {
+        return catch_unwind(AssertUnwindSafe(work))
+            .unwrap_or_else(|p| Err(JobError::from_panic(p.as_ref())));
+    };
+    watchdog(limit, work)
 }
 
 /// Runs `work` on a helper thread and waits at most `limit` for its result.

@@ -12,6 +12,10 @@ struct State {
     retried: usize,
     timeouts: usize,
     cycles: u64,
+    /// Instructions simulated under the detailed model by sampled runs.
+    detailed_insts: u64,
+    /// Instructions fast-forwarded at functional speed by sampled runs.
+    fast_forwarded: u64,
 }
 
 /// Shared progress tracker; workers report each finished job.
@@ -77,6 +81,23 @@ impl Progress {
         }
     }
 
+    /// Records one sampled execution's coverage split: how many
+    /// instructions ran under the detailed model vs at functional
+    /// fast-forward speed. Doesn't advance `done` (the owning job or batch
+    /// reports separately); the split shows up on the line so a sampled
+    /// run's cost saving is visible while it happens.
+    pub(crate) fn record_sample(&self, detailed: u64, fast_forwarded: u64) {
+        let snapshot = {
+            let mut st = self.state.lock().expect("progress state");
+            st.detailed_insts += detailed;
+            st.fast_forwarded += fast_forwarded;
+            *st
+        };
+        if self.enabled {
+            eprint!("\r{}", self.line(snapshot));
+        }
+    }
+
     /// Finishes the line and returns the run-level summary text.
     pub(crate) fn finish(&self) -> String {
         let snapshot = *self.state.lock().expect("progress state");
@@ -114,6 +135,15 @@ impl Progress {
             "[{}] {}/{} jobs  {mcyc_s:.1} Mcyc/s  {jobs_s:.1} jobs/s  eta {eta_text}",
             self.name, st.done, self.total,
         );
+        // Sampled coverage: only painted once a sampled execution reported,
+        // so full runs keep the historical line verbatim.
+        if st.detailed_insts > 0 || st.fast_forwarded > 0 {
+            line.push_str(&format!(
+                "  (sampled: {} detailed / {} ff insts)",
+                fmt_insts(st.detailed_insts),
+                fmt_insts(st.fast_forwarded)
+            ));
+        }
         if st.resumed > 0 {
             line.push_str(&format!("  ({} resumed)", st.resumed));
         }
@@ -127,6 +157,18 @@ impl Progress {
             line.push_str(&format!("  ({} FAILED)", st.failed));
         }
         line
+    }
+}
+
+/// Humanizes an instruction count: `741`, `3.5k`, `12.7M` — sampled sweeps
+/// move hundreds of millions of instructions, unreadable raw.
+fn fmt_insts(n: u64) -> String {
+    if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
     }
 }
 
@@ -199,6 +241,40 @@ mod tests {
         assert_eq!(fmt_eta(Duration::from_secs(725)), "12m05s");
         assert_eq!(fmt_eta(Duration::from_secs(11_220)), "3h07m");
         assert_eq!(fmt_eta(Duration::from_secs_f64(59.6)), "1m00s", "rounds, never 60s");
+    }
+
+    #[test]
+    fn sampled_coverage_appears_once_reported() {
+        let p = Progress::new("demo", 2, false);
+        p.record(100, false, false);
+        assert!(!p.finish().contains("sampled"), "no sampling, no segment");
+        p.record_sample(12_000, 3_400_000);
+        p.record(100, false, false);
+        let line = p.finish();
+        assert!(line.contains("2/2 jobs"), "record_sample must not advance done: {line}");
+        assert!(line.contains("(sampled: 12.0k detailed / 3.4M ff insts)"), "{line}");
+    }
+
+    #[test]
+    fn sampled_coverage_accumulates_and_guards_zero() {
+        let p = Progress::new("demo", 1, false);
+        // A degenerate spec can fast-forward nothing; the segment must
+        // still render (the detailed count carries the signal).
+        p.record_sample(500, 0);
+        p.record_sample(250, 0);
+        p.record(1, false, false);
+        let line = p.finish();
+        assert!(line.contains("(sampled: 750 detailed / 0 ff insts)"), "{line}");
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+    }
+
+    #[test]
+    fn instruction_counts_humanize_across_magnitudes() {
+        assert_eq!(fmt_insts(0), "0");
+        assert_eq!(fmt_insts(741), "741");
+        assert_eq!(fmt_insts(3_500), "3.5k");
+        assert_eq!(fmt_insts(999_949), "999.9k");
+        assert_eq!(fmt_insts(12_700_000), "12.7M");
     }
 
     #[test]

@@ -183,6 +183,18 @@ fn parse_scale(name: &str) -> Result<Scale, String> {
 /// harness's full failure listing.
 pub fn run_sweep(spec: &SweepSpec, harness: &Harness) -> Result<SweepOutcome, String> {
     let scale = parse_scale(&spec.scale)?;
+    // A spec's `[sampling]` section overrides the harness's plan for this
+    // sweep only — the journal stores the extrapolated integers, so resume
+    // works unchanged (but don't mix sampled and full journals in one
+    // output directory).
+    let sampled_harness;
+    let harness = match spec.sampling {
+        Some(plan) => {
+            sampled_harness = harness.clone().with_sample(plan);
+            &sampled_harness
+        }
+        None => harness,
+    };
     let compiles_before = memo::compile_count();
     // The journal rides the harness's sink root: no sink, no resume.
     let journal = match harness.out_dir() {

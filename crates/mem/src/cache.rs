@@ -167,6 +167,13 @@ impl Cache {
         self.stats
     }
 
+    /// Zeroes the statistics counters, leaving tags, dirty bits and recency
+    /// untouched — sampled simulation warms the array functionally, then
+    /// resets counters so a measured interval reports only its own traffic.
+    pub fn reset_stats(&mut self) {
+        self.stats = TrafficStats::default();
+    }
+
     /// Hit latency in cycles.
     #[must_use]
     pub fn hit_latency(&self) -> u64 {

@@ -100,6 +100,14 @@ impl Hierarchy {
         }
     }
 
+    /// Zeroes all three caches' statistics counters while keeping their
+    /// contents (tags, dirty bits, recency) warm — see [`Cache::reset_stats`].
+    pub fn reset_stats(&mut self) {
+        self.il1.reset_stats();
+        self.dl1.reset_stats();
+        self.l2.reset_stats();
+    }
+
     /// The instruction L1 (for statistics).
     #[must_use]
     pub fn il1(&self) -> &Cache {

@@ -34,4 +34,4 @@ mod stats;
 pub use cache::{AccessOutcome, Cache, CacheConfig};
 pub use hierarchy::{Hierarchy, HierarchyConfig};
 pub use stack_cache::{StackCache, StackCacheConfig};
-pub use stats::TrafficStats;
+pub use stats::{scale_counter, TrafficStats};

@@ -104,6 +104,12 @@ impl StackCache {
         self.stats
     }
 
+    /// Zeroes the statistics counters while keeping lines, tags and dirty
+    /// bits warm (see [`crate::Cache::reset_stats`]).
+    pub fn reset_stats(&mut self) {
+        self.stats = TrafficStats::default();
+    }
+
     /// Hit latency in cycles.
     #[must_use]
     pub fn hit_latency(&self) -> u64 {

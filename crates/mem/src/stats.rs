@@ -31,6 +31,59 @@ impl TrafficStats {
             self.hits as f64 / self.accesses as f64
         }
     }
+
+    /// Adds `other`'s counters into `self` (sampled simulation sums the
+    /// per-interval statistics before extrapolating).
+    pub fn accumulate(&mut self, other: &TrafficStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writebacks += other.writebacks;
+        self.qw_in += other.qw_in;
+        self.qw_out += other.qw_out;
+    }
+
+    /// Counter-wise difference against an `earlier` snapshot of the same
+    /// monotone counters (saturating, so a mismatched pair cannot wrap).
+    /// Sampled simulation uses this to scope statistics to a measurement
+    /// window that starts mid-run.
+    #[must_use]
+    pub fn delta(&self, earlier: &TrafficStats) -> TrafficStats {
+        TrafficStats {
+            accesses: self.accesses.saturating_sub(earlier.accesses),
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            writebacks: self.writebacks.saturating_sub(earlier.writebacks),
+            qw_in: self.qw_in.saturating_sub(earlier.qw_in),
+            qw_out: self.qw_out.saturating_sub(earlier.qw_out),
+        }
+    }
+
+    /// Every counter scaled by `num / den` with round-to-nearest (see
+    /// [`scale_counter`]) — the extrapolation step of sampled simulation.
+    #[must_use]
+    pub fn scaled(&self, num: u64, den: u64) -> TrafficStats {
+        TrafficStats {
+            accesses: scale_counter(self.accesses, num, den),
+            hits: scale_counter(self.hits, num, den),
+            misses: scale_counter(self.misses, num, den),
+            writebacks: scale_counter(self.writebacks, num, den),
+            qw_in: scale_counter(self.qw_in, num, den),
+            qw_out: scale_counter(self.qw_out, num, den),
+        }
+    }
+}
+
+/// `round(x * num / den)` in 128-bit intermediate arithmetic, for
+/// extrapolating a counter measured over `den` units to a whole run of
+/// `num` units. Returns 0 when `den` is 0 (nothing measured).
+#[must_use]
+pub fn scale_counter(x: u64, num: u64, den: u64) -> u64 {
+    if den == 0 {
+        return 0;
+    }
+    let scaled = (u128::from(x) * u128::from(num) + u128::from(den) / 2) / u128::from(den);
+    u64::try_from(scaled).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -43,5 +96,33 @@ mod tests {
         assert!((empty.hit_rate() - 1.0).abs() < f64::EPSILON);
         let s = TrafficStats { accesses: 4, hits: 3, misses: 1, ..TrafficStats::default() };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_sums_fieldwise() {
+        let mut a = TrafficStats { accesses: 10, hits: 8, misses: 2, ..TrafficStats::default() };
+        let b = TrafficStats { accesses: 5, hits: 1, misses: 4, qw_in: 7, ..TrafficStats::default() };
+        a.accumulate(&b);
+        assert_eq!(a.accesses, 15);
+        assert_eq!(a.hits, 9);
+        assert_eq!(a.misses, 6);
+        assert_eq!(a.qw_in, 7);
+    }
+
+    #[test]
+    fn scale_counter_rounds_and_guards_zero() {
+        assert_eq!(scale_counter(10, 3, 2), 15);
+        assert_eq!(scale_counter(1, 1, 3), 0, "1/3 rounds down");
+        assert_eq!(scale_counter(2, 1, 3), 1, "2/3 rounds up");
+        assert_eq!(scale_counter(123, 7, 7), 123, "identity when num == den");
+        assert_eq!(scale_counter(99, 5, 0), 0, "zero denominator is a zero, not a panic");
+        assert_eq!(scale_counter(u64::MAX, u64::MAX, 1), u64::MAX, "saturates");
+    }
+
+    #[test]
+    fn scaled_is_identity_at_unity() {
+        let s = TrafficStats { accesses: 4, hits: 3, misses: 1, writebacks: 2, qw_in: 8, qw_out: 6 };
+        assert_eq!(s.scaled(11, 11), s);
+        assert_eq!(s.scaled(22, 11).accesses, 8);
     }
 }

@@ -44,6 +44,46 @@ pub struct SvfStats {
     pub window_spills: u64,
 }
 
+impl SvfStats {
+    /// Adds `other`'s counters into `self` (sampled simulation sums the
+    /// per-interval statistics before extrapolating).
+    pub fn accumulate(&mut self, other: &SvfStats) {
+        self.traffic.accumulate(&other.traffic);
+        self.alloc_kills += other.alloc_kills;
+        self.dealloc_dirty_kills += other.dealloc_dirty_kills;
+        self.demand_fills += other.demand_fills;
+        self.window_spills += other.window_spills;
+    }
+
+    /// Counter-wise difference against an `earlier` snapshot of the same
+    /// monotone counters (saturating) — scopes statistics to a measurement
+    /// window that starts mid-run.
+    #[must_use]
+    pub fn delta(&self, earlier: &SvfStats) -> SvfStats {
+        SvfStats {
+            traffic: self.traffic.delta(&earlier.traffic),
+            alloc_kills: self.alloc_kills.saturating_sub(earlier.alloc_kills),
+            dealloc_dirty_kills: self.dealloc_dirty_kills.saturating_sub(earlier.dealloc_dirty_kills),
+            demand_fills: self.demand_fills.saturating_sub(earlier.demand_fills),
+            window_spills: self.window_spills.saturating_sub(earlier.window_spills),
+        }
+    }
+
+    /// Every counter scaled by `num / den` with round-to-nearest (see
+    /// [`svf_mem::scale_counter`]) — the extrapolation step of sampled
+    /// simulation.
+    #[must_use]
+    pub fn scaled(&self, num: u64, den: u64) -> SvfStats {
+        SvfStats {
+            traffic: self.traffic.scaled(num, den),
+            alloc_kills: svf_mem::scale_counter(self.alloc_kills, num, den),
+            dealloc_dirty_kills: svf_mem::scale_counter(self.dealloc_dirty_kills, num, den),
+            demand_fills: svf_mem::scale_counter(self.demand_fills, num, den),
+            window_spills: svf_mem::scale_counter(self.window_spills, num, den),
+        }
+    }
+}
+
 /// Outcome of one SVF data access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SvfAccess {
@@ -123,6 +163,13 @@ impl StackValueFile {
     #[must_use]
     pub fn stats(&self) -> SvfStats {
         self.stats
+    }
+
+    /// Zeroes the statistics counters while keeping entry state (valid and
+    /// dirty bits, window position) warm — sampled simulation warms the SVF
+    /// functionally and then measures only the detailed interval.
+    pub fn reset_stats(&mut self) {
+        self.stats = SvfStats::default();
     }
 
     /// Whether `addr` falls inside the covered range — the bounds check the

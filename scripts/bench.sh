@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Simulation-throughput benchmark runner (PR 4, extended in PR 5/6/7).
+# Simulation-throughput benchmark runner (PR 4, extended in PR 5/6/7/9).
 #
 # Builds the release tree, compiles the criterion benches (compile-check
 # only — the wall-clock numbers come from the dedicated binary below), and
 # runs the `throughput` binary, which writes machine-readable rates to
-# BENCH_pr7.json (override the path with the first non-flag argument).
+# BENCH_pr9.json (override the path with the first non-flag argument).
+# PR 9 adds the sampled-vs-full pair on the longest workload: the binary
+# fails if sampled simulation falls below a 5x wall-clock speedup over
+# full detail or its IPC estimate drifts past the declared 2% bound.
 #
 # Usage: scripts/bench.sh [output.json] [--quick] [--compare BASE.json]
 #

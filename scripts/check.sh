@@ -15,11 +15,12 @@ cargo bench --workspace --no-run
 # swings on a shared box), so this catches collapses (the binary flags
 # >50% drops in --quick mode), not drifts — scripts/bench.sh does the
 # tracking-quality measurement with the strict 20% gate. The report goes to a scratch file so
-# the committed BENCH_pr7.json only changes when bench.sh is run on purpose.
+# the committed BENCH_pr9.json only changes when bench.sh is run on purpose.
+# (The binary also asserts the sampled-vs-full contract: 5x speedup, 2% IPC.)
 smoke_out="$(mktemp /tmp/svf-bench-smoke.XXXXXX.json)"
 smoke_dir="$(mktemp -d /tmp/svf-trace-smoke.XXXXXX)"
 trap 'rm -rf "$smoke_out" "$smoke_dir"' EXIT
-cargo run --release -p svf-bench --bin throughput -- "$smoke_out" --quick --compare BENCH_pr7.json
+cargo run --release -p svf-bench --bin throughput -- "$smoke_out" --quick --compare BENCH_pr9.json
 # Trace capture -> replay smoke: a live run and a replay of its captured
 # .svft trace must report identical timing lines (the replay path promises
 # bit-identical statistics; here that contract is checked end-to-end
@@ -47,6 +48,46 @@ cargo run --release --quiet --bin svf-sim -- "$smoke_dir/smoke.svft" \
 diff -u "$smoke_dir/live.txt" "$smoke_dir/replay.txt" \
     || { echo "trace replay diverged from live run" >&2; exit 1; }
 echo "trace capture->replay smoke: identical timing report"
+# Sampled-simulation smoke: the same program once in full detail and once
+# under a seeded random sampling plan, through the real CLI. The estimate
+# must land within 2% IPC of the full run while paying detailed cost for
+# well under half the instructions. (The per-workload error-bound
+# validation lives in tests/sampling.rs and the bench gate; this checks
+# the --sample plumbing end to end.)
+cat > "$smoke_dir/sampling.c" <<'EOF'
+int work(int n) {
+    int buf[8];
+    int s = 0;
+    for (int i = 0; i < 8; i = i + 1) buf[i] = i * n;
+    for (int i = 0; i < 8; i = i + 1) s = s + buf[i];
+    return s;
+}
+int main() {
+    int total = 0;
+    for (int it = 0; it < 2000; it = it + 1) total = total + work(it) % 997;
+    print(total);
+    return 0;
+}
+EOF
+cargo run --release --quiet --bin svf-sim -- "$smoke_dir/sampling.c" \
+    > "$smoke_dir/sampling-full.txt"
+cargo run --release --quiet --bin svf-sim -- "$smoke_dir/sampling.c" \
+    --sample mode=random,seed=1,period=40k,interval=5k,warmup=4k,ramp=1k,tail=500 \
+    > "$smoke_dir/sampling-est.txt"
+full_ipc=$(awk -F 'IPC ' '/^\[/ {print $2}' "$smoke_dir/sampling-full.txt")
+samp_ipc=$(awk -F 'IPC ' '/^\[/ {print $2}' "$smoke_dir/sampling-est.txt")
+awk -v s="$samp_ipc" -v f="$full_ipc" 'BEGIN {
+    err = (s - f) / f; if (err < 0) err = -err
+    if (err > 0.02) { printf "sampling smoke: IPC error %.4f exceeds 2%% (sampled %s vs full %s)\n", err, s, f; exit 1 }
+}' || exit 1
+grep '^--- SAMPLED' "$smoke_dir/sampling-est.txt" | awk '{
+    for (i = 1; i <= NF; i++) {
+        if ($i ~ /^detailed=/) { d = $i; sub("detailed=", "", d) }
+        if ($i == "of") t = $(i + 1)
+    }
+    if (!(d > 0 && 2 * d < t)) { printf "sampling smoke: detailed %s of %s insts is not under half\n", d, t; exit 1 }
+}' || exit 1
+echo "sampling smoke: sampled IPC $samp_ipc within 2% of full $full_ipc"
 # Design-space sweep smoke: an 8-point grid over one workload must run
 # end-to-end with exactly ONE workload compile (the memo cache + lockstep
 # batching contract of the sweep driver) and emit a well-formed Pareto CSV.

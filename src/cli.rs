@@ -14,6 +14,11 @@
 //!   --gshare                                           gshare predictor (default perfect)
 //!   --naive                                            disable compiler optimizations
 //!   --max-insts N                                      instruction budget
+//!   --sample SPEC                                      sampled simulation: detailed intervals
+//!                                                      over a functional fast-forward
+//!                                                      (key=value pairs: period, interval,
+//!                                                      warmup, ramp, tail, intervals, mode,
+//!                                                      seed; empty = defaults)
 //!   --profile                                          print the Figures 1-3 characterization
 //!   --disasm                                           print the disassembly and exit
 //!   --compare                                          also run the (R+0) baseline and report speedup
@@ -25,7 +30,7 @@ use std::error::Error;
 use std::fmt::Write as _;
 
 use svf::SvfConfig;
-use svf_cpu::{CpuConfig, PredictorKind, SimStats, Simulator, StackEngine};
+use svf_cpu::{CpuConfig, PredictorKind, SampleSpec, SimStats, Simulator, StackEngine};
 use svf_emu::Emulator;
 use svf_isa::Program;
 use svf_mem::StackCacheConfig;
@@ -51,6 +56,9 @@ pub struct CliOptions {
     pub naive: bool,
     /// Committed-instruction budget.
     pub max_insts: u64,
+    /// Sampled-simulation plan (`--sample`): detailed intervals over a
+    /// functional fast-forward instead of a full detailed run.
+    pub sample: Option<SampleSpec>,
     /// Print the characterization profile.
     pub profile: bool,
     /// Print disassembly and exit.
@@ -85,6 +93,7 @@ impl Default for CliOptions {
             gshare: false,
             naive: false,
             max_insts: u64::MAX,
+            sample: None,
             profile: false,
             disasm: false,
             emit_asm: false,
@@ -138,6 +147,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--max-insts" => {
                 o.max_insts = value("--max-insts")?.parse().map_err(|_| "bad --max-insts")?;
             }
+            "--sample" => o.sample = Some(SampleSpec::parse(value("--sample")?)?),
             "--gshare" => o.gshare = true,
             "--naive" => o.naive = true,
             "--profile" => o.profile = true,
@@ -306,7 +316,7 @@ pub fn run_cli(args: &[String]) -> Result<String, Box<dyn Error>> {
     }
 
     let cfg = build_config(&o)?;
-    let stats = Simulator::new(cfg).run(&program, o.max_insts);
+    let stats = run_timed(&mut report, &o, &cfg, &program);
     append_timing_report(&mut report, &o, &stats);
 
     if o.compare {
@@ -324,7 +334,9 @@ pub fn run_cli(args: &[String]) -> Result<String, Box<dyn Error>> {
         };
         let mut base_cfg = build_config(&base_opts)?;
         base_cfg.stack_engine = StackEngine::None;
-        let base = Simulator::new(base_cfg).run(&program, o.max_insts);
+        // The baseline rides the same execution mode, so a sampled compare
+        // reports a sampled-vs-sampled speedup (same schedule both sides).
+        let base = run_timed(&mut report, &o, &base_cfg, &program);
         let label = match &o.config {
             Some(spec) => format!("{spec} - stack structure"),
             None => format!("({}+0)", o.dl1_ports),
@@ -340,12 +352,42 @@ pub fn run_cli(args: &[String]) -> Result<String, Box<dyn Error>> {
     Ok(report)
 }
 
+/// One timing run under the options' execution mode: a full detailed
+/// simulation, or — with `--sample` — a sampled one, with a greppable
+/// `SAMPLED` coverage line appended (the `scripts/check.sh` smoke gate
+/// parses it).
+fn run_timed(report: &mut String, o: &CliOptions, cfg: &CpuConfig, program: &Program) -> SimStats {
+    match &o.sample {
+        Some(spec) => {
+            let s = svf_cpu::run_sampled(std::slice::from_ref(cfg), program, o.max_insts, spec)
+                .pop()
+                .expect("one config in, one estimate out");
+            let _ = writeln!(
+                report,
+                "--- SAMPLED intervals={} detailed={} fast-forwarded={} warmed={} of {} insts ---",
+                s.intervals,
+                s.detailed_insts,
+                s.fast_forwarded(),
+                s.warmed_insts,
+                s.total_insts
+            );
+            s.stats
+        }
+        None => Simulator::new(cfg.clone()).run(program, o.max_insts),
+    }
+}
+
 /// Replays a captured `.svft` binary trace (see `--dump-trace`) through
 /// the timing model: no compiler, no emulator — the trace *is* the
 /// committed instruction stream, and the reported statistics are
 /// bit-identical to a live run of the same program under the same
 /// configuration.
 fn replay_trace(o: &CliOptions) -> Result<String, Box<dyn Error>> {
+    if o.sample.is_some() {
+        // Sampling fast-forwards an *emulator*; a trace replay has none
+        // (the trace is the committed stream, consumed once, in order).
+        return Err("--sample does not apply to .svft trace replay".into());
+    }
     let cfg = build_config(o)?;
     let file = std::io::BufReader::new(std::fs::File::open(&o.path)?);
     let mut report = String::new();
@@ -428,6 +470,21 @@ mod tests {
         assert_eq!(o.trace, 5);
         let o = parse_args(&args(&["t.svft", "--salvage"])).unwrap();
         assert!(o.salvage);
+    }
+
+    #[test]
+    fn sample_flag_parses_and_rejects_bad_specs() {
+        let o = parse_args(&args(&["p.c", "--sample", "period=20k,interval=5k"])).unwrap();
+        let spec = o.sample.expect("plan parsed");
+        assert_eq!(spec.period, 20_000);
+        assert_eq!(spec.interval, 5_000);
+        let o = parse_args(&args(&["p.c", "--sample", ""])).unwrap();
+        assert_eq!(o.sample, Some(SampleSpec::default()), "empty spec is the default plan");
+        assert!(parse_args(&args(&["p.c", "--sample", "interval=0"])).is_err());
+        assert!(parse_args(&args(&["p.c", "--sample", "bogus"])).is_err());
+        assert!(parse_args(&args(&["p.c", "--sample"])).is_err(), "flag needs a value");
+        let err = run_cli(&args(&["t.svft", "--sample", ""])).unwrap_err();
+        assert!(err.to_string().contains("trace replay"), "{err}");
     }
 
     #[test]
