@@ -97,6 +97,27 @@ fn lockstep_fanout(c: &mut Criterion) {
     group.finish();
 }
 
+/// Threaded lockstep (PR 10): the six golden configurations over one shared
+/// stream, advanced by 1/2/4/8 timing threads. On a multi-core box the
+/// curve shows the fan-out win on top of the PR 6 amortization; on one core
+/// it shows the (bounded) barrier overhead of oversubscription — either
+/// way the statistics are bit-identical to serial, pinned by the golden
+/// suite.
+fn lockstep_threads(c: &mut Criterion) {
+    let program = stack_kernel();
+    let configs = svf_bench::sweep_configs();
+    let mut group = c.benchmark_group("hotpath/lockstep-fanout");
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("{threads}-threads"), |b| {
+            b.iter(|| {
+                let stats = svf_cpu::run_lockstep_fanout(&configs, &program, u64::MAX, threads);
+                black_box(stats.iter().map(|s| s.cycles).sum::<u64>())
+            });
+        });
+    }
+    group.finish();
+}
+
 /// The flattened set-associative cache alone: shift/mask indexing,
 /// MRU-first probe, nibble-packed recency, miss/evict/writeback path.
 fn cache_probe(c: &mut Criterion) {
@@ -120,6 +141,7 @@ criterion_group!(
     emulator_run,
     fig5_sweep_point,
     lockstep_fanout,
+    lockstep_threads,
     cache_probe,
     predictor
 );

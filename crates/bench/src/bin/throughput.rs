@@ -5,7 +5,13 @@
 //! tracked commit over commit.
 //!
 //! Usage: `throughput [OUT.json] [--quick] [--compare BASE.json]`
-//! (default out `BENCH_pr9.json`; see `scripts/bench.sh`).
+//! (default out `BENCH_pr10.json`; see `scripts/bench.sh`).
+//!
+//! The report header records host context (`logical_cores`, the
+//! `thread_budget` the threaded rows used): thread-budget rows are only
+//! comparable between hosts with the same core count, so `--compare`
+//! warns — without failing — when the baseline's header disagrees (or
+//! predates the header).
 //!
 //! * `--quick` — shorter sampling windows: a smoke gate for
 //!   `scripts/check.sh`, not a tracking-quality measurement. Its
@@ -109,7 +115,7 @@ fn compare(rows: &[Row], baseline_path: &str, baseline: &str, floor: f64) -> Vec
 }
 
 fn main() -> ExitCode {
-    let mut out = "BENCH_pr9.json".to_string();
+    let mut out = "BENCH_pr10.json".to_string();
     let mut quick = false;
     let mut compare_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -143,6 +149,12 @@ fn main() -> ExitCode {
     // are best-of-N, so a one-shot sample regularly lands >20% low on a
     // healthy build.
     let scale = |secs: f64, runs: usize| if quick { (0.0, 5) } else { (secs, runs) };
+
+    // Host context for the report header: thread-budget rows are only
+    // comparable between hosts with the same core count.
+    let logical_cores =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let thread_budget = logical_cores.min(6);
 
     let kernel = stack_kernel();
     let gap = svf_bench::compile(svf_workloads::workload("gap").expect("exists"));
@@ -194,6 +206,19 @@ fn main() -> ExitCode {
         measure("sweep/6cfg-bzip2-lockstep", "Mcyc/s", s3, r3, || {
             svf_cpu::run_lockstep(&sweep, &bzip2, u64::MAX).iter().map(|s| s.cycles).sum()
         }),
+        // The PR 10 headline: the same batched sweep with its six timing
+        // models fanned out across worker threads (one per model, capped
+        // at the host's logical cores). Identical simulated work and
+        // bit-identical statistics, so the rate gap against the serial
+        // lockstep row is the fan-out speedup — an honest number for
+        // whatever host wrote the report (its core count is in the
+        // header); the ≥2x gate below only arms on a ≥4-core host.
+        measure("sweep/6cfg-bzip2-lockstep-mt", "Mcyc/s", s3, r3, || {
+            svf_cpu::run_lockstep_fanout(&sweep, &bzip2, u64::MAX, thread_budget)
+                .iter()
+                .map(|s| s.cycles)
+                .sum()
+        }),
         // The PR 9 headline pair: the longest workload simulated in full
         // detail, then under the validated sampling plan from
         // tests/sampling.rs (2% IPC bound at ~12% detailed). Both rows
@@ -242,7 +267,30 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let mut json = String::from("{\n  \"suite\": \"svf-throughput\",\n  \"benchmarks\": [\n");
+    // The PR 10 fan-out contract: on a host with enough cores to actually
+    // fan out (≥4), the threaded lockstep row must clear 2x the serial
+    // lockstep rate. On smaller hosts the row is still measured and
+    // recorded (the honest number for this box, core count in the header)
+    // but the gate stays disarmed — oversubscribed barriers cannot speed
+    // anything up.
+    let mt_speedup = rate("sweep/6cfg-bzip2-lockstep-mt") / rate("sweep/6cfg-bzip2-lockstep");
+    eprintln!(
+        "lockstep-mt/bzip2: {mt_speedup:.2}x over serial lockstep \
+         ({thread_budget} threads on {logical_cores} logical cores)"
+    );
+    if logical_cores >= 4 && mt_speedup < 2.0 {
+        eprintln!(
+            "FANOUT SPEEDUP: {mt_speedup:.2}x is below the 2x floor on a \
+             {logical_cores}-core host"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut json = String::from("{\n  \"suite\": \"svf-throughput\",\n");
+    json.push_str(&format!(
+        "  \"host\": {{\"logical_cores\": {logical_cores}, \"thread_budget\": {thread_budget}}},\n"
+    ));
+    json.push_str("  \"benchmarks\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"unit\": \"{}\", \"rate\": {:.3}, \
@@ -260,6 +308,23 @@ fn main() -> ExitCode {
     eprintln!("wrote {out}");
 
     if let Some((path, baseline)) = baseline {
+        // Different core counts make the thread-budget rows incomparable;
+        // warn (the serial rows still compare fine) rather than fail.
+        match svf_bench::parse_logical_cores(&baseline) {
+            Some(base_cores) if base_cores != logical_cores as u64 => {
+                eprintln!(
+                    "WARNING: baseline {path} was taken on {base_cores} logical cores, \
+                     this host has {logical_cores}; threaded rows are not comparable"
+                );
+            }
+            None => {
+                eprintln!(
+                    "WARNING: baseline {path} has no host header (pre-PR10); \
+                     core counts may differ"
+                );
+            }
+            Some(_) => {}
+        }
         let floor = if quick { 0.50 } else { 0.80 };
         let regressions = compare(&rows, &path, &baseline, floor);
         if !regressions.is_empty() {

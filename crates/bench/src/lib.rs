@@ -138,6 +138,20 @@ pub fn parse_rates(json: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Extracts the `"logical_cores"` value from a report's `host` header, or
+/// `None` for reports written before the header existed (pre-PR 10) or
+/// with the field mangled. The comparison gate uses this to *warn* when a
+/// baseline was taken on a host with a different core count — thread-
+/// budget rows are not comparable across core counts — without failing:
+/// an old baseline is still a valid baseline for the serial rows.
+#[must_use]
+pub fn parse_logical_cores(json: &str) -> Option<u64> {
+    let i = json.find("\"logical_cores\": ")?;
+    let tail = &json[i + 17..];
+    let end = tail.find(|c: char| !c.is_ascii_digit()).unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
 /// `current / baseline` rate ratio for one benchmark, or `None` when the
 /// baseline report has no (positive) measurement under that name — the
 /// benchmark is *new*, which must never count as a regression: it is how
@@ -293,6 +307,21 @@ mod tests {
         );
         assert!(parse_rates("{}").is_empty(), "empty report parses to nothing");
         assert!(parse_rates("not json at all").is_empty());
+    }
+
+    #[test]
+    fn logical_cores_parse_from_the_host_header() {
+        let report = r#"{
+  "suite": "svf-throughput",
+  "host": {"logical_cores": 8, "thread_budget": 8},
+  "benchmarks": []
+}"#;
+        assert_eq!(parse_logical_cores(report), Some(8));
+        assert_eq!(parse_logical_cores(REPORT), None, "pre-PR10 reports have no header");
+        assert_eq!(parse_logical_cores("\"logical_cores\": junk"), None);
+        assert_eq!(parse_logical_cores(""), None);
+        // The header must not confuse the rate scanner.
+        assert!(parse_rates(report).is_empty());
     }
 
     #[test]

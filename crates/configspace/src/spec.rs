@@ -100,6 +100,13 @@ pub struct SweepSpec {
     /// accepting the same *binary* `k`/`m` suffixes as axis values (TOML
     /// `100k` is 102400, unlike the CLI grammar's decimal `k`).
     pub sampling: Option<svf_cpu::SampleSpec>,
+    /// Unified thread budget from the optional top-level `threads` key:
+    /// the sweep's runs occupy at most this many threads, split between
+    /// job workers and intra-batch timing fan-out (`jobs × fanout ≤
+    /// threads`). When present it overrides the harness's configured
+    /// budget for this sweep only, exactly like `[sampling]` overrides
+    /// `--sample`; `None` keeps whatever the harness was given.
+    pub threads: Option<u64>,
 }
 
 /// The standard splitmix64 mixer (same generator svf-bench uses), enough
@@ -133,6 +140,7 @@ impl SweepSpec {
         let mut max_points = 4096u64;
         let mut axes: Vec<Axis> = Vec::new();
         let mut sampling_items: Vec<String> = Vec::new();
+        let mut threads: Option<u64> = None;
 
         let scalar = |key: &str, entry: &Entry| {
             entry.as_scalar().cloned().ok_or_else(|| format!("{key} wants a scalar"))
@@ -159,6 +167,7 @@ impl SweepSpec {
                 ("", "seed") => seed = int("seed", &item.value)?,
                 ("", "rounds") => rounds = int("rounds", &item.value)?,
                 ("", "max_points") => max_points = int("max_points", &item.value)?,
+                ("", "threads") => threads = Some(int("threads", &item.value)?),
                 ("", "workload") => workloads.push(string("workload", &item.value)?),
                 ("", "workloads") => {
                     let vals = item
@@ -218,6 +227,9 @@ impl SweepSpec {
         if max_points == 0 {
             return Err("max_points must be positive".to_string());
         }
+        if threads == Some(0) {
+            return Err("threads must be positive".to_string());
+        }
         // Pre-validate every axis value against the base config so a bad
         // value fails at parse time, not at point 977 of the expansion.
         for axis in &axes {
@@ -241,6 +253,7 @@ impl SweepSpec {
             max_points,
             axes,
             sampling,
+            threads,
         })
     }
 
@@ -491,6 +504,16 @@ mod tests {
                 .is_err(),
             "overlapping intervals rejected"
         );
+    }
+
+    #[test]
+    fn threads_key_parses_and_rejects_zero() {
+        let spec = SweepSpec::from_toml(SPEC).expect("parses");
+        assert_eq!(spec.threads, None, "absent key keeps the harness budget");
+        let spec = SweepSpec::from_toml(&format!("threads = 8\n{SPEC}")).expect("parses");
+        assert_eq!(spec.threads, Some(8));
+        let err = SweepSpec::from_toml(&format!("threads = 0\n{SPEC}")).expect_err("zero");
+        assert!(err.contains("threads"), "{err}");
     }
 
     #[test]

@@ -32,7 +32,11 @@
 //!   head filter — so the youngest-earlier-store pair is stored per record
 //!   in [`Facts::prev_sp`]/[`Facts::prev_other`].
 
+use std::any::Any;
 use std::io::Read;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
 
 use svf_emu::{LiveSource, RecordRing, RecordSource, Retired, StreamError, TraceSource};
 use svf_isa::{AluOp, Inst, Program};
@@ -252,8 +256,34 @@ impl<'a> Window<'a> {
 /// (either would be a simulator bug).
 #[must_use]
 pub fn run_lockstep(configs: &[CpuConfig], program: &Program, max_insts: u64) -> Vec<SimStats> {
+    run_lockstep_fanout(configs, program, max_insts, 1)
+}
+
+/// [`run_lockstep`] with the per-window pipeline advancement fanned out
+/// over `fanout` threads (the calling thread plus `fanout - 1` scoped
+/// workers). Each thread advances a disjoint chunk of the pipelines over
+/// the same shared window behind a per-window barrier, so the statistics
+/// are bit-identical to the serial path for any `fanout` — the fill
+/// sequence is a pure function of the global slowest dispatch point, and
+/// each pipeline reads only the immutable window while mutating only
+/// itself. `fanout` is clamped to `[1, configs.len()]`; `1` (or a single
+/// config) takes the serial path with zero threading overhead.
+///
+/// # Panics
+///
+/// Panics if the program faults functionally, or if a pipeline deadlocks
+/// (either would be a simulator bug). A panic on a worker thread is
+/// re-raised on the calling thread with its original payload, so callers
+/// that `catch_unwind` the serial path observe the same message.
+#[must_use]
+pub fn run_lockstep_fanout(
+    configs: &[CpuConfig],
+    program: &Program,
+    max_insts: u64,
+    fanout: usize,
+) -> Vec<SimStats> {
     let mut src = LiveSource::new(program);
-    run_source(configs, &mut src, max_insts)
+    run_source(configs, &mut src, max_insts, fanout)
         .unwrap_or_else(|e| panic!("functional fault during simulation: {e}"))
 }
 
@@ -271,7 +301,7 @@ pub fn run_lockstep_trace<R: Read>(
     max_insts: u64,
 ) -> Result<Vec<SimStats>, StreamError> {
     let mut src = src;
-    run_source(configs, &mut src, max_insts)
+    run_source(configs, &mut src, max_insts, 1)
 }
 
 /// The lockstep driver: fill the shared window, extract facts for the
@@ -281,10 +311,11 @@ fn run_source<S: RecordSource>(
     configs: &[CpuConfig],
     src: &mut S,
     max_insts: u64,
+    fanout: usize,
 ) -> Result<Vec<SimStats>, StreamError> {
     let initial_sp = src.initial_sp();
     let mut pipes: Vec<Pipeline> = configs.iter().map(|c| Pipeline::new(c, initial_sp)).collect();
-    drive(&mut pipes, src, max_insts)?;
+    drive_fanout(&mut pipes, src, max_insts, fanout)?;
     Ok(pipes.into_iter().map(Pipeline::finish).collect())
 }
 
@@ -292,16 +323,20 @@ fn run_source<S: RecordSource>(
 /// drain (stream halt or `max_insts` committed records). This is the reusable
 /// inner loop of [`run_source`]; sampled simulation calls it once per
 /// measured interval with pipelines built from warm [`EngineState`]s and a
-/// source positioned mid-program.
+/// source positioned mid-program. `fanout` spreads the per-window pipeline
+/// advancement over that many threads; the serial path is taken whenever
+/// the clamped fanout is one, so single-config runs never pay for
+/// threading.
 ///
 /// [`EngineState`]: crate::pipeline::EngineState
-pub(crate) fn drive<S: RecordSource>(
+pub(crate) fn drive_fanout<S: RecordSource>(
     pipes: &mut [Pipeline],
     src: &mut S,
     max_insts: u64,
+    fanout: usize,
 ) -> Result<(), StreamError> {
     let heap_base = src.heap_base();
-    let mut ring = RecordRing::new(WINDOW_CAPACITY, max_insts);
+    let ring = RecordRing::new(WINDOW_CAPACITY, max_insts);
     let capacity = (ring.mask() + 1) as usize;
     for p in pipes.iter() {
         let cfg = p.config();
@@ -312,7 +347,23 @@ pub(crate) fn drive<S: RecordSource>(
             cfg.width
         );
     }
-    let mut facts = vec![Facts::EMPTY; capacity].into_boxed_slice();
+    let facts = vec![Facts::EMPTY; capacity].into_boxed_slice();
+    let fanout = fanout.clamp(1, pipes.len().max(1));
+    if fanout <= 1 {
+        drive_serial(pipes, src, heap_base, ring, facts)
+    } else {
+        drive_parallel(pipes, src, heap_base, ring, facts, fanout)
+    }
+}
+
+/// The serial inner loop: one thread fills and advances everything.
+fn drive_serial<S: RecordSource>(
+    pipes: &mut [Pipeline],
+    src: &mut S,
+    heap_base: u64,
+    mut ring: RecordRing,
+    mut facts: Box<[Facts]>,
+) -> Result<(), StreamError> {
     let mut builder = FactsBuilder::new();
     loop {
         // Records older than every pipeline's dispatch point are dead; the
@@ -339,6 +390,188 @@ pub(crate) fn drive<S: RecordSource>(
         debug_assert!(!stalled || ring.done(), "lockstep window stalled");
     }
     Ok(())
+}
+
+/// The stream state the timing threads share. The leader mutates it
+/// exclusively between rounds (write lock while every worker is parked at
+/// the round-start barrier); workers only ever read it, concurrently,
+/// during a round. The barriers are what actually serialize the two
+/// phases — the lock is never contended — but the lock is how the borrow
+/// checker sees that production and consumption cannot overlap.
+struct SharedWindow {
+    ring: RecordRing,
+    facts: Box<[Facts]>,
+}
+
+/// Rendezvous state for one parallel drive: the shared window, the two
+/// round barriers, and the accumulators each chunk folds its progress
+/// into during a round (reset by the leader between rounds).
+struct Rendezvous {
+    shared: RwLock<SharedWindow>,
+    /// Round start: workers block here while the leader owns the window.
+    start: Barrier,
+    /// Round end: the leader blocks here until every chunk has advanced.
+    end: Barrier,
+    /// Minimum dispatch point across all chunks (the next fill's `keep`).
+    min_head: AtomicU64,
+    /// Whether every pipeline in every chunk has drained.
+    all_done: AtomicBool,
+    /// Leader's termination signal, checked by workers after `start`.
+    stop: AtomicBool,
+    /// First panic payload out of any chunk, re-raised by the leader once
+    /// every thread has parked (so the scope joins cleanly first).
+    panicked: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Rendezvous {
+    /// Parks the payload of a panicking chunk; first writer wins.
+    fn park_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panicked.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        slot.get_or_insert(payload);
+    }
+
+    fn has_panicked(&self) -> bool {
+        self.panicked.lock().unwrap_or_else(std::sync::PoisonError::into_inner).is_some()
+    }
+}
+
+/// Advances one chunk of pipelines for one round, folding its progress
+/// into the shared accumulators. A panicking pipeline (e.g. the deadlock
+/// assert) is caught so this thread still reaches the end-of-round
+/// barrier instead of deadlocking the others; the payload is parked for
+/// the leader to re-raise.
+fn advance_chunk(pipes: &mut [Pipeline], rv: &Rendezvous) {
+    let advanced = catch_unwind(AssertUnwindSafe(|| {
+        let guard = rv.shared.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let win = Window { ring: &guard.ring, facts: &guard.facts };
+        let mut done = true;
+        let mut head = u64::MAX;
+        for p in pipes.iter_mut() {
+            done &= p.advance(&win);
+            head = head.min(p.ifq_head());
+        }
+        (done, head)
+    }));
+    match advanced {
+        Ok((done, head)) => {
+            if !done {
+                rv.all_done.store(false, Ordering::Release);
+            }
+            rv.min_head.fetch_min(head, Ordering::AcqRel);
+        }
+        Err(payload) => rv.park_panic(payload),
+    }
+}
+
+/// A worker thread's whole life: wait for the round to open, advance its
+/// chunk, signal the round closed; exit when the leader raises `stop`.
+fn worker_loop(pipes: &mut [Pipeline], rv: &Rendezvous) {
+    loop {
+        rv.start.wait();
+        if rv.stop.load(Ordering::Acquire) {
+            return;
+        }
+        advance_chunk(pipes, rv);
+        rv.end.wait();
+    }
+}
+
+/// The parallel inner loop. The calling thread is the leader: it owns the
+/// source and the facts builder, fills the window exclusively between
+/// rounds, and advances the first chunk itself during rounds; `fanout - 1`
+/// scoped workers (spawned once per drive, not per window) advance the
+/// remaining chunks. Bit-identity with [`drive_serial`] holds because the
+/// fill sequence depends only on the global minimum dispatch point —
+/// which the chunks accumulate exactly — and each `Pipeline::advance`
+/// reads nothing but the immutable window and its own state, so chunk
+/// assignment and thread interleaving are timing-invisible.
+fn drive_parallel<S: RecordSource>(
+    pipes: &mut [Pipeline],
+    src: &mut S,
+    heap_base: u64,
+    ring: RecordRing,
+    facts: Box<[Facts]>,
+    fanout: usize,
+) -> Result<(), StreamError> {
+    let rv = Rendezvous {
+        shared: RwLock::new(SharedWindow { ring, facts }),
+        start: Barrier::new(fanout),
+        end: Barrier::new(fanout),
+        // Every pipeline starts dispatching at seq 0, like the serial
+        // path's first `keep`.
+        min_head: AtomicU64::new(0),
+        all_done: AtomicBool::new(true),
+        stop: AtomicBool::new(false),
+        panicked: Mutex::new(None),
+    };
+    let mut builder = FactsBuilder::new();
+    // Exactly `fanout` chunks, sizes differing by at most one (plain
+    // `chunks_mut` could come up short — 4 pipes over 3 threads would
+    // yield 2 chunks of 2 and deadlock the 3-party barriers).
+    let mut chunks = Vec::with_capacity(fanout);
+    let mut rest = pipes;
+    for i in 0..fanout {
+        let (head, tail) = rest.split_at_mut(rest.len().div_ceil(fanout - i));
+        chunks.push(head);
+        rest = tail;
+    }
+    let mut chunks = chunks.into_iter();
+    let leader_chunk = chunks.next().expect("fanout > 1 implies pipelines");
+
+    let result = std::thread::scope(|scope| {
+        for worker_pipes in chunks {
+            let rv = &rv;
+            scope.spawn(move || worker_loop(worker_pipes, rv));
+        }
+        loop {
+            // Exclusive phase: every worker is parked at (or headed to)
+            // the start barrier, so the write lock is uncontended.
+            {
+                let mut guard =
+                    rv.shared.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let sw = &mut *guard;
+                let keep = rv.min_head.load(Ordering::Acquire);
+                match sw.ring.fill(src, keep) {
+                    Ok(fresh) => {
+                        let stalled = fresh.is_empty();
+                        for seq in fresh {
+                            sw.facts[(seq & sw.ring.mask()) as usize] =
+                                builder.extract(seq, sw.ring.get(seq), heap_base);
+                        }
+                        // Same invariant as the serial loop: an empty fill
+                        // with unfinished pipelines means the stream ended
+                        // and they are draining.
+                        debug_assert!(!stalled || sw.ring.done(), "lockstep window stalled");
+                    }
+                    Err(e) => {
+                        rv.stop.store(true, Ordering::Release);
+                        rv.start.wait();
+                        break Err(e);
+                    }
+                }
+            }
+            rv.min_head.store(u64::MAX, Ordering::Release);
+            rv.all_done.store(true, Ordering::Release);
+            rv.start.wait();
+            // Parallel phase: the leader works its own chunk too.
+            advance_chunk(leader_chunk, &rv);
+            rv.end.wait();
+            if rv.has_panicked() || rv.all_done.load(Ordering::Acquire) {
+                rv.stop.store(true, Ordering::Release);
+                rv.start.wait();
+                break Ok(());
+            }
+        }
+    });
+    // The scope has joined: re-raise a worker (or leader-chunk) panic on
+    // the calling thread with its original payload, exactly as the serial
+    // path would have panicked.
+    let payload =
+        rv.panicked.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+    result
 }
 
 #[cfg(test)]
@@ -400,6 +633,57 @@ mod tests {
             let alone = Simulator::new(cfg.clone()).run(&p, 1000);
             assert_eq!(got.to_csv_row(), alone.to_csv_row(), "{cfg:?} diverged under budget");
         }
+    }
+
+    #[test]
+    fn fanout_is_bit_identical_to_serial() {
+        let p = kernel();
+        let configs = config_set();
+        let serial = run_lockstep(&configs, &p, u64::MAX);
+        // 3 exercises a ragged chunking (4 pipes over 3 threads); 8 clamps
+        // to one pipe per thread.
+        for fanout in [2, 3, 4, 8] {
+            let threaded = run_lockstep_fanout(&configs, &p, u64::MAX, fanout);
+            for ((cfg, a), b) in configs.iter().zip(&serial).zip(&threaded) {
+                assert_eq!(
+                    a.to_csv_row(),
+                    b.to_csv_row(),
+                    "{cfg:?} diverged at fanout {fanout}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_respects_the_instruction_budget() {
+        let p = kernel();
+        let configs = config_set();
+        let serial = run_lockstep(&configs, &p, 1000);
+        let threaded = run_lockstep_fanout(&configs, &p, 1000, 4);
+        for ((cfg, a), b) in configs.iter().zip(&serial).zip(&threaded) {
+            assert_eq!(a.to_csv_row(), b.to_csv_row(), "{cfg:?} diverged under budget");
+        }
+    }
+
+    #[test]
+    fn a_worker_panic_reaches_the_caller_with_its_payload() {
+        // A zero-width machine never commits, so its pipeline trips the
+        // deadlock assert on whatever thread advances it; the caller must
+        // observe the original panic message (the harness keys its
+        // bisection/quarantine path off it).
+        let p = kernel();
+        let mut configs = config_set();
+        configs.push(CpuConfig { width: 0, ..CpuConfig::wide4() });
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_lockstep_fanout(&configs, &p, u64::MAX, 4)
+        }));
+        let payload = caught.expect_err("a deadlocked pipeline must panic the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        assert!(msg.contains("pipeline deadlock"), "unexpected panic payload: {msg:?}");
     }
 
     #[test]

@@ -48,31 +48,45 @@ use crate::predictor::Predictor;
 use crate::stats::SimStats;
 
 /// How an instruction executes (which resources and latency it needs).
+/// Discriminants are fixed: the value is packed into three bits of a
+/// [`SlotLanes`] meta byte and decoded through [`KIND_DECODE`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ExecKind {
     /// Single-cycle integer op, branch, or system op (ALU pool).
-    Alu,
+    Alu = 0,
     /// Multiply (multiplier pool).
-    Mul,
+    Mul = 1,
     /// Divide/remainder (multiplier pool, long latency).
-    Div,
+    Div = 2,
     /// Load through the data L1 (D-cache port).
-    LoadDl1,
+    LoadDl1 = 3,
     /// Store through the data L1 (D-cache port).
-    StoreDl1,
+    StoreDl1 = 4,
     /// Load serviced by the stack engine (SVF/stack-cache port).
-    LoadStack,
+    LoadStack = 5,
     /// Store serviced by the stack engine (SVF/stack-cache port).
-    StoreStack,
+    StoreStack = 6,
     /// Morphed SVF access in the ideal (infinite-port) engine: no port.
-    Free,
+    Free = 7,
 }
 
-/// Issue-critical state of one in-flight entry, held in a flat ring
-/// indexed by `seq & seq_mask`. Everything the per-cycle issue scan reads
-/// is here, packed — and so is the little that commit needs
-/// (`commit_flags`), so neither the wide record nor the shared facts are
-/// touched after dispatch.
+/// Three-bit meta-field value back to the enum (index = discriminant).
+const KIND_DECODE: [ExecKind; 8] = [
+    ExecKind::Alu,
+    ExecKind::Mul,
+    ExecKind::Div,
+    ExecKind::LoadDl1,
+    ExecKind::StoreDl1,
+    ExecKind::LoadStack,
+    ExecKind::StoreStack,
+    ExecKind::Free,
+];
+
+/// Issue-critical state of one in-flight entry, assembled by dispatch
+/// ([`Pipeline::build_slot`]) and then scattered into the per-field lanes
+/// of [`SlotLanes`]. Everything the per-cycle issue scan reads is here —
+/// and so is the little that commit needs (`commit_flags`), so neither
+/// the wide record nor the shared facts are touched after dispatch.
 #[derive(Debug, Clone, Copy)]
 struct Slot {
     /// Cycle the entry's result is available: [`UNISSUED`] until issue,
@@ -111,17 +125,100 @@ const UNISSUED: u64 = u64::MAX;
 /// `eligible_at` value while some producer is still unissued.
 const ELIGIBLE_UNKNOWN: u64 = u64::MAX;
 
-const EMPTY_SLOT: Slot = Slot {
-    ready_at: UNISSUED,
-    deps: [0; 2],
-    forward_from: NO_PRODUCER,
-    latency: 0,
-    eligible_at: ELIGIBLE_UNKNOWN,
-    ndeps: 0,
-    kind: ExecKind::Alu,
-    unmorphed_store: false,
-    commit_flags: 0,
-};
+/// [`SlotLanes`] meta-byte layout: [`ExecKind`] discriminant.
+const META_KIND_MASK: u8 = 0b0000_0111;
+/// Meta-byte layout: `ndeps` (two bits, values 0–2).
+const META_NDEPS_SHIFT: u8 = 3;
+const META_NDEPS_MASK: u8 = 0b0001_1000;
+/// Meta-byte layout: the `unmorphed_store` flag.
+const META_UNMORPHED_STORE: u8 = 0b0010_0000;
+
+/// The in-flight entries' [`Slot`] fields as structure-of-arrays lanes,
+/// ring-indexed by `seq & seq_mask`. Each per-cycle stage streams over
+/// only the lanes it touches — commit reads `ready_at` + `commit_flags`
+/// (9 contiguous bytes per entry instead of a 64-byte struct stride), the
+/// issue scan reads `meta`/`eligible_at`/`latency` and writes `ready_at`,
+/// wakeup walks `eligible_at` alone — which keeps each lane dense in
+/// cache while N sibling pipelines advance on other cores over the same
+/// shared window.
+///
+/// The rarely-read small fields (`kind`, `ndeps`, `unmorphed_store`) pack
+/// into one meta byte rather than three one-byte lanes: they are always
+/// read together on the paths that need them.
+#[derive(Debug)]
+struct SlotLanes {
+    /// [`Slot::ready_at`] lane.
+    ready_at: Box<[u64]>,
+    /// [`Slot::eligible_at`] lane.
+    eligible_at: Box<[u64]>,
+    /// [`Slot::forward_from`] lane.
+    forward_from: Box<[u64]>,
+    /// [`Slot::latency`] lane.
+    latency: Box<[u64]>,
+    /// First and second producer seqs ([`Slot::deps`], split per index).
+    dep0: Box<[u64]>,
+    dep1: Box<[u64]>,
+    /// Packed `kind` | `ndeps` | `unmorphed_store` (see the `META_*`
+    /// constants).
+    meta: Box<[u8]>,
+    /// [`Slot::commit_flags`] lane.
+    commit_flags: Box<[u8]>,
+}
+
+impl SlotLanes {
+    fn new(ring: usize) -> SlotLanes {
+        SlotLanes {
+            ready_at: vec![UNISSUED; ring].into_boxed_slice(),
+            eligible_at: vec![ELIGIBLE_UNKNOWN; ring].into_boxed_slice(),
+            forward_from: vec![NO_PRODUCER; ring].into_boxed_slice(),
+            latency: vec![0; ring].into_boxed_slice(),
+            dep0: vec![0; ring].into_boxed_slice(),
+            dep1: vec![0; ring].into_boxed_slice(),
+            meta: vec![0; ring].into_boxed_slice(),
+            commit_flags: vec![0; ring].into_boxed_slice(),
+        }
+    }
+
+    /// Scatters a freshly built slot across the lanes (dispatch only).
+    #[inline]
+    fn set(&mut self, i: usize, s: Slot) {
+        self.ready_at[i] = s.ready_at;
+        self.eligible_at[i] = s.eligible_at;
+        self.forward_from[i] = s.forward_from;
+        self.latency[i] = s.latency;
+        self.dep0[i] = s.deps[0];
+        self.dep1[i] = s.deps[1];
+        self.meta[i] = (s.kind as u8)
+            | (s.ndeps << META_NDEPS_SHIFT)
+            | if s.unmorphed_store { META_UNMORPHED_STORE } else { 0 };
+        self.commit_flags[i] = s.commit_flags;
+    }
+
+    #[inline]
+    fn kind(&self, i: usize) -> ExecKind {
+        KIND_DECODE[(self.meta[i] & META_KIND_MASK) as usize]
+    }
+
+    #[inline]
+    fn ndeps(&self, i: usize) -> usize {
+        ((self.meta[i] & META_NDEPS_MASK) >> META_NDEPS_SHIFT) as usize
+    }
+
+    #[inline]
+    fn unmorphed_store(&self, i: usize) -> bool {
+        self.meta[i] & META_UNMORPHED_STORE != 0
+    }
+
+    /// Producer seq `k` (`k < ndeps(i)`).
+    #[inline]
+    fn dep(&self, i: usize, k: usize) -> u64 {
+        if k == 0 {
+            self.dep0[i]
+        } else {
+            self.dep1[i]
+        }
+    }
+}
 
 /// The cycle-level simulator. Construct with a [`CpuConfig`] and call
 /// [`Simulator::run`]. To sweep several configurations over one shared
@@ -232,8 +329,9 @@ pub(crate) struct Pipeline<'a> {
     /// is the RUU window and `ifq_head..next_seq` the fetch queue —
     /// neither needs a container.
     ifq_head: u64,
-    /// Hot per-entry issue state, ring-indexed by `seq & seq_mask`.
-    slots: Box<[Slot]>,
+    /// Hot per-entry issue state as per-field lanes, ring-indexed by
+    /// `seq & seq_mask`.
+    slots: SlotLanes,
     /// Store seq → morphed loads that issued early against it (§3.2), ring-
     /// indexed by `seq & seq_mask`; each list's capacity is reused forever.
     watch: Box<[Vec<u64>]>,
@@ -319,7 +417,7 @@ impl<'a> Pipeline<'a> {
             next_seq: 0,
             head_seq: 0,
             ifq_head: 0,
-            slots: vec![EMPTY_SLOT; ring].into_boxed_slice(),
+            slots: SlotLanes::new(ring),
             watch: vec![Vec::new(); ring].into_boxed_slice(),
             seq_mask: ring as u64 - 1,
             ready: Vec::with_capacity(cfg.ruu_size),
@@ -424,8 +522,9 @@ impl<'a> Pipeline<'a> {
                 self.now,
                 self.head_seq,
                 (self.head_seq < self.ifq_head).then(|| {
-                    let s = &self.slots[(self.head_seq & self.seq_mask) as usize];
-                    (s.kind, s.ready_at, s.deps, s.ndeps)
+                    let i = (self.head_seq & self.seq_mask) as usize;
+                    let s = &self.slots;
+                    (s.kind(i), s.ready_at[i], [s.dep0[i], s.dep1[i]], s.ndeps(i))
                 })
             );
         }
@@ -471,15 +570,14 @@ impl<'a> Pipeline<'a> {
                 break; // window empty
             }
             let sidx = (self.head_seq & self.seq_mask) as usize;
-            let slot = self.slots[sidx];
             // `UNISSUED` is `u64::MAX`, so one compare covers both "not
             // issued" and "not done yet".
-            if slot.ready_at > self.now {
+            if self.slots.ready_at[sidx] > self.now {
                 break;
             }
             // Everything below runs off the `commit_flags` distilled at
             // dispatch; the wide `Retired` record is long gone.
-            let cf = slot.commit_flags;
+            let cf = self.slots.commit_flags[sidx];
             self.lsq_count -= usize::from(cf & F_MEM != 0);
             if cf & F_STORE != 0 {
                 // Drop any §3.2 watches parked on us (only stores collect
@@ -514,7 +612,7 @@ impl<'a> Pipeline<'a> {
         // the slot is live).
         seq < self.head_seq || {
             debug_assert!(seq < self.ifq_head, "querying a not-yet-dispatched seq");
-            self.slots[(seq & self.seq_mask) as usize].ready_at <= self.now
+            self.slots.ready_at[(seq & self.seq_mask) as usize] <= self.now
         }
     }
 
@@ -526,7 +624,7 @@ impl<'a> Pipeline<'a> {
         if seq < self.head_seq {
             0
         } else {
-            self.slots[(seq & self.seq_mask) as usize].ready_at
+            self.slots.ready_at[(seq & self.seq_mask) as usize]
         }
     }
 
@@ -548,16 +646,16 @@ impl<'a> Pipeline<'a> {
                     a += 1;
                 } else {
                     let s = bucket[b];
-                    debug_assert_eq!(self.slots[(s & self.seq_mask) as usize].eligible_at, now);
-                    self.ready_kinds[self.slots[(s & self.seq_mask) as usize].kind as usize] += 1;
+                    debug_assert_eq!(self.slots.eligible_at[(s & self.seq_mask) as usize], now);
+                    self.ready_kinds[self.slots.kind((s & self.seq_mask) as usize) as usize] += 1;
                     self.scratch.push(s);
                     b += 1;
                 }
             }
             self.scratch.extend_from_slice(&self.ready[a..]);
             for &s in &bucket[b..] {
-                debug_assert_eq!(self.slots[(s & self.seq_mask) as usize].eligible_at, now);
-                self.ready_kinds[self.slots[(s & self.seq_mask) as usize].kind as usize] += 1;
+                debug_assert_eq!(self.slots.eligible_at[(s & self.seq_mask) as usize], now);
+                self.ready_kinds[self.slots.kind((s & self.seq_mask) as usize) as usize] += 1;
                 self.scratch.push(s);
             }
             std::mem::swap(&mut self.ready, &mut self.scratch);
@@ -606,11 +704,11 @@ impl<'a> Pipeline<'a> {
             let seq = ready[i];
             i += 1;
             let sidx = (seq & self.seq_mask) as usize;
-            let slot = self.slots[sidx];
-            debug_assert_eq!(slot.ready_at, UNISSUED);
-            debug_assert!(slot.eligible_at <= now);
-            remaining[slot.kind as usize] -= 1;
-            let have_resource = match slot.kind {
+            let kind = self.slots.kind(sidx);
+            debug_assert_eq!(self.slots.ready_at[sidx], UNISSUED);
+            debug_assert!(self.slots.eligible_at[sidx] <= now);
+            remaining[kind as usize] -= 1;
+            let have_resource = match kind {
                 ExecKind::Alu => alu > 0,
                 ExecKind::Mul | ExecKind::Div => mult > 0,
                 ExecKind::LoadDl1 | ExecKind::StoreDl1 => dl1_ports > 0,
@@ -623,7 +721,7 @@ impl<'a> Pipeline<'a> {
                 continue;
             }
             // Consume resources and issue.
-            match slot.kind {
+            match kind {
                 ExecKind::Alu => alu -= 1,
                 ExecKind::Mul | ExecKind::Div => mult -= 1,
                 ExecKind::LoadDl1 | ExecKind::StoreDl1 => dl1_ports -= 1,
@@ -631,9 +729,9 @@ impl<'a> Pipeline<'a> {
                 ExecKind::Free => {}
             }
             issue_slots -= 1;
-            self.ready_kinds[slot.kind as usize] -= 1;
-            let done = now + slot.latency;
-            self.slots[sidx].ready_at = done;
+            self.ready_kinds[kind as usize] -= 1;
+            let done = now + self.slots.latency[sidx];
+            self.slots.ready_at[sidx] = done;
             // Our completion cycle is now fixed: consumers blocked on us
             // can compute (or keep chasing) their eligibility.
             if !self.waiters[sidx].is_empty() {
@@ -644,14 +742,14 @@ impl<'a> Pipeline<'a> {
                 ws.clear();
                 self.waiters[sidx] = ws; // keep the list's capacity
             }
-            if slot.unmorphed_store && !self.watch[sidx].is_empty() {
+            if self.slots.unmorphed_store(sidx) && !self.watch[sidx].is_empty() {
                 // A non-sp store issuing late may reveal §3.2 collisions
                 // with morphed loads that already issued.
                 let mut victims = std::mem::take(&mut self.watch[sidx]);
                 for &v in &victims {
                     if v >= head
                         && v < self.ifq_head
-                        && self.slots[(v & self.seq_mask) as usize].ready_at != UNISSUED
+                        && self.slots.ready_at[(v & self.seq_mask) as usize] != UNISSUED
                     {
                         self.scratch_squashes.push(v);
                     }
@@ -689,9 +787,9 @@ impl<'a> Pipeline<'a> {
     /// eligibility cycle, or straight into the ready list.
     fn schedule(&mut self, seq: u64) {
         let sidx = (seq & self.seq_mask) as usize;
-        let slot = self.slots[sidx];
         let mut t = 0u64;
-        for &d in &slot.deps[..slot.ndeps as usize] {
+        for k in 0..self.slots.ndeps(sidx) {
+            let d = self.slots.dep(sidx, k);
             let done = self.producer_done(d);
             if done == UNISSUED {
                 self.waiters[(d & self.seq_mask) as usize].push(seq);
@@ -699,21 +797,22 @@ impl<'a> Pipeline<'a> {
             }
             t = t.max(done);
         }
-        if slot.forward_from != NO_PRODUCER {
-            let done = self.producer_done(slot.forward_from);
+        let forward_from = self.slots.forward_from[sidx];
+        if forward_from != NO_PRODUCER {
+            let done = self.producer_done(forward_from);
             if done == UNISSUED {
-                self.waiters[(slot.forward_from & self.seq_mask) as usize].push(seq);
+                self.waiters[(forward_from & self.seq_mask) as usize].push(seq);
                 return;
             }
             t = t.max(done);
         }
-        self.slots[sidx].eligible_at = t;
+        self.slots.eligible_at[sidx] = t;
         if t <= self.now {
             // Only reachable from dispatch (producers all complete): `seq`
             // is the youngest in flight, so pushing keeps the age order.
             debug_assert!(self.ready.last().is_none_or(|&r| r < seq));
             self.ready.push(seq);
-            self.ready_kinds[slot.kind as usize] += 1;
+            self.ready_kinds[self.slots.kind(sidx) as usize] += 1;
         } else {
             let delta = t - self.now;
             if delta >= self.wheel.len() as u64 {
@@ -734,7 +833,7 @@ impl<'a> Pipeline<'a> {
         let old = std::mem::replace(&mut self.wheel, vec![Vec::new(); len]);
         for bucket in old {
             for seq in bucket {
-                let t = self.slots[(seq & self.seq_mask) as usize].eligible_at;
+                let t = self.slots.eligible_at[(seq & self.seq_mask) as usize];
                 debug_assert!(t > self.now && t - self.now < len as u64);
                 self.wheel[(t & (len as u64 - 1)) as usize].push(seq);
             }
@@ -777,7 +876,7 @@ impl<'a> Pipeline<'a> {
             let sidx = (seq & self.seq_mask) as usize;
             debug_assert!(self.watch[sidx].is_empty(), "watch ring slot was recycled dirty");
             debug_assert!(self.waiters[sidx].is_empty(), "waiter ring slot was recycled dirty");
-            self.slots[sidx] = slot;
+            self.slots.set(sidx, slot);
             self.schedule(seq);
         }
     }

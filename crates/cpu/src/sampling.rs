@@ -38,7 +38,7 @@
 //!    being over-weighted when the interval count is small.
 //!
 //! A spec whose first interval covers the whole program degenerates to a
-//! plain full run, bit-identical to [`run_lockstep`] — pinned by a test.
+//! plain full run, bit-identical to [`crate::run_lockstep`] — pinned by a test.
 //!
 //! # Bias and the ramp
 //!
@@ -56,7 +56,7 @@ use svf_emu::{Emulator, RecordSource, Retired, StreamError};
 use svf_isa::{Program, Reg};
 
 use crate::config::{CpuConfig, StackEngine};
-use crate::lockstep::{drive, run_lockstep};
+use crate::lockstep::{drive_fanout, run_lockstep_fanout};
 use crate::pipeline::{EngineState, Pipeline};
 use crate::stats::SimStats;
 
@@ -450,19 +450,41 @@ fn resync_svf(state: &mut EngineState, sp: u64) {
 /// returns per-config estimates in input order. The functional emulator
 /// runs the program exactly once end to end; only the measured intervals
 /// pay detailed-simulation cost. If the schedule places no interval before
-/// the program ends, the run falls back to a plain full [`run_lockstep`]
+/// the program ends, the run falls back to a plain full [`crate::run_lockstep`]
 /// (reported as one interval covering everything).
 ///
 /// # Panics
 ///
 /// Panics if the program faults functionally, or if a pipeline deadlocks
-/// (either would be a simulator bug) — matching [`run_lockstep`].
+/// (either would be a simulator bug) — matching [`crate::run_lockstep`].
 #[must_use]
 pub fn run_sampled(
     configs: &[CpuConfig],
     program: &Program,
     max_insts: u64,
     spec: &SampleSpec,
+) -> Vec<SampledStats> {
+    run_sampled_fanout(configs, program, max_insts, spec, 1)
+}
+
+/// [`run_sampled`] with each measured interval's lockstep advancement
+/// fanned out over `fanout` threads (see [`crate::run_lockstep_fanout`]).
+/// The fast-forward and functional warmup remain on the calling thread —
+/// they are a single serial stream — but the detailed windows, where the
+/// per-config timing cost lives, run their pipelines in parallel. The
+/// estimates are bit-identical to [`run_sampled`] for any `fanout`.
+///
+/// # Panics
+///
+/// Panics if the program faults functionally, or if a pipeline deadlocks
+/// (either would be a simulator bug) — matching [`crate::run_lockstep`].
+#[must_use]
+pub fn run_sampled_fanout(
+    configs: &[CpuConfig],
+    program: &Program,
+    max_insts: u64,
+    spec: &SampleSpec,
+    fanout: usize,
 ) -> Vec<SampledStats> {
     spec.validate().expect("invalid sample spec");
     if configs.is_empty() {
@@ -547,7 +569,7 @@ pub fn run_sampled(
             })
             .collect();
         let mut src = BorrowedSource { initial_sp: scratch.reg(Reg::SP), emu: &mut scratch };
-        drive(&mut pipes, &mut src, budget).unwrap_or_else(|e| fault(e));
+        drive_fanout(&mut pipes, &mut src, budget, fanout).unwrap_or_else(|e| fault(e));
         for (slot, pipe) in measured.iter_mut().zip(pipes) {
             let (stats, st) = pipe.finish_into_state();
             slot.push(stats);
@@ -578,7 +600,7 @@ pub fn run_sampled(
     if intervals == 0 {
         // The schedule never fired (program shorter than the first start):
         // fall back to a plain full run rather than report nothing.
-        return run_lockstep(configs, program, max_insts)
+        return run_lockstep_fanout(configs, program, max_insts, fanout)
             .into_iter()
             .map(|s| SampledStats {
                 total_insts: s.committed,
@@ -623,6 +645,7 @@ pub fn run_sampled(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run_lockstep;
     use crate::stats::relative_error;
 
     fn kernel() -> Program {
@@ -814,7 +837,7 @@ mod tests {
         pl.set_measure_window(from, to);
         let mut pipes = vec![pl];
         let mut src = BorrowedSource { initial_sp, emu: &mut emu };
-        drive(&mut pipes, &mut src, u64::MAX).unwrap();
+        drive_fanout(&mut pipes, &mut src, u64::MAX, 1).unwrap();
         pipes.pop().unwrap().finish()
     }
 

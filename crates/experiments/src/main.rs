@@ -2,15 +2,23 @@
 //!
 //! ```text
 //! svf-experiments <experiment> [--scale test|small|full] [--csv DIR]
-//!                              [--jobs N] [--out DIR] [--no-lockstep]
-//!                              [--timeout SECS] [--retries N] [--sample SPEC]
-//! svf-experiments --sweep SPEC.toml [--csv DIR] [--jobs N] [--no-lockstep]
+//!                              [--jobs N] [--threads T] [--out DIR]
+//!                              [--no-lockstep] [--timeout SECS] [--retries N]
+//!                              [--sample SPEC]
+//! svf-experiments --sweep SPEC.toml [--csv DIR] [--jobs N] [--threads T]
+//!                                   [--no-lockstep]
 //! svf-experiments --list-configs
 //! experiments: fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig9 table1 table2
 //!              table3 table4 ablation-* partial-word all
 //! --csv DIR      additionally writes each result table as DIR/<id>[.n].csv
 //!                (for --sweep: DIR/points.csv and DIR/pareto.csv)
 //! --jobs N       simulate N jobs in parallel (default: all hardware threads)
+//! --threads T    unified thread budget: the run occupies at most T threads,
+//!                split between job workers and intra-batch timing fan-out
+//!                (jobs × fanout ≤ T; wide lockstep batches borrow idle job
+//!                slots). Without it, batches advance their pipelines
+//!                serially on their worker thread. Results are bit-identical
+//!                at any fan-out.
 //! --out DIR      per-job result sink: DIR/<experiment>/<job>.csv; jobs whose
 //!                result file exists are resumed instead of re-simulated
 //!                (sweeps also journal completed points for crash-safe resume)
@@ -64,8 +72,8 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: svf-experiments <experiment> [--scale test|small|full] [--csv DIR] [--jobs N] [--out DIR] [--no-lockstep] [--timeout SECS] [--retries N] [--sample SPEC]\n\
-         \u{20}      svf-experiments --sweep SPEC.toml [--csv DIR] [--jobs N] [--no-lockstep]\n\
+        "usage: svf-experiments <experiment> [--scale test|small|full] [--csv DIR] [--jobs N] [--threads T] [--out DIR] [--no-lockstep] [--timeout SECS] [--retries N] [--sample SPEC]\n\
+         \u{20}      svf-experiments --sweep SPEC.toml [--csv DIR] [--jobs N] [--threads T] [--no-lockstep]\n\
          \u{20}      svf-experiments --list-configs\n\
          experiments: {}",
         EXPERIMENTS.join(" ")
@@ -89,6 +97,7 @@ fn main() {
     let mut scale = Scale::Small;
     let mut csv_dir: Option<String> = None;
     let mut jobs: Option<usize> = None;
+    let mut threads: Option<usize> = None;
     let mut out_dir: Option<String> = None;
     let mut lockstep = true;
     let mut timeout: Option<f64> = None;
@@ -119,6 +128,13 @@ fn main() {
                 jobs = match v.parse::<usize>() {
                     Ok(n) if n >= 1 => Some(n),
                     _ => fail(&format!("--jobs must be a positive integer, got {v:?}")),
+                };
+            }
+            "--threads" => {
+                let v = required_value(&mut it, "--threads");
+                threads = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => fail(&format!("--threads must be a positive integer, got {v:?}")),
                 };
             }
             "--timeout" => {
@@ -168,6 +184,9 @@ fn main() {
         svf_harness::Harness::parallel().with_progress(true).with_lockstep(lockstep);
     if let Some(n) = jobs {
         harness = harness.with_workers(n);
+    }
+    if let Some(t) = threads {
+        harness = harness.with_threads(t);
     }
     if let Some(dir) = &out_dir {
         harness = harness.with_out_dir(dir);

@@ -110,19 +110,22 @@ pub use experiment::Experiment;
 pub use fault::install_fault_plan;
 pub use job::{Job, JobOutcome, JobReport, ProgramSpec};
 pub use memo::compile_count;
-pub use pool::{parallel_map, parallel_map_with};
+pub use pool::{parallel_map, parallel_map_with, FanoutClaim, ThreadBudget};
 pub use sink::{atomic_write, RunDir};
 pub use sweep::{run_sweep, SweepOutcome, SweepPoint};
 
 use progress::Progress;
 
 /// Execution policy: how many workers, where results go, whether to narrate,
-/// whether jobs sharing a program ride one functional stream, and whether
+/// whether jobs sharing a program ride one functional stream, whether
 /// simulations run sampled (detailed intervals over a functional
-/// fast-forward) instead of fully detailed.
+/// fast-forward) instead of fully detailed, and — with a thread budget —
+/// how many threads the whole run may occupy across job workers *and*
+/// intra-batch timing fan-out.
 #[derive(Debug, Clone)]
 pub struct Harness {
     workers: usize,
+    threads: Option<usize>,
     out_dir: Option<PathBuf>,
     progress: bool,
     lockstep: bool,
@@ -143,6 +146,7 @@ impl Harness {
         let workers = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         Harness {
             workers,
+            threads: None,
             out_dir: None,
             progress: false,
             lockstep: true,
@@ -161,6 +165,23 @@ impl Harness {
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Harness {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the unified thread budget (clamped to at least 1): the run may
+    /// occupy at most `total` threads, split between job-level workers and
+    /// intra-batch timing fan-out so that `jobs × fanout ≤ total`. Workers
+    /// are capped at the budget; whatever the workers do not use funds a
+    /// spare pool that lockstep batches claim extra timing threads from
+    /// ([`svf_cpu::run_lockstep_fanout`]), and a worker that drains the
+    /// job queue donates its seat back so wide batches still in flight can
+    /// borrow it. Without a budget every batch advances its pipelines
+    /// serially on its worker thread (fanout 1), the pre-budget behaviour.
+    /// Results are bit-identical at any fanout (pinned by the workspace
+    /// golden tests).
+    #[must_use]
+    pub fn with_threads(mut self, total: usize) -> Harness {
+        self.threads = Some(total.max(1));
         self
     }
 
@@ -246,6 +267,12 @@ impl Harness {
         self.workers
     }
 
+    /// The unified thread budget, if one was set.
+    #[must_use]
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
     /// The configured result-sink root, if any. Sweep drivers anchor their
     /// crash-safe point journal next to it.
     #[must_use]
@@ -278,22 +305,37 @@ impl Harness {
         // lockstep is on (they ride one functional stream), singletons
         // otherwise.
         let groups = group_jobs(jobs, self.lockstep);
+        // With a thread budget the job workers are capped at the budget and
+        // whatever they leave unused funds intra-batch timing fan-out;
+        // without one, the budget has no spare and every batch runs serial.
+        let workers = self
+            .threads
+            .map_or(self.workers, |t| self.workers.min(t))
+            .clamp(1, groups.len().max(1));
+        let budget = ThreadBudget::new(self.threads.unwrap_or(workers), workers);
+        progress.set_parallelism(workers, 1);
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<JobReport>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
         thread::scope(|scope| {
-            for _ in 0..self.workers.clamp(1, groups.len().max(1)) {
-                scope.spawn(|| loop {
-                    let g = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(idxs) = groups.get(g) else { break };
-                    run_group(
-                        jobs,
-                        idxs,
-                        sink.as_ref(),
-                        &progress,
-                        &slots,
-                        &self.policy,
-                        self.sample.as_ref(),
-                    );
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    loop {
+                        let g = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(idxs) = groups.get(g) else { break };
+                        run_group(
+                            jobs,
+                            idxs,
+                            sink.as_ref(),
+                            &progress,
+                            &slots,
+                            &self.policy,
+                            self.sample.as_ref(),
+                            &budget,
+                        );
+                    }
+                    // This worker is done for good: donate its seat so wide
+                    // batches still in flight can widen their next claim.
+                    budget.worker_exited();
                 });
             }
         });
@@ -337,6 +379,7 @@ fn group_jobs(jobs: &[Job], lockstep: bool) -> Vec<Vec<usize>> {
 /// remaining fresh jobs through [`svf_cpu::run_lockstep`] over one shared
 /// functional execution — bisecting the batch on panic or hang. Fills
 /// `slots` and `progress` exactly like per-job execution would.
+#[allow(clippy::too_many_arguments)]
 fn run_group(
     jobs: &[Job],
     idxs: &[usize],
@@ -345,6 +388,7 @@ fn run_group(
     slots: &[Mutex<Option<JobReport>>],
     policy: &RetryPolicy,
     sample: Option<&SampleSpec>,
+    budget: &ThreadBudget,
 ) {
     let deliver = |i: usize, report: JobReport| {
         let (cycles, resumed, failed) = match &report.outcome {
@@ -377,7 +421,7 @@ fn run_group(
         fresh.into_iter().partition(|&i| fault::planned(jobs[i].id) || quarantined(&jobs[i]));
     if batch.len() >= 2 {
         let t0 = Instant::now();
-        let results = run_batch(jobs, &batch, policy, progress, sample);
+        let results = run_batch(jobs, &batch, policy, progress, sample, budget);
         let wall = t0.elapsed() / u32::try_from(batch.len()).unwrap_or(1).max(1);
         for (i, result) in results {
             let outcome = match result {
@@ -410,6 +454,7 @@ fn run_batch(
     policy: &RetryPolicy,
     progress: &Progress,
     sample: Option<&SampleSpec>,
+    budget: &ThreadBudget,
 ) -> Vec<(usize, Result<SimStats, JobError>)> {
     if let [i] = members {
         return vec![(*i, execute_with_policy(&jobs[*i], policy, progress, sample))];
@@ -423,7 +468,15 @@ fn run_batch(
     let configs: Vec<CpuConfig> = members.iter().map(|&i| jobs[i].config.clone()).collect();
     // N jobs ride one stream, so the watchdog budget scales with width.
     let limit = policy.timeout.map(|t| t * u32::try_from(members.len()).unwrap_or(u32::MAX));
-    match attempt_lockstep(&program, &configs, limit, sample) {
+    // Borrow spare budget threads for the duration of this attempt; the
+    // claim is released before any bisection so the halves re-claim for
+    // themselves.
+    let claim = budget.claim(members.len());
+    let fanout = claim.fanout();
+    progress.record_fanout(fanout);
+    let attempted = attempt_lockstep(&program, &configs, limit, sample, fanout);
+    drop(claim);
+    match attempted {
         Ok((stats, meta)) => {
             if let Some((detailed, fast_forwarded)) = meta {
                 progress.record_sample(detailed, fast_forwarded);
@@ -435,8 +488,8 @@ fn run_batch(
                 progress.record_timeout();
             }
             let (a, b) = members.split_at(members.len() / 2);
-            let mut out = run_batch(jobs, a, policy, progress, sample);
-            out.extend(run_batch(jobs, b, policy, progress, sample));
+            let mut out = run_batch(jobs, a, policy, progress, sample, budget);
+            out.extend(run_batch(jobs, b, policy, progress, sample, budget));
             out
         }
     }
@@ -541,21 +594,27 @@ fn attempt_job(
 
 /// One lockstep-batch attempt, panic-caught, optionally under a watchdog.
 /// With a sampling plan the whole batch rides one sampled stream
-/// ([`svf_cpu::run_sampled`]) instead of one full stream; the schedule is
-/// shared, so one `(detailed, fast-forwarded)` pair describes every member.
+/// ([`svf_cpu::run_sampled_fanout`]) instead of one full stream; the
+/// schedule is shared, so one `(detailed, fast-forwarded)` pair describes
+/// every member. `fanout` is the number of timing threads the batch may
+/// spread its pipelines over (1 = the classic serial advance); results are
+/// bit-identical at any fanout, and a panic on any timing thread surfaces
+/// here with its original payload, so bisection and quarantine behave
+/// exactly as they do on the serial path.
 fn attempt_lockstep(
     program: &Arc<Program>,
     configs: &[CpuConfig],
     timeout: Option<Duration>,
     sample: Option<&SampleSpec>,
+    fanout: usize,
 ) -> Result<(Vec<SimStats>, SampleMeta), JobError> {
     let program = Arc::clone(program);
     let configs = configs.to_vec();
     let sample = sample.copied();
     let work = move || match &sample {
-        None => Ok((svf_cpu::run_lockstep(&configs, &program, u64::MAX), None)),
+        None => Ok((svf_cpu::run_lockstep_fanout(&configs, &program, u64::MAX, fanout), None)),
         Some(spec) => {
-            let sampled = svf_cpu::run_sampled(&configs, &program, u64::MAX, spec);
+            let sampled = svf_cpu::run_sampled_fanout(&configs, &program, u64::MAX, spec, fanout);
             let meta = sampled.first().map(|s| (s.detailed_insts, s.fast_forwarded()));
             Ok((sampled.into_iter().map(|s| s.stats).collect(), meta))
         }

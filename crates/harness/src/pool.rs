@@ -9,6 +9,82 @@ use std::thread;
 
 use crate::error::{JobError, RetryPolicy};
 
+/// Arbiter for one machine-wide thread budget shared between job-level
+/// workers and intra-batch timing fan-out.
+///
+/// A budget of `total` threads first funds the `workers` job threads; the
+/// remainder is a spare pool that lockstep batches [`claim`](Self::claim)
+/// extra timing threads from, so `jobs × fanout` never exceeds `total`.
+/// When a job worker drains the queue and exits it
+/// [returns its seat](Self::worker_exited) to the spare pool, letting wide
+/// batches that are still running borrow the idle slot for their next
+/// claim. With `total <= workers` the spare pool is empty and every claim
+/// degenerates to a serial fanout of 1.
+pub struct ThreadBudget {
+    spare: AtomicUsize,
+}
+
+impl ThreadBudget {
+    /// Budget `total` threads across `workers` job threads; whatever is
+    /// left over funds intra-batch fan-out.
+    pub fn new(total: usize, workers: usize) -> Self {
+        ThreadBudget { spare: AtomicUsize::new(total.saturating_sub(workers)) }
+    }
+
+    /// A budget with no spare threads: every claim yields fanout 1.
+    pub fn serial() -> Self {
+        ThreadBudget { spare: AtomicUsize::new(0) }
+    }
+
+    /// Claims up to `width - 1` extra threads for a batch of `width`
+    /// pipelines (the calling thread is always the first). The claim is
+    /// best-effort: it takes whatever the spare pool holds, never blocks,
+    /// and returns the threads when dropped.
+    pub fn claim(&self, width: usize) -> FanoutClaim<'_> {
+        let want = width.saturating_sub(1);
+        let taken = self
+            .spare
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |s| Some(s - s.min(want)))
+            .map(|prev| prev.min(want))
+            .unwrap_or(0);
+        FanoutClaim { budget: self, extra: taken }
+    }
+
+    /// Returns a job worker's seat to the spare pool after it drains the
+    /// queue, so in-flight batches can widen their next claim.
+    pub fn worker_exited(&self) {
+        self.spare.fetch_add(1, Ordering::Release);
+    }
+
+    /// Spare threads currently available to claims (test/diagnostic hook).
+    pub fn spare(&self) -> usize {
+        self.spare.load(Ordering::Acquire)
+    }
+}
+
+/// RAII grant of extra timing threads from a [`ThreadBudget`]; returns
+/// them to the pool on drop.
+pub struct FanoutClaim<'a> {
+    budget: &'a ThreadBudget,
+    extra: usize,
+}
+
+impl FanoutClaim<'_> {
+    /// Total timing threads this batch may use: the calling thread plus
+    /// every extra granted (always `>= 1`).
+    pub fn fanout(&self) -> usize {
+        1 + self.extra
+    }
+}
+
+impl Drop for FanoutClaim<'_> {
+    fn drop(&mut self) {
+        if self.extra > 0 {
+            self.budget.spare.fetch_add(self.extra, Ordering::Release);
+        }
+    }
+}
+
 /// Renders a payload from [`catch_unwind`] as a readable failure message.
 pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -158,6 +234,62 @@ mod tests {
         });
         assert!(matches!(out[0], Err(JobError::Compile(_))));
         assert_eq!(tries.load(Ordering::Relaxed), 1, "compile errors never retry");
+    }
+
+    #[test]
+    fn budget_claims_are_capped_by_width_and_spare() {
+        // 8 threads, 2 workers => 6 spare.
+        let budget = ThreadBudget::new(8, 2);
+        assert_eq!(budget.spare(), 6);
+
+        // A 4-wide batch wants 3 extras and gets them all.
+        let a = budget.claim(4);
+        assert_eq!(a.fanout(), 4);
+        assert_eq!(budget.spare(), 3);
+
+        // A 6-wide batch wants 5 extras but only 3 remain.
+        let b = budget.claim(6);
+        assert_eq!(b.fanout(), 4);
+        assert_eq!(budget.spare(), 0);
+
+        // The pool is dry: further claims run serial, never negative.
+        let c = budget.claim(10);
+        assert_eq!(c.fanout(), 1);
+        assert_eq!(budget.spare(), 0);
+
+        // Drops return exactly what was granted.
+        drop(b);
+        assert_eq!(budget.spare(), 3);
+        drop(a);
+        drop(c);
+        assert_eq!(budget.spare(), 6);
+    }
+
+    #[test]
+    fn exhausted_budget_yields_serial_fanout() {
+        let budget = ThreadBudget::serial();
+        assert_eq!(budget.claim(8).fanout(), 1);
+        // A width-1 (or degenerate width-0) batch never asks for extras.
+        let roomy = ThreadBudget::new(16, 1);
+        assert_eq!(roomy.claim(1).fanout(), 1);
+        assert_eq!(roomy.claim(0).fanout(), 1);
+        assert_eq!(roomy.spare(), 15);
+    }
+
+    #[test]
+    fn exiting_workers_donate_their_seats() {
+        // 4 threads fully consumed by 4 workers: no spare at first.
+        let budget = ThreadBudget::new(4, 4);
+        assert_eq!(budget.claim(6).fanout(), 1);
+
+        // Two workers drain the queue and exit; a wide batch on a
+        // surviving worker borrows both idle seats.
+        budget.worker_exited();
+        budget.worker_exited();
+        let claim = budget.claim(6);
+        assert_eq!(claim.fanout(), 3);
+        drop(claim);
+        assert_eq!(budget.spare(), 2);
     }
 
     #[test]

@@ -16,6 +16,10 @@ struct State {
     detailed_insts: u64,
     /// Instructions fast-forwarded at functional speed by sampled runs.
     fast_forwarded: u64,
+    /// Job-level worker threads this run spawned (0 until the runner says).
+    workers: usize,
+    /// Widest intra-batch timing fan-out observed so far.
+    max_fanout: usize,
 }
 
 /// Shared progress tracker; workers report each finished job.
@@ -98,6 +102,25 @@ impl Progress {
         }
     }
 
+    /// Declares the run's parallelism shape: how many job workers were
+    /// spawned and the starting intra-batch fan-out (normally 1). Painted
+    /// as a `jobs×fanout` segment once both are known; until then the line
+    /// keeps its historical form, so zero never renders.
+    pub(crate) fn set_parallelism(&self, workers: usize, fanout: usize) {
+        let mut st = self.state.lock().expect("progress state");
+        st.workers = workers;
+        st.max_fanout = st.max_fanout.max(fanout);
+    }
+
+    /// Records the timing fan-out one lockstep batch was granted; the line
+    /// reports the widest grant seen, i.e. the run's best effective
+    /// parallelism `jobs × fanout`. Doesn't advance `done` or repaint on
+    /// its own — the owning batch reports right after.
+    pub(crate) fn record_fanout(&self, fanout: usize) {
+        let mut st = self.state.lock().expect("progress state");
+        st.max_fanout = st.max_fanout.max(fanout);
+    }
+
     /// Finishes the line and returns the run-level summary text.
     pub(crate) fn finish(&self) -> String {
         let snapshot = *self.state.lock().expect("progress state");
@@ -135,6 +158,12 @@ impl Progress {
             "[{}] {}/{} jobs  {mcyc_s:.1} Mcyc/s  {jobs_s:.1} jobs/s  eta {eta_text}",
             self.name, st.done, self.total,
         );
+        // Effective parallelism: job workers × widest timing fan-out any
+        // batch was granted. Guarded so an unset (zero) shape — e.g. the
+        // unit tests that drive Progress directly — never paints `0x0`.
+        if st.workers > 0 && st.max_fanout > 0 {
+            line.push_str(&format!("  ({}x{} jobs x fanout)", st.workers, st.max_fanout));
+        }
         // Sampled coverage: only painted once a sampled execution reported,
         // so full runs keep the historical line verbatim.
         if st.detailed_insts > 0 || st.fast_forwarded > 0 {
@@ -266,6 +295,30 @@ mod tests {
         let line = p.finish();
         assert!(line.contains("(sampled: 750 detailed / 0 ff insts)"), "{line}");
         assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+    }
+
+    #[test]
+    fn parallelism_segment_reports_the_widest_fanout() {
+        let p = Progress::new("demo", 2, false);
+        p.set_parallelism(4, 1);
+        p.record(100, false, false);
+        assert!(p.finish().contains("(4x1 jobs x fanout)"), "{}", p.finish());
+        // A wide batch borrows idle seats; the line keeps the peak.
+        p.record_fanout(3);
+        p.record_fanout(2);
+        p.record(100, false, false);
+        let line = p.finish();
+        assert!(line.contains("(4x3 jobs x fanout)"), "{line}");
+        assert!(line.contains("2/2 jobs"), "record_fanout must not advance done: {line}");
+    }
+
+    #[test]
+    fn unset_parallelism_never_paints_zero() {
+        let p = Progress::new("demo", 1, false);
+        p.record(100, false, false);
+        let line = p.finish();
+        assert!(!line.contains("jobs x fanout"), "{line}");
+        assert!(!line.contains("0x0"), "{line}");
     }
 
     #[test]

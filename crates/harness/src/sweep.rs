@@ -195,6 +195,19 @@ pub fn run_sweep(spec: &SweepSpec, harness: &Harness) -> Result<SweepOutcome, St
         }
         None => harness,
     };
+    // Likewise the top-level `threads` key: the spec's unified thread
+    // budget (job workers + intra-batch timing fan-out) wins for this
+    // sweep only. Results are bit-identical at any fan-out, so the
+    // override never changes what the journal resumes to.
+    let budgeted_harness;
+    let harness = match spec.threads {
+        Some(total) => {
+            budgeted_harness =
+                harness.clone().with_threads(usize::try_from(total).unwrap_or(usize::MAX));
+            &budgeted_harness
+        }
+        None => harness,
+    };
     let compiles_before = memo::compile_count();
     // The journal rides the harness's sink root: no sink, no resume.
     let journal = match harness.out_dir() {

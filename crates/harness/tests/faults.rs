@@ -220,6 +220,66 @@ fn quarantined_lockstep_batch_matches_no_lockstep_bit_for_bit() {
     });
 }
 
+#[test]
+fn threaded_lockstep_quarantines_a_panicking_pipeline_thread_like_serial() {
+    // Same diverging-member shape as the serial quarantine test, but under
+    // a thread budget wide enough that the batch fans its pipelines out
+    // across worker threads. The zero-width machine deadlocks on one of
+    // those timing threads; its panic must cross the fan-out boundary with
+    // the original payload, drive the same bisection, and quarantine the
+    // same member — with survivors bit-identical to the serial path.
+    let build = |tag: &str| {
+        let mut exp = Experiment::new(tag);
+        exp.push(ProgramSpec::source("mt-quarantine", TINY), "4-wide", CpuConfig::wide4());
+        exp.push(ProgramSpec::source("mt-quarantine", TINY), "8-wide", CpuConfig::wide8());
+        exp.push(
+            ProgramSpec::source("mt-quarantine", TINY),
+            "0-wide",
+            CpuConfig { width: 0, ..CpuConfig::wide4() },
+        );
+        exp.push(ProgramSpec::source("mt-quarantine", TINY), "16-wide", CpuConfig::wide16());
+        exp
+    };
+    with_plan("", || {
+        // One job worker + a budget of 8: the 4-wide batch claims 3 extra
+        // timing threads, so the divergence fires on a fanned-out thread.
+        let threaded = Harness::parallel()
+            .with_workers(1)
+            .with_threads(8)
+            .with_lockstep(true)
+            .run(&build("mt-q-threaded"));
+        let serial = Harness::parallel().with_lockstep(true).run(&build("mt-q-serial"));
+        for i in [0, 1, 3] {
+            let a = threaded.jobs[i].outcome.stats().expect("threaded survivor");
+            let b = serial.jobs[i].outcome.stats().expect("serial survivor");
+            assert_eq!(a, b, "job {i}: threaded quarantine diverged from serial");
+        }
+        for report in [&threaded, &serial] {
+            match report.jobs[2].outcome.failure() {
+                Some(JobError::Panic(m)) => {
+                    assert!(m.contains("deadlock"), "original payload crossed threads: {m}");
+                }
+                other => panic!("diverging member must panic, got {other:?}"),
+            }
+        }
+        // The quarantine record is shared machinery: a threaded re-run
+        // keeps the member on the individual path exactly like serial.
+        let again = Harness::parallel()
+            .with_workers(1)
+            .with_threads(8)
+            .with_lockstep(true)
+            .run(&build("mt-q-threaded-2"));
+        for i in [0, 1, 3] {
+            assert_eq!(
+                again.jobs[i].outcome.stats(),
+                threaded.jobs[i].outcome.stats(),
+                "job {i}: threaded quarantined re-run identical"
+            );
+        }
+        assert!(again.jobs[2].outcome.failure().is_some());
+    });
+}
+
 /// The experiment for the kill-and-resume test: two programs × two configs.
 /// Program-major job ids — group A is jobs 0/1, group B is jobs 2/3 — so a
 /// serial run finishes (and stores) all of group A before the planned

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# Simulation-throughput benchmark runner (PR 4, extended in PR 5/6/7/9).
+# Simulation-throughput benchmark runner (PR 4, extended in PR 5/6/7/9/10).
 #
 # Builds the release tree, compiles the criterion benches (compile-check
 # only — the wall-clock numbers come from the dedicated binary below), and
 # runs the `throughput` binary, which writes machine-readable rates to
-# BENCH_pr9.json (override the path with the first non-flag argument).
+# BENCH_pr10.json (override the path with the first non-flag argument).
 # PR 9 adds the sampled-vs-full pair on the longest workload: the binary
 # fails if sampled simulation falls below a 5x wall-clock speedup over
 # full detail or its IPC estimate drifts past the declared 2% bound.
+# PR 10 adds the threaded-lockstep row (the six-config sweep fanned out
+# across timing threads) with host context (logical cores, thread budget)
+# in the report header; on a ≥4-core host the binary fails if the threaded
+# row falls below 2x the serial lockstep rate, and --compare warns when
+# the baseline came from a host with a different core count.
 #
 # Usage: scripts/bench.sh [output.json] [--quick] [--compare BASE.json]
 #

@@ -9,18 +9,23 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test --workspace -q
 cargo test --workspace --release -q
+# Golden snapshots once more on a single test thread: the threaded-lockstep
+# golden test spawns its own timing threads (fanout 1/2/4/8), and running it
+# without harness-level parallelism proves bit-identity isn't an artifact of
+# the test runner's own scheduling.
+RUST_TEST_THREADS=1 cargo test --release -q --test golden_stats
 cargo bench --workspace --no-run
 # Throughput smoke gate: a few quick runs per benchmark, compared against
 # the committed baseline. Quick sampling is noisy (20-30% machine-wide
 # swings on a shared box), so this catches collapses (the binary flags
 # >50% drops in --quick mode), not drifts — scripts/bench.sh does the
 # tracking-quality measurement with the strict 20% gate. The report goes to a scratch file so
-# the committed BENCH_pr9.json only changes when bench.sh is run on purpose.
+# the committed BENCH_pr10.json only changes when bench.sh is run on purpose.
 # (The binary also asserts the sampled-vs-full contract: 5x speedup, 2% IPC.)
 smoke_out="$(mktemp /tmp/svf-bench-smoke.XXXXXX.json)"
 smoke_dir="$(mktemp -d /tmp/svf-trace-smoke.XXXXXX)"
 trap 'rm -rf "$smoke_out" "$smoke_dir"' EXIT
-cargo run --release -p svf-bench --bin throughput -- "$smoke_out" --quick --compare BENCH_pr9.json
+cargo run --release -p svf-bench --bin throughput -- "$smoke_out" --quick --compare BENCH_pr10.json
 # Trace capture -> replay smoke: a live run and a replay of its captured
 # .svft trace must report identical timing lines (the replay path promises
 # bit-identical statistics; here that contract is checked end-to-end
@@ -109,6 +114,18 @@ head -1 "$smoke_dir/sweep/pareto.csv" | grep -q '^point,svf_bytes,stack_ports,ip
 [ "$(wc -l < "$smoke_dir/sweep/points.csv")" -eq 9 ] \
     || { echo "sweep smoke: points.csv should have 8 rows + header" >&2; exit 1; }
 echo "sweep smoke: 8 configs, one compile, well-formed pareto.csv"
+# Threaded-lockstep smoke: the same 8-config sweep under a thread budget
+# (job workers + intra-batch timing fan-out) must emit byte-identical CSVs
+# to the serial run above — the bit-identity contract of the PR 10 fan-out,
+# checked end to end through the real sweep driver.
+cargo run --release --quiet -p svf-experiments -- \
+    --sweep "$smoke_dir/sweep.toml" --csv "$smoke_dir/sweep-mt" --threads 8 \
+    > "$smoke_dir/sweep-mt.out"
+for f in points.csv pareto.csv; do
+    cmp "$smoke_dir/sweep/$f" "$smoke_dir/sweep-mt/$f" \
+        || { echo "threaded-lockstep smoke: $f differs from the serial run" >&2; exit 1; }
+done
+echo "threaded-lockstep smoke: --threads 8 CSVs byte-identical to serial"
 # Crash-resume smoke: the same sweep with a result sink, killed mid-run by
 # a planted abort (the in-process kill -9), must resume from the sink and
 # finish with points.csv/pareto.csv byte-identical to the fault-free run

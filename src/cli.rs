@@ -19,6 +19,12 @@
 //!                                                      (key=value pairs: period, interval,
 //!                                                      warmup, ramp, tail, intervals, mode,
 //!                                                      seed; empty = defaults)
+//!   --threads T                                        timing thread budget: with --compare the
+//!                                                      machine and its baseline advance as one
+//!                                                      lockstep pair over a shared functional
+//!                                                      stream on up to T threads (bit-identical
+//!                                                      to the serial runs; no effect on a
+//!                                                      single-machine run or trace replay)
 //!   --profile                                          print the Figures 1-3 characterization
 //!   --disasm                                           print the disassembly and exit
 //!   --compare                                          also run the (R+0) baseline and report speedup
@@ -59,6 +65,10 @@ pub struct CliOptions {
     /// Sampled-simulation plan (`--sample`): detailed intervals over a
     /// functional fast-forward instead of a full detailed run.
     pub sample: Option<SampleSpec>,
+    /// Timing thread budget (`--threads`): with `--compare`, the machine
+    /// and its baseline ride one lockstep pair fanned out over up to this
+    /// many threads instead of two serial runs. Bit-identical either way.
+    pub threads: usize,
     /// Print the characterization profile.
     pub profile: bool,
     /// Print disassembly and exit.
@@ -94,6 +104,7 @@ impl Default for CliOptions {
             naive: false,
             max_insts: u64::MAX,
             sample: None,
+            threads: 1,
             profile: false,
             disasm: false,
             emit_asm: false,
@@ -148,6 +159,12 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 o.max_insts = value("--max-insts")?.parse().map_err(|_| "bad --max-insts")?;
             }
             "--sample" => o.sample = Some(SampleSpec::parse(value("--sample")?)?),
+            "--threads" => {
+                o.threads = value("--threads")?.parse().map_err(|_| "bad --threads")?;
+                if o.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
             "--gshare" => o.gshare = true,
             "--naive" => o.naive = true,
             "--profile" => o.profile = true,
@@ -316,9 +333,6 @@ pub fn run_cli(args: &[String]) -> Result<String, Box<dyn Error>> {
     }
 
     let cfg = build_config(&o)?;
-    let stats = run_timed(&mut report, &o, &cfg, &program);
-    append_timing_report(&mut report, &o, &stats);
-
     if o.compare {
         // The baseline is the same machine with the stack structure removed.
         // For `--config`, that is an overlay appended to the spec (overlays
@@ -336,7 +350,17 @@ pub fn run_cli(args: &[String]) -> Result<String, Box<dyn Error>> {
         base_cfg.stack_engine = StackEngine::None;
         // The baseline rides the same execution mode, so a sampled compare
         // reports a sampled-vs-sampled speedup (same schedule both sides).
-        let base = run_timed(&mut report, &o, &base_cfg, &program);
+        let (stats, base) = if o.threads > 1 {
+            // With a thread budget the pair shares one functional stream
+            // and fans the two timing models out across threads; the
+            // report text is identical to the serial pair below.
+            run_timed_pair(&mut report, &o, &cfg, &base_cfg, &program)
+        } else {
+            let stats = run_timed(&mut report, &o, &cfg, &program);
+            append_timing_report(&mut report, &o, &stats);
+            let base = run_timed(&mut report, &o, &base_cfg, &program);
+            (stats, base)
+        };
         let label = match &o.config {
             Some(spec) => format!("{spec} - stack structure"),
             None => format!("({}+0)", o.dl1_ports),
@@ -348,6 +372,9 @@ pub fn run_cli(args: &[String]) -> Result<String, Box<dyn Error>> {
             base.ipc(),
             stats.speedup_over(&base)
         );
+    } else {
+        let stats = run_timed(&mut report, &o, &cfg, &program);
+        append_timing_report(&mut report, &o, &stats);
     }
     Ok(report)
 }
@@ -362,19 +389,59 @@ fn run_timed(report: &mut String, o: &CliOptions, cfg: &CpuConfig, program: &Pro
             let s = svf_cpu::run_sampled(std::slice::from_ref(cfg), program, o.max_insts, spec)
                 .pop()
                 .expect("one config in, one estimate out");
-            let _ = writeln!(
-                report,
-                "--- SAMPLED intervals={} detailed={} fast-forwarded={} warmed={} of {} insts ---",
-                s.intervals,
-                s.detailed_insts,
-                s.fast_forwarded(),
-                s.warmed_insts,
-                s.total_insts
-            );
+            sampled_line(report, &s);
             s.stats
         }
         None => Simulator::new(cfg.clone()).run(program, o.max_insts),
     }
+}
+
+/// The `--compare` pair under a `--threads` budget: both machines ride one
+/// lockstep batch over a shared functional stream, fanned out across up to
+/// `o.threads` timing threads. Emits the same report lines, in the same
+/// order, as two serial [`run_timed`] calls — results are bit-identical.
+fn run_timed_pair(
+    report: &mut String,
+    o: &CliOptions,
+    cfg: &CpuConfig,
+    base_cfg: &CpuConfig,
+    program: &Program,
+) -> (SimStats, SimStats) {
+    let configs = [cfg.clone(), base_cfg.clone()];
+    match &o.sample {
+        Some(spec) => {
+            let mut runs =
+                svf_cpu::run_sampled_fanout(&configs, program, o.max_insts, spec, o.threads);
+            let base = runs.pop().expect("two configs in, two estimates out");
+            let main = runs.pop().expect("two configs in, two estimates out");
+            sampled_line(report, &main);
+            append_timing_report(report, o, &main.stats);
+            sampled_line(report, &base);
+            (main.stats, base.stats)
+        }
+        None => {
+            let mut runs =
+                svf_cpu::run_lockstep_fanout(&configs, program, o.max_insts, o.threads);
+            let base = runs.pop().expect("two configs in, two results out");
+            let main = runs.pop().expect("two configs in, two results out");
+            append_timing_report(report, o, &main);
+            (main, base)
+        }
+    }
+}
+
+/// The greppable `SAMPLED` coverage line (the `scripts/check.sh` smoke
+/// gate parses it).
+fn sampled_line(report: &mut String, s: &svf_cpu::SampledStats) {
+    let _ = writeln!(
+        report,
+        "--- SAMPLED intervals={} detailed={} fast-forwarded={} warmed={} of {} insts ---",
+        s.intervals,
+        s.detailed_insts,
+        s.fast_forwarded(),
+        s.warmed_insts,
+        s.total_insts
+    );
 }
 
 /// Replays a captured `.svft` binary trace (see `--dump-trace`) through
@@ -485,6 +552,31 @@ mod tests {
         assert!(parse_args(&args(&["p.c", "--sample"])).is_err(), "flag needs a value");
         let err = run_cli(&args(&["t.svft", "--sample", ""])).unwrap_err();
         assert!(err.to_string().contains("trace replay"), "{err}");
+    }
+
+    #[test]
+    fn threads_flag_parses_and_rejects_zero() {
+        let o = parse_args(&args(&["p.c", "--threads", "4"])).unwrap();
+        assert_eq!(o.threads, 4);
+        assert_eq!(parse_args(&args(&["p.c"])).unwrap().threads, 1, "serial by default");
+        assert!(parse_args(&args(&["p.c", "--threads", "0"])).is_err());
+        assert!(parse_args(&args(&["p.c", "--threads", "many"])).is_err());
+        assert!(parse_args(&args(&["p.c", "--threads"])).is_err(), "flag needs a value");
+    }
+
+    #[test]
+    fn threaded_compare_report_is_byte_identical_to_serial() {
+        let path = std::env::temp_dir().join("svf_cli_threads_pair.c");
+        std::fs::write(&path, "int main() { return 7; }").unwrap();
+        let p = path.to_str().unwrap().to_string();
+        let serial = run_cli(&args(&[&p, "--compare"])).unwrap();
+        let paired = run_cli(&args(&[&p, "--compare", "--threads", "2"])).unwrap();
+        assert_eq!(serial, paired, "the fanned-out pair must reproduce the serial report");
+        let sampled = run_cli(&args(&[&p, "--compare", "--sample", ""])).unwrap();
+        let sampled_mt =
+            run_cli(&args(&[&p, "--compare", "--sample", "", "--threads", "2"])).unwrap();
+        assert_eq!(sampled, sampled_mt, "sampled compare too");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -150,6 +150,33 @@ fn lockstep_sweep_matches_golden_snapshots() {
     }
 }
 
+/// The parallel-lockstep contract (PR 10): fanning the six timing models
+/// out across worker threads is invisible in the statistics — every fanout
+/// (serial, ragged, one-thread-per-model, oversubscribed) reproduces the
+/// same 18 pinned rows bit for bit.
+#[test]
+fn threaded_lockstep_matches_golden_snapshots_at_every_fanout() {
+    for w in WORKLOADS {
+        let program = compile(w);
+        let cfgs: Vec<CpuConfig> = configs().into_iter().map(|(_, c)| c).collect();
+        for fanout in [1, 2, 4, 8] {
+            let stats = svf_cpu::run_lockstep_fanout(&cfgs, &program, u64::MAX, fanout);
+            for ((label, _), (actual, expected)) in
+                configs().iter().zip(stats.iter().zip(golden_for(w)))
+            {
+                assert_eq!(
+                    actual, &expected,
+                    "{w}/{label}: fanout {fanout} diverged from the pinned live run.\n\
+                     expected: {}\n\
+                     actual:   {}",
+                    expected.to_csv_row(),
+                    actual.to_csv_row()
+                );
+            }
+        }
+    }
+}
+
 /// The persisted-trace contract: capture each workload's stream to the
 /// binary trace format once, replay it through all six configurations, and
 /// the same 18 pinned rows come back — the trace is lossless for timing.
